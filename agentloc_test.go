@@ -1,0 +1,216 @@
+package agentloc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentloc"
+)
+
+// newFacadeCluster builds a small simulated LAN through the public API
+// only.
+func newFacadeCluster(t *testing.T, numNodes int) (*agentloc.Network, []*agentloc.Node) {
+	t.Helper()
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{
+		Latency: agentloc.FixedLatency(50 * time.Microsecond),
+	})
+	t.Cleanup(func() { net.Close() })
+	nodes := make([]*agentloc.Node, numNodes)
+	for i := range nodes {
+		n, err := agentloc.NewNode(agentloc.NodeConfig{
+			ID:   agentloc.NodeID(fmt.Sprintf("fa-%d", i)),
+			Link: net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	return net, nodes
+}
+
+func facadeCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	_, nodes := newFacadeCluster(t, 3)
+	ctx := facadeCtx(t)
+
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := svc.ClientFor(nodes[0])
+	assign, err := client.Register(ctx, "facade-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign.Zero() {
+		t.Fatal("zero assignment after register")
+	}
+	where, err := svc.ClientFor(nodes[2]).Locate(ctx, "facade-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != nodes[0].ID() {
+		t.Errorf("located at %s, want %s", where, nodes[0].ID())
+	}
+	if _, err := svc.ClientFor(nodes[1]).Locate(ctx, "nobody"); !errors.Is(err, agentloc.ErrNotRegistered) {
+		t.Errorf("error = %v, want ErrNotRegistered", err)
+	}
+	stats, err := svc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NumIAgents != 1 {
+		t.Errorf("NumIAgents = %d, want 1", stats.NumIAgents)
+	}
+}
+
+func TestFacadeCentralizedBaseline(t *testing.T) {
+	_, nodes := newFacadeCluster(t, 2)
+	ctx := facadeCtx(t)
+
+	svc, err := agentloc.DeployCentralized(ctx, agentloc.DefaultCentralizedConfig(), nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := svc.ClientFor(nodes[1])
+	if _, err := client.Register(ctx, "central-agent"); err != nil {
+		t.Fatal(err)
+	}
+	where, err := svc.ClientFor(nodes[0]).Locate(ctx, "central-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != nodes[1].ID() {
+		t.Errorf("located at %s, want %s", where, nodes[1].ID())
+	}
+}
+
+// facadeWorker demonstrates a user-defined agent through the public API.
+type facadeWorker struct {
+	Mech   agentloc.Config
+	Target agentloc.NodeID
+	Assign agentloc.Assignment
+}
+
+var (
+	_ agentloc.Behavior = (*facadeWorker)(nil)
+	_ agentloc.Runner   = (*facadeWorker)(nil)
+)
+
+func (w *facadeWorker) HandleRequest(ctx *agentloc.AgentContext, kind string, payload []byte) (any, error) {
+	if kind == "where" {
+		return struct{ Node agentloc.NodeID }{Node: ctx.Node()}, nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+func (w *facadeWorker) Run(ctx *agentloc.AgentContext) error {
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	client := agentloc.NewClient(agentloc.CtxCaller{Ctx: ctx}, w.Mech)
+	var err error
+	if w.Assign.Zero() {
+		w.Assign, err = client.Register(cctx, ctx.Self())
+	} else {
+		w.Assign, err = client.MoveNotify(cctx, ctx.Self(), w.Assign)
+	}
+	if err != nil {
+		return err
+	}
+	if w.Target != "" && w.Target != ctx.Node() {
+		target := w.Target
+		w.Target = ""
+		return ctx.Move(cctx, target)
+	}
+	return nil
+}
+
+func TestFacadeCustomMobileAgent(t *testing.T) {
+	agentloc.RegisterBehavior(&facadeWorker{})
+	_, nodes := newFacadeCluster(t, 3)
+	ctx := facadeCtx(t)
+
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &facadeWorker{Mech: svc.Config(), Target: nodes[2].ID()}
+	if err := nodes[0].Launch("facade-worker", w); err != nil {
+		t.Fatal(err)
+	}
+
+	// The worker registers on fa-0, hops to fa-2, and re-registers; the
+	// location service must converge on fa-2.
+	client := svc.ClientFor(nodes[1])
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		where, err := client.Locate(ctx, "facade-worker")
+		if err == nil && where == nodes[2].ID() {
+			// And the agent really is there.
+			var resp struct{ Node agentloc.NodeID }
+			if err := nodes[1].CallAgent(ctx, where, "facade-worker", "where", nil, &resp); err == nil {
+				if resp.Node != nodes[2].ID() {
+					t.Fatalf("agent reports %s, want %s", resp.Node, nodes[2].ID())
+				}
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("worker never became locatable at its destination")
+}
+
+func TestFacadeTCPDeployment(t *testing.T) {
+	// The same public API deploys over real TCP links in one process —
+	// the multi-process equivalent is cmd/locnode.
+	ctx := facadeCtx(t)
+	linkA, err := agentloc.NewTCP(agentloc.TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer linkA.Close()
+	linkB, err := agentloc.NewTCP(agentloc.TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer linkB.Close()
+	linkA.AddRoute("tcp-b", linkB.ListenAddr())
+	linkB.AddRoute("tcp-a", linkA.ListenAddr())
+
+	nodeA, err := agentloc.NewNode(agentloc.NodeConfig{ID: "tcp-a", Link: linkA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	nodeB, err := agentloc.NewNode(agentloc.NodeConfig{ID: "tcp-b", Link: linkB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), []*agentloc.Node{nodeA, nodeB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ClientFor(nodeB).Register(ctx, "tcp-agent"); err != nil {
+		t.Fatal(err)
+	}
+	where, err := svc.ClientFor(nodeA).Locate(ctx, "tcp-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != "tcp-b" {
+		t.Errorf("located at %s, want tcp-b", where)
+	}
+}

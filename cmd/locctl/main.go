@@ -1,0 +1,170 @@
+// Command locctl drives a running locnode cluster over TCP: it joins the
+// cluster as a lightweight client node (with its own LHAgent, as the
+// protocol requires), then issues location-service operations.
+//
+//	locctl -peers node-0=127.0.0.1:7100,... -hagent-node node-0 stats
+//	locctl -peers ... -hagent-node node-0 spawn 10 500ms
+//	locctl -peers ... -hagent-node node-0 locate tagent-3
+//	locctl -peers ... -hagent-node node-0 register my-agent
+//	locctl -peers ... -hagent-node node-0 deposit tagent-3 "report in"
+//	locctl -peers ... -hagent-node node-0 tree
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+	"agentloc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "locctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("locctl", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "host:port for the control node")
+	peers := fs.String("peers", "", "comma-separated cluster directory: id=host:port,...")
+	hagentNode := fs.String("hagent-node", "", "node hosting the HAgent (required)")
+	timeout := fs.Duration("timeout", 30*time.Second, "operation timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peers == "" || *hagentNode == "" {
+		return fmt.Errorf("need -peers and -hagent-node")
+	}
+	cmd := fs.Args()
+	if len(cmd) == 0 {
+		return fmt.Errorf("missing command (stats | tree | locate <agent> | register <agent> | deposit <agent> <text> | spawn <count> <residence>)")
+	}
+
+	directory := make(map[transport.Addr]string)
+	for _, part := range strings.Split(*peers, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad peer entry %q", part)
+		}
+		directory[transport.Addr(kv[0])] = kv[1]
+	}
+
+	link, err := transport.NewTCP(transport.TCPConfig{ListenOn: *listen, Directory: directory})
+	if err != nil {
+		return err
+	}
+	defer link.Close()
+
+	// The control node is an ephemeral cluster member: cluster nodes can
+	// reach it back through the From address of its own requests only, so
+	// it is fine that they have no directory entry for it — all control
+	// traffic is request/response over our outgoing connections... except
+	// over TCP responses flow on separate connections, so the cluster
+	// DOES need to reach us. Register our listen address with every peer
+	// by using a stable id derived from the listen port.
+	ctlID := platform.NodeID("locctl-" + strings.ReplaceAll(link.ListenAddr(), ":", "-"))
+	node, err := platform.NewNode(platform.Config{ID: ctlID, Link: link})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.HAgentNode = platform.NodeID(*hagentNode)
+	if err := node.Launch(core.LHAgentID(ctlID), &core.LHAgentBehavior{Cfg: cfg}); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	client := core.NewClient(core.NodeCaller{N: node}, cfg)
+
+	switch cmd[0] {
+	case "stats", "tree":
+		var resp core.HashStatsResp
+		err := node.CallAgent(ctx, cfg.HAgentNode, cfg.HAgent, core.KindHashStats, nil, &resp)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hash v%d: %d IAgents, %d splits, %d merges\n",
+			resp.HashVersion, resp.NumIAgents, resp.Splits, resp.Merges)
+		if cmd[0] == "tree" {
+			fmt.Print(resp.TreeRender)
+		}
+		return nil
+	case "locate":
+		if len(cmd) != 2 {
+			return fmt.Errorf("usage: locate <agent>")
+		}
+		where, err := client.Locate(ctx, ids.AgentID(cmd[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s is at %s\n", cmd[1], where)
+		return nil
+	case "deposit":
+		if len(cmd) != 3 {
+			return fmt.Errorf("usage: deposit <agent> <text>")
+		}
+		target := ids.AgentID(cmd[1])
+		if err := client.Deposit(ctx, ids.AgentID(ctlID), target, "locctl", []byte(cmd[2])); err != nil {
+			return err
+		}
+		fmt.Printf("deposited %q for %s (delivered at its next check-in)"+"\n", cmd[2], target)
+		return nil
+	case "register":
+		if len(cmd) != 2 {
+			return fmt.Errorf("usage: register <agent>")
+		}
+		assign, err := client.Register(ctx, ids.AgentID(cmd[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s registered at %s, served by %s at %s\n", cmd[1], ctlID, assign.IAgent, assign.Node)
+		return nil
+	case "spawn":
+		if len(cmd) != 3 {
+			return fmt.Errorf("usage: spawn <count> <residence>")
+		}
+		count, err := strconv.Atoi(cmd[1])
+		if err != nil {
+			return fmt.Errorf("bad count %q: %w", cmd[1], err)
+		}
+		residence, err := time.ParseDuration(cmd[2])
+		if err != nil {
+			return fmt.Errorf("bad residence %q: %w", cmd[2], err)
+		}
+		nodeIDs := make([]platform.NodeID, 0, len(directory))
+		for addr := range directory {
+			nodeIDs = append(nodeIDs, platform.NodeID(addr))
+		}
+		mech := workload.MechanismRef{Scheme: workload.SchemeHashed, Hashed: cfg}
+		for i := 0; i < count; i++ {
+			target := nodeIDs[i%len(nodeIDs)]
+			id := ids.AgentID(fmt.Sprintf("tagent-%d", i))
+			agent := &workload.TAgent{
+				Mech:      mech,
+				Nodes:     nodeIDs,
+				Residence: residence,
+				Seed:      int64(i + 1),
+			}
+			if err := node.LaunchAt(ctx, target, id, agent, 0); err != nil {
+				return fmt.Errorf("spawn %s at %s: %w", id, target, err)
+			}
+			fmt.Printf("spawned %s at %s (residence %v)\n", id, target, residence)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd[0])
+	}
+}

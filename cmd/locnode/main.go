@@ -1,0 +1,151 @@
+// Command locnode hosts one platform node of a multi-process deployment
+// over TCP. Every locnode runs its own LHAgent; exactly one locnode per
+// cluster is started with -bootstrap and additionally hosts the HAgent and
+// the initial IAgent.
+//
+// A three-node cluster on one machine:
+//
+//	locnode -id node-0 -listen 127.0.0.1:7100 \
+//	        -peers node-1=127.0.0.1:7101,node-2=127.0.0.1:7102 -bootstrap &
+//	locnode -id node-1 -listen 127.0.0.1:7101 \
+//	        -peers node-0=127.0.0.1:7100,node-2=127.0.0.1:7102 -hagent-node node-0 &
+//	locnode -id node-2 -listen 127.0.0.1:7102 \
+//	        -peers node-0=127.0.0.1:7100,node-1=127.0.0.1:7101 -hagent-node node-0 &
+//
+// Then drive it with locctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/hashtree"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+
+	// Registers workload behaviours (TAgent) with gob so locctl-spawned
+	// agents can land on and roam between locnodes.
+	_ "agentloc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "locnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("locnode", flag.ContinueOnError)
+	id := fs.String("id", "", "node id (required)")
+	listen := fs.String("listen", "127.0.0.1:0", "host:port to listen on")
+	peers := fs.String("peers", "", "comma-separated peer directory: id=host:port,...")
+	bootstrap := fs.Bool("bootstrap", false, "host the HAgent and the initial IAgent")
+	hagentNode := fs.String("hagent-node", "", "node hosting the HAgent (defaults to this node when -bootstrap)")
+	tmax := fs.Float64("tmax", 50, "split threshold, messages/second")
+	tmin := fs.Float64("tmin", 5, "merge threshold, messages/second")
+	service := fs.Duration("service", time.Millisecond, "IAgent per-request service time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+
+	directory, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+
+	link, err := transport.NewTCP(transport.TCPConfig{ListenOn: *listen, Directory: directory})
+	if err != nil {
+		return err
+	}
+	defer link.Close()
+	fmt.Printf("locnode %s listening on %s\n", *id, link.ListenAddr())
+
+	node, err := platform.NewNode(platform.Config{ID: platform.NodeID(*id), Link: link})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.TMax = *tmax
+	cfg.TMin = *tmin
+	cfg.IAgentServiceTime = *service
+	switch {
+	case *hagentNode != "":
+		cfg.HAgentNode = platform.NodeID(*hagentNode)
+	case *bootstrap:
+		cfg.HAgentNode = node.ID()
+	default:
+		return fmt.Errorf("need -hagent-node (or -bootstrap on the HAgent's node)")
+	}
+	cfg.PlacementNodes = placementNodes(node.ID(), directory)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	// Every node runs its own LHAgent (paper §2.2: one per node).
+	if err := node.Launch(core.LHAgentID(node.ID()), &core.LHAgentBehavior{Cfg: cfg}); err != nil {
+		return err
+	}
+
+	if *bootstrap {
+		firstIAgent := ids.AgentID("iagent-1")
+		initial := &core.State{
+			Ver:       1,
+			Tree:      hashtree.New(string(firstIAgent)),
+			Locations: map[ids.AgentID]platform.NodeID{firstIAgent: node.ID()},
+		}
+		hagent := &core.HAgentBehavior{Cfg: cfg, InitialState: initial.DTO(), NextIAgentSeq: 1}
+		if err := node.Launch(cfg.HAgent, hagent); err != nil {
+			return err
+		}
+		iagent := &core.IAgentBehavior{Cfg: cfg, StateSnapshot: initial.DTO()}
+		if err := node.Launch(firstIAgent, iagent, platform.WithServiceTime(cfg.IAgentServiceTime)); err != nil {
+			return err
+		}
+		fmt.Printf("locnode %s bootstrapped the location mechanism (HAgent + iagent-1)\n", *id)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Printf("locnode %s shutting down\n", *id)
+	return nil
+}
+
+// parsePeers parses "id=host:port,id=host:port".
+func parsePeers(s string) (map[transport.Addr]string, error) {
+	out := make(map[transport.Addr]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		out[transport.Addr(kv[0])] = kv[1]
+	}
+	return out, nil
+}
+
+// placementNodes lists this node plus every peer as IAgent placement
+// targets, deterministically ordered (self first).
+func placementNodes(self platform.NodeID, directory map[transport.Addr]string) []platform.NodeID {
+	out := []platform.NodeID{self}
+	for addr := range directory {
+		out = append(out, platform.NodeID(addr))
+	}
+	return out
+}

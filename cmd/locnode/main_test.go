@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("node-1=127.0.0.1:7101,node-2=host:7102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["node-1"] != "127.0.0.1:7101" || got["node-2"] != "host:7102" {
+		t.Errorf("parsePeers = %v", got)
+	}
+	if got, err := parsePeers(""); err != nil || len(got) != 0 {
+		t.Errorf("empty peers = %v, %v", got, err)
+	}
+	for _, bad := range []string{"oops", "=addr", "id=", "a=b,oops"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPlacementNodes(t *testing.T) {
+	dir := map[transport.Addr]string{"n1": "a", "n2": "b"}
+	got := placementNodes("self", dir)
+	if len(got) != 3 || got[0] != "self" {
+		t.Errorf("placementNodes = %v", got)
+	}
+	seen := map[platform.NodeID]bool{}
+	for _, n := range got {
+		seen[n] = true
+	}
+	if !seen["n1"] || !seen["n2"] {
+		t.Errorf("placementNodes missing peers: %v", got)
+	}
+}
+
+func TestRunValidatesFlags(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -id accepted")
+	}
+	if err := run([]string{"-id", "x", "-peers", "broken"}); err == nil {
+		t.Error("broken peers accepted")
+	}
+	// Neither -bootstrap nor -hagent-node.
+	if err := run([]string{"-id", "x", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("missing hagent designation accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Command locsim regenerates the paper's evaluation on a simulated LAN.
+//
+//	locsim exp1 [flags]   Experiment I  — location time vs number of TAgents (Figure 7)
+//	locsim exp2 [flags]   Experiment II — location time vs TAgent mobility  (Figure 8)
+//	locsim all  [flags]   both experiments
+//	locsim tree           render the running-example hash tree and the four
+//	                      rehashing operations (Figures 1, 3–6)
+//
+// Flags (exp1/exp2/all):
+//
+//	-quick          scaled-down sweep for a fast look (default full scale)
+//	-scale f        time scale factor (1.0 = paper scale)
+//	-queries n      location queries per measurement point
+//	-nodes n        LAN size
+//	-seed n         workload seed
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"agentloc/internal/experiment"
+	"agentloc/internal/hashtree"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+func run(args []string, w io.Writer) int {
+	if len(args) < 1 {
+		usage(w)
+		return 2
+	}
+	switch args[0] {
+	case "adapt":
+		p, _, err := parseRunFlags(args[1:])
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return 2
+		}
+		if _, err := experiment.AdaptationTimeline(context.Background(), experiment.DefaultAdaptationSpec(p), w); err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return 1
+		}
+		return 0
+	case "exp1", "exp2", "all":
+		p, csv, err := parseRunFlags(args[1:])
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return 2
+		}
+		ctx := context.Background()
+		if args[0] == "exp1" || args[0] == "all" {
+			points, err := experiment.ExperimentI(ctx, p, w)
+			if err != nil {
+				fmt.Fprintln(w, "error:", err)
+				return 1
+			}
+			if csv {
+				writeCSVI(w, points)
+			}
+			fmt.Fprintln(w)
+		}
+		if args[0] == "exp2" || args[0] == "all" {
+			points, err := experiment.ExperimentII(ctx, p, w)
+			if err != nil {
+				fmt.Fprintln(w, "error:", err)
+				return 1
+			}
+			if csv {
+				writeCSVII(w, points)
+			}
+		}
+		return 0
+	case "tree":
+		fs := flag.NewFlagSet("tree", flag.ContinueOnError)
+		dot := fs.Bool("dot", false, "emit graphviz dot of the Figure-1 tree instead of the walkthrough")
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
+		if *dot {
+			fmt.Fprint(w, hashtree.PaperTree().DOT())
+			return 0
+		}
+		renderTreeDemo(w)
+		return 0
+	default:
+		usage(w)
+		return 2
+	}
+}
+
+func parseParams(args []string) (experiment.Params, error) {
+	p, _, err := parseRunFlags(args)
+	return p, err
+}
+
+func parseRunFlags(args []string) (experiment.Params, bool, error) {
+	fs := flag.NewFlagSet("locsim", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "scaled-down sweep")
+	scale := fs.Float64("scale", 0, "time scale factor (0 = preset)")
+	queries := fs.Int("queries", 0, "queries per point (0 = preset)")
+	nodes := fs.Int("nodes", 0, "LAN size (0 = preset)")
+	seed := fs.Int64("seed", 0, "workload seed (0 = preset)")
+	csv := fs.Bool("csv", false, "append machine-readable CSV rows after each table")
+	if err := fs.Parse(args); err != nil {
+		return experiment.Params{}, false, err
+	}
+	p := experiment.PaperParams()
+	if *quick {
+		p = experiment.QuickParams()
+	}
+	if *scale > 0 {
+		p.Scale = *scale
+	}
+	if *queries > 0 {
+		p.Queries = *queries
+	}
+	if *nodes > 0 {
+		p.NumNodes = *nodes
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	return p, *csv, nil
+}
+
+// writeCSVI emits Experiment I points as CSV (times in milliseconds).
+func writeCSVI(w io.Writer, points []experiment.PointI) {
+	fmt.Fprintln(w, "csv,tagents,centralized_ms,hashed_ms,iagents,splits")
+	for _, pt := range points {
+		fmt.Fprintf(w, "csv,%d,%.3f,%.3f,%d,%d"+"\n",
+			pt.TAgents,
+			float64(pt.Centralized.Location.Trimmed)/1e6,
+			float64(pt.Hashed.Location.Trimmed)/1e6,
+			pt.Hashed.NumIAgents, pt.Hashed.Splits)
+	}
+}
+
+// writeCSVII emits Experiment II points as CSV.
+func writeCSVII(w io.Writer, points []experiment.PointII) {
+	fmt.Fprintln(w, "csv,residence_ms,centralized_ms,hashed_ms,iagents,splits")
+	for _, pt := range points {
+		fmt.Fprintf(w, "csv,%.0f,%.3f,%.3f,%d,%d"+"\n",
+			float64(pt.Residence)/1e6,
+			float64(pt.Centralized.Location.Trimmed)/1e6,
+			float64(pt.Hashed.Location.Trimmed)/1e6,
+			pt.Hashed.NumIAgents, pt.Hashed.Splits)
+	}
+}
+
+// renderTreeDemo prints the running-example hash tree and walks the four
+// rehashing operations of paper §4 on it — the structural content of
+// Figures 1 and 3–6.
+func renderTreeDemo(w io.Writer) {
+	tree := hashtree.PaperTree()
+	fmt.Fprintln(w, "Figure 1 — the running-example hash tree:")
+	fmt.Fprintln(w, tree)
+	fmt.Fprintln(w, tree.Describe())
+
+	// Figure 3: simple split of a leaf with single-bit labels.
+	if cands, err := tree.SplitCandidates("IA6", 1); err == nil {
+		if t2, err := tree.ApplySplit(cands[len(cands)-1], "IA7"); err == nil {
+			fmt.Fprintln(w, "Figure 3 — simple split of IA6 (new IAgent IA7):")
+			fmt.Fprintln(w, t2)
+		}
+	}
+
+	// Figure 4: complex split re-activating an unused bit.
+	if cands, err := tree.SplitCandidates("IA3", 1); err == nil && cands[0].Kind == hashtree.SplitComplex {
+		if t2, err := tree.ApplySplit(cands[0], "IA8"); err == nil {
+			fmt.Fprintln(w, "Figure 4 — complex split of IA3 (new IAgent IA8, re-activated bit):")
+			fmt.Fprintln(w, t2)
+		}
+	}
+
+	// Figure 5: simple merge into a sibling leaf.
+	if t2, res, err := tree.Merge("IA6"); err == nil {
+		fmt.Fprintf(w, "Figure 5 — simple merge of IA6 (absorbed by %v):\n", res.Absorbers)
+		fmt.Fprintln(w, t2)
+	}
+
+	// Figure 6: complex merge into a sibling subtree.
+	if t2, res, err := tree.Merge("IA0"); err == nil {
+		fmt.Fprintf(w, "Figure 6 — complex merge of IA0 (absorbed by %v):\n", res.Absorbers)
+		fmt.Fprintln(w, t2)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: locsim <exp1|exp2|all|adapt|tree> [flags]
+  exp1   Experiment I  — location time vs number of TAgents (Figure 7)
+  exp2   Experiment II — location time vs TAgent mobility  (Figure 8)
+  all    both experiments
+  adapt  adaptation timeline: burst of agents into an idle system
+  tree   render the hash tree and the rehashing operations (Figures 1, 3-6)
+         (tree -dot emits graphviz)
+flags: -quick -scale f -queries n -nodes n -seed n -csv`)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUsage(t *testing.T) {
+	var sb strings.Builder
+	if code := run(nil, &sb); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(sb.String(), "usage:") {
+		t.Errorf("missing usage text:\n%s", sb.String())
+	}
+	sb.Reset()
+	if code := run([]string{"bogus"}, &sb); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"exp1", "-nope"}, &sb); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunTree(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"tree"}, &sb); code != 0 {
+		t.Fatalf("exit code = %d, want 0:\n%s", code, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+		"IA0", "IA7", "IA8", "hyper-label",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q", want)
+		}
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	p, err := parseParams([]string{"-quick", "-scale", "0.5", "-queries", "33", "-nodes", "7", "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Scale != 0.5 || p.Queries != 33 || p.NumNodes != 7 || p.Seed != 9 {
+		t.Errorf("params = %+v", p)
+	}
+	// Defaults pass through untouched.
+	p, err = parseParams(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Scale != 1.0 || p.Queries != 200 {
+		t.Errorf("default params = %+v", p)
+	}
+}
+
+func TestRunExp1Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment in -short mode")
+	}
+	var sb strings.Builder
+	// A single minuscule point end-to-end through the CLI path.
+	code := run([]string{"exp1", "-quick", "-scale", "0.15", "-queries", "10"}, &sb)
+	if code != 0 {
+		t.Fatalf("exit code = %d:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "Experiment I") {
+		t.Errorf("missing header:\n%s", sb.String())
+	}
+}
+
+func TestRunTreeDot(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"tree", "-dot"}, &sb); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "digraph hashtree") {
+		t.Errorf("missing dot output:\n%s", sb.String())
+	}
+}

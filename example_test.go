@@ -1,0 +1,138 @@
+package agentloc_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"agentloc"
+)
+
+// Example shows the full lifecycle: a simulated LAN, the deployed
+// mechanism, one agent registering, moving and being located.
+func Example() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{})
+	defer net.Close()
+
+	var nodes []*agentloc.Node
+	for _, id := range []agentloc.NodeID{"alpha", "beta", "gamma"} {
+		n, err := agentloc.NewNode(agentloc.NodeConfig{ID: id, Link: net})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alpha := svc.ClientFor(nodes[0])
+	assign, err := alpha.Register(ctx, "scout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	where, err := svc.ClientFor(nodes[2]).Locate(ctx, "scout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("located at", where)
+
+	// The agent moves to gamma and notifies the service from there.
+	if _, err := svc.ClientFor(nodes[2]).MoveNotify(ctx, "scout", assign); err != nil {
+		log.Fatal(err)
+	}
+	where, err = alpha.Locate(ctx, "scout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after moving, located at", where)
+
+	// Output:
+	// located at alpha
+	// after moving, located at gamma
+}
+
+// ExampleClient_Deposit shows guaranteed delivery: a message deposited at
+// the target's IAgent reaches it at its next check-in, however fast it
+// moves.
+func ExampleClient_Deposit() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{})
+	defer net.Close()
+	var nodes []*agentloc.Node
+	for _, id := range []agentloc.NodeID{"n0", "n1"} {
+		n, err := agentloc.NewNode(agentloc.NodeConfig{ID: id, Link: net})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The target registers on n0.
+	target := svc.ClientFor(nodes[0])
+	assign, err := target.Register(ctx, "runner")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A sender on n1 deposits a message for it.
+	if err := svc.ClientFor(nodes[1]).Deposit(ctx, "hq", "runner", "order", []byte("report in")); err != nil {
+		log.Fatal(err)
+	}
+
+	// The target hops to n1 and checks in: location update + mail in one
+	// round trip.
+	_, mail, err := svc.ClientFor(nodes[1]).CheckIn(ctx, "runner", assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range mail {
+		fmt.Printf("%s from %s: %s\n", m.Kind, m.From, m.Payload)
+	}
+
+	// Output:
+	// order from hq: report in
+}
+
+// ExampleService_Stats shows mechanism introspection: the hash version,
+// the IAgent population, and the rehashing counters.
+func ExampleService_Stats() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{})
+	defer net.Close()
+	n, err := agentloc.NewNode(agentloc.NodeConfig{ID: "solo", Link: net})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n.Close()
+
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), []*agentloc.Node{n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := svc.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d with %d IAgent(s), %d splits, %d merges\n",
+		stats.HashVersion, stats.NumIAgents, stats.Splits, stats.Merges)
+
+	// Output:
+	// v1 with 1 IAgent(s), 0 splits, 0 merges
+}

@@ -1,0 +1,160 @@
+// Command courier demonstrates the guaranteed-delivery extension (the open
+// problem of paper §6: "ensuring that the location of an agent is found
+// even if an agent moves faster than the requests for its location").
+//
+// A courier agent hops between nodes every few milliseconds — faster than a
+// locate-then-call round trip can chase it. Headquarters sends it orders
+// anyway: each order is deposited at the courier's IAgent, and the courier
+// collects its mail atomically with the location update of its next
+// arrival. Nothing is lost, nothing is duplicated, however fast it runs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"agentloc"
+)
+
+// courier hops constantly and executes the orders it collects at check-in.
+type courier struct {
+	Mech   agentloc.Config
+	Nodes  []agentloc.NodeID
+	Assign agentloc.Assignment
+	Hops   int
+	Orders []string
+
+	mu sync.Mutex
+}
+
+var (
+	_ agentloc.Behavior = (*courier)(nil)
+	_ agentloc.Runner   = (*courier)(nil)
+)
+
+type statusResp struct {
+	Hops   int
+	Orders []string
+	At     agentloc.NodeID
+}
+
+func (c *courier) HandleRequest(ctx *agentloc.AgentContext, kind string, payload []byte) (any, error) {
+	switch kind {
+	case "status":
+		c.mu.Lock()
+		orders := make([]string, len(c.Orders))
+		copy(orders, c.Orders)
+		hops := c.Hops
+		c.mu.Unlock()
+		return statusResp{Hops: hops, Orders: orders, At: ctx.Node()}, nil
+	default:
+		return nil, fmt.Errorf("courier: unknown request %q", kind)
+	}
+}
+
+func (c *courier) Run(ctx *agentloc.AgentContext) error {
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// CheckIn = location update + mail collection in one round trip.
+	client := agentloc.NewClient(agentloc.CtxCaller{Ctx: ctx}, c.Mech)
+	assign, pending, err := client.CheckIn(cctx, ctx.Self(), c.Assign)
+	if err != nil {
+		return fmt.Errorf("courier: check-in: %w", err)
+	}
+	c.Assign = assign
+	c.mu.Lock()
+	for _, msg := range pending {
+		c.Orders = append(c.Orders, string(msg.Payload))
+	}
+	hops := c.Hops
+	c.mu.Unlock()
+
+	if !ctx.Sleep(5 * time.Millisecond) { // barely pauses for breath
+		return nil
+	}
+	r := rand.New(rand.NewSource(int64(hops) + 17))
+	next := c.Nodes[r.Intn(len(c.Nodes))]
+	for next == ctx.Node() {
+		next = c.Nodes[r.Intn(len(c.Nodes))]
+	}
+	c.mu.Lock()
+	c.Hops++
+	c.mu.Unlock()
+	return ctx.Move(cctx, next)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	agentloc.RegisterBehavior(&courier{})
+
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{
+		Latency: agentloc.FixedLatency(200 * time.Microsecond),
+	})
+	defer net.Close()
+
+	nodeIDs := []agentloc.NodeID{"depot-a", "depot-b", "depot-c", "depot-d"}
+	var nodes []*agentloc.Node
+	for _, id := range nodeIDs {
+		n, err := agentloc.NewNode(agentloc.NodeConfig{ID: id, Link: net})
+		if err != nil {
+			return err
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), nodes)
+	if err != nil {
+		return err
+	}
+
+	if err := nodes[0].Launch("courier-1", &courier{Mech: svc.Config(), Nodes: nodeIDs}); err != nil {
+		return err
+	}
+
+	// Headquarters sends 15 orders while the courier races around.
+	hq := svc.ClientFor(nodes[3])
+	const orders = 15
+	for i := 1; i <= orders; i++ {
+		order := fmt.Sprintf("deliver parcel #%d", i)
+		if err := hq.Deposit(ctx, "hq", "courier-1", "order", []byte(order)); err != nil {
+			return fmt.Errorf("deposit order %d: %w", i, err)
+		}
+		fmt.Printf("hq deposited: %s\n", order)
+		time.Sleep(8 * time.Millisecond)
+	}
+
+	// Verify every order arrived, even though the courier kept moving the
+	// entire time. Locate-then-call may miss the courier mid-hop; retry.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		where, err := hq.Locate(ctx, "courier-1")
+		if err != nil {
+			continue
+		}
+		var st statusResp
+		if err := nodes[3].CallAgent(ctx, where, "courier-1", "status", nil, &st); err != nil {
+			continue // hopped between locate and call — exactly the race
+		}
+		fmt.Printf("courier at %s after %d hops with %d/%d orders\n", st.At, st.Hops, len(st.Orders), orders)
+		if len(st.Orders) == orders {
+			fmt.Println("all orders delivered despite constant motion — guaranteed delivery works")
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("orders never fully delivered")
+}

@@ -1,0 +1,188 @@
+// Command marketplace demonstrates the mobile-agent e-commerce scenario
+// that motivates agent location (paper §1): shopper agents are dispatched
+// into a network of vendor nodes, roam from vendor to vendor collecting
+// price quotes, and a coordinator — who never knows in advance where a
+// shopper currently is — uses the location service to find each one in
+// real time and retrieve its best quote so far.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"agentloc"
+)
+
+// quote is one vendor's offer.
+type quote struct {
+	Vendor agentloc.NodeID
+	Price  int
+}
+
+// shopper is a mobile agent that visits every vendor node once, recording
+// the best quote it has seen. Exported fields migrate with it.
+type shopper struct {
+	Mech      agentloc.Config
+	Itinerary []agentloc.NodeID // vendors still to visit
+	Best      quote
+	Seen      int
+	Assign    agentloc.Assignment
+}
+
+var (
+	_ agentloc.Behavior = (*shopper)(nil)
+	_ agentloc.Runner   = (*shopper)(nil)
+)
+
+// HandleRequest answers the coordinator's "best-quote" queries wherever the
+// shopper happens to be.
+func (s *shopper) HandleRequest(ctx *agentloc.AgentContext, kind string, payload []byte) (any, error) {
+	switch kind {
+	case "best-quote":
+		return bestQuoteResp{Best: s.Best, Seen: s.Seen, At: ctx.Node()}, nil
+	default:
+		return nil, fmt.Errorf("shopper: unknown request %q", kind)
+	}
+}
+
+type bestQuoteResp struct {
+	Best quote
+	Seen int
+	At   agentloc.NodeID
+}
+
+// Run visits the current vendor (taking a price), reports its location, and
+// moves on to the next vendor on the itinerary.
+func (s *shopper) Run(ctx *agentloc.AgentContext) error {
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	client := agentloc.NewClient(agentloc.CtxCaller{Ctx: ctx}, s.Mech)
+	var err error
+	if s.Assign.Zero() {
+		s.Assign, err = client.Register(cctx, ctx.Self())
+	} else {
+		s.Assign, err = client.MoveNotify(cctx, ctx.Self(), s.Assign)
+	}
+	if err != nil {
+		return fmt.Errorf("shopper %s: report location: %w", ctx.Self(), err)
+	}
+
+	// "Negotiate" with the local vendor: a deterministic pseudo-price.
+	price := vendorPrice(ctx.Node(), ctx.Self())
+	if s.Best.Vendor == "" || price < s.Best.Price {
+		s.Best = quote{Vendor: ctx.Node(), Price: price}
+	}
+	s.Seen++
+
+	if !ctx.Sleep(30 * time.Millisecond) { // time spent haggling
+		return nil
+	}
+	if len(s.Itinerary) == 0 {
+		return nil // tour complete; wait to be queried and retracted
+	}
+	next := s.Itinerary[0]
+	s.Itinerary = s.Itinerary[1:]
+	return ctx.Move(cctx, next)
+}
+
+// vendorPrice derives a stable pseudo-price for a (vendor, shopper) pair.
+func vendorPrice(vendor agentloc.NodeID, shopper agentloc.AgentID) int {
+	h := 17
+	for _, c := range string(vendor) + "/" + string(shopper) {
+		h = h*31 + int(c)
+	}
+	return 50 + (h%100+100)%100
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	agentloc.RegisterBehavior(&shopper{})
+
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{
+		Latency: agentloc.FixedLatency(100 * time.Microsecond),
+	})
+	defer net.Close()
+
+	vendorIDs := []agentloc.NodeID{"books-r-us", "paper-planet", "tome-depot", "chapter-one", "folio-mart"}
+	var nodes []*agentloc.Node
+	for _, id := range vendorIDs {
+		n, err := agentloc.NewNode(agentloc.NodeConfig{ID: id, Link: net})
+		if err != nil {
+			return err
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), nodes)
+	if err != nil {
+		return err
+	}
+
+	// Dispatch shoppers from the first vendor node, each with a shuffled
+	// itinerary over the remaining vendors.
+	const shoppers = 6
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < shoppers; i++ {
+		itinerary := make([]agentloc.NodeID, len(vendorIDs)-1)
+		copy(itinerary, vendorIDs[1:])
+		r.Shuffle(len(itinerary), func(a, b int) { itinerary[a], itinerary[b] = itinerary[b], itinerary[a] })
+		id := agentloc.AgentID(fmt.Sprintf("shopper-%d", i))
+		if err := nodes[0].Launch(id, &shopper{Mech: svc.Config(), Itinerary: itinerary}); err != nil {
+			return err
+		}
+		fmt.Printf("dispatched %s with itinerary %v\n", id, itinerary)
+	}
+
+	// The coordinator polls each shopper through the location service
+	// while they roam, and prints final quotes once every vendor was
+	// visited.
+	coordinator := svc.ClientFor(nodes[0])
+	done := make(map[agentloc.AgentID]bool, shoppers)
+	for len(done) < shoppers {
+		for i := 0; i < shoppers; i++ {
+			id := agentloc.AgentID(fmt.Sprintf("shopper-%d", i))
+			if done[id] {
+				continue
+			}
+			where, err := coordinator.Locate(ctx, id)
+			if errors.Is(err, agentloc.ErrNotRegistered) {
+				continue // dispatched but not yet registered; next round
+			}
+			if err != nil {
+				return fmt.Errorf("locate %s: %w", id, err)
+			}
+			var resp bestQuoteResp
+			if err := nodes[0].CallAgent(ctx, where, id, "best-quote", nil, &resp); err != nil {
+				// The shopper hopped between Locate and CallAgent — the
+				// next poll finds its fresh location.
+				continue
+			}
+			if resp.Seen >= len(vendorIDs) {
+				fmt.Printf("%s finished at %s: best price %d from %s (visited %d vendors)\n",
+					id, resp.At, resp.Best.Price, resp.Best.Vendor, resp.Seen)
+				done[id] = true
+			}
+		}
+		select {
+		case <-time.After(25 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	fmt.Println("all shoppers reported; marketplace run complete")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command quickstart is the smallest end-to-end use of the library: build a
+// simulated LAN, deploy the hash-based location mechanism, register an
+// agent, and locate it — including after it "moves".
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"agentloc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A three-node simulated LAN with 200µs one-way latency.
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{
+		Latency: agentloc.FixedLatency(200 * time.Microsecond),
+	})
+	defer net.Close()
+
+	var nodes []*agentloc.Node
+	for _, id := range []agentloc.NodeID{"athens", "ioannina", "nicosia"} {
+		n, err := agentloc.NewNode(agentloc.NodeConfig{ID: id, Link: net})
+		if err != nil {
+			return err
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	// Deploy the mechanism: HAgent, per-node LHAgents, initial IAgent.
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), nodes)
+	if err != nil {
+		return err
+	}
+
+	// An agent born on athens registers from there.
+	athens := svc.ClientFor(nodes[0])
+	assign, err := athens.Register(ctx, "worker-7")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker-7 registered; served by %s at %s\n", assign.IAgent, assign.Node)
+
+	// Anyone can locate it from anywhere.
+	where, err := svc.ClientFor(nodes[2]).Locate(ctx, "worker-7")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("located worker-7 at %s\n", where)
+
+	// The agent moves to nicosia and notifies its IAgent (paper §2.3).
+	if _, err := svc.ClientFor(nodes[2]).MoveNotify(ctx, "worker-7", assign); err != nil {
+		return err
+	}
+	where, err = svc.ClientFor(nodes[1]).Locate(ctx, "worker-7")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after moving, located worker-7 at %s\n", where)
+
+	stats, err := svc.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hash function v%d with %d IAgent(s)\n", stats.HashVersion, stats.NumIAgents)
+	return nil
+}

@@ -1,0 +1,146 @@
+// Command swarm stresses the mechanism's adaptivity: a large, bursty agent
+// population drives the IAgent population up through splits, and the calm
+// that follows drives it back down through merges — the dynamic rehashing
+// of paper §4, observable live.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"agentloc"
+	"agentloc/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{
+		Latency: agentloc.FixedLatency(100 * time.Microsecond),
+	})
+	defer net.Close()
+
+	var nodes []*agentloc.Node
+	nodeIDs := make([]agentloc.NodeID, 6)
+	for i := range nodeIDs {
+		nodeIDs[i] = agentloc.NodeID(fmt.Sprintf("host-%d", i))
+		n, err := agentloc.NewNode(agentloc.NodeConfig{ID: nodeIDs[i], Link: net})
+		if err != nil {
+			return err
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	// Aggressive thresholds make the adaptation visible quickly.
+	cfg := agentloc.DefaultConfig()
+	cfg.TMax = 60
+	cfg.TMin = 8
+	cfg.CheckInterval = 100 * time.Millisecond
+	cfg.MergeGrace = 800 * time.Millisecond
+	cfg.IAgentServiceTime = time.Millisecond
+	svc, err := agentloc.Deploy(ctx, cfg, nodes)
+	if err != nil {
+		return err
+	}
+
+	mech := workload.MechanismRef{Scheme: workload.SchemeHashed, Hashed: svc.Config()}
+
+	fmt.Println("phase 1: burst — launching 120 highly mobile agents")
+	pop, err := workload.LaunchTAgents(ctx, mech, nodes, "swarm", 120, 40*time.Millisecond)
+	if err != nil {
+		return err
+	}
+
+	report := func(phase string) error {
+		stats, err := svc.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  [%s] hash v%d: %d IAgents (%d splits, %d merges)\n",
+			phase, stats.HashVersion, stats.NumIAgents, stats.Splits, stats.Merges)
+		return nil
+	}
+
+	// Watch the IAgent population grow under the burst.
+	peak := 0
+	for i := 0; i < 40; i++ {
+		time.Sleep(250 * time.Millisecond)
+		stats, err := svc.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if stats.NumIAgents > peak {
+			peak = stats.NumIAgents
+			if err := report("burst"); err != nil {
+				return err
+			}
+		}
+		if i >= 16 && stats.NumIAgents >= 3 {
+			break
+		}
+	}
+	if peak < 2 {
+		return fmt.Errorf("swarm never forced a split — peak %d IAgents", peak)
+	}
+
+	// Spot-check correctness at peak churn: locate a sample of agents.
+	client := svc.ClientFor(nodes[len(nodes)-1])
+	located := 0
+	for _, id := range pop.Agents[:20] {
+		if _, err := client.Locate(ctx, id); err == nil {
+			located++
+		}
+	}
+	fmt.Printf("phase 2: spot check — located %d/20 sampled agents mid-churn\n", located)
+
+	fmt.Println("phase 3: calm — stopping the swarm, watching IAgents merge back")
+	// Sweep every node and kill swarm agents where they stand; agents in
+	// flight land after a sweep, so repeat until two consecutive sweeps
+	// find nothing.
+	clean := 0
+	for clean < 2 {
+		killed := 0
+		for _, n := range nodes {
+			for _, id := range n.Agents() {
+				if strings.HasPrefix(string(id), "swarm-") && n.Kill(id) == nil {
+					killed++
+				}
+			}
+		}
+		if killed == 0 {
+			clean++
+		} else {
+			clean = 0
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	_ = report("calm")
+
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		stats, err := svc.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if stats.NumIAgents == 1 && stats.Merges > 0 {
+			if err := report("merged"); err != nil {
+				return err
+			}
+			fmt.Printf("swarm complete: peak %d IAgents, back to 1\n", peak)
+			return nil
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+	return fmt.Errorf("IAgents never merged back to 1")
+}

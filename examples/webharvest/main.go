@@ -1,0 +1,201 @@
+// Command webharvest demonstrates the information-gathering scenario of the
+// paper's introduction: harvester agents are "launched into the unstructured
+// network and roam around to gather information", while a monitor keeps
+// real-time contact with them — collecting partial results *while they are
+// still roaming* — which is exactly the capability the location mechanism
+// provides.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"agentloc"
+)
+
+// harvester roams indefinitely, "indexing" each node it visits (a stand-in
+// for crawling a web server). It can be asked for its findings at any time.
+type harvester struct {
+	Mech    agentloc.Config
+	Nodes   []agentloc.NodeID
+	Found   map[agentloc.NodeID]int // node → documents indexed there
+	Hops    int
+	MaxHops int
+	Seed    int64
+	Assign  agentloc.Assignment
+}
+
+var (
+	_ agentloc.Behavior = (*harvester)(nil)
+	_ agentloc.Runner   = (*harvester)(nil)
+)
+
+type findingsResp struct {
+	Documents int
+	Sites     int
+	At        agentloc.NodeID
+	Done      bool
+}
+
+// HandleRequest serves the monitor's progress queries.
+func (h *harvester) HandleRequest(ctx *agentloc.AgentContext, kind string, payload []byte) (any, error) {
+	switch kind {
+	case "findings":
+		total := 0
+		for _, n := range h.Found {
+			total += n
+		}
+		return findingsResp{
+			Documents: total,
+			Sites:     len(h.Found),
+			At:        ctx.Node(),
+			Done:      h.Hops >= h.MaxHops,
+		}, nil
+	default:
+		return nil, fmt.Errorf("harvester: unknown request %q", kind)
+	}
+}
+
+// Run indexes the local node, reports its position, and moves on.
+func (h *harvester) Run(ctx *agentloc.AgentContext) error {
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	client := agentloc.NewClient(agentloc.CtxCaller{Ctx: ctx}, h.Mech)
+	var err error
+	if h.Assign.Zero() {
+		h.Assign, err = client.Register(cctx, ctx.Self())
+	} else {
+		h.Assign, err = client.MoveNotify(cctx, ctx.Self(), h.Assign)
+	}
+	if err != nil {
+		return fmt.Errorf("harvester %s: report location: %w", ctx.Self(), err)
+	}
+
+	if h.Found == nil {
+		h.Found = make(map[agentloc.NodeID]int)
+	}
+	// "Index" the local site: document count derived from the node name.
+	docs := 3 + len(string(ctx.Node()))%7
+	h.Found[ctx.Node()] += docs
+
+	if !ctx.Sleep(40 * time.Millisecond) {
+		return nil
+	}
+	if h.Hops >= h.MaxHops {
+		return nil
+	}
+	r := rand.New(rand.NewSource(h.Seed + int64(h.Hops)))
+	next := h.Nodes[r.Intn(len(h.Nodes))]
+	for next == ctx.Node() {
+		next = h.Nodes[r.Intn(len(h.Nodes))]
+	}
+	h.Hops++
+	return ctx.Move(cctx, next)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	agentloc.RegisterBehavior(&harvester{})
+
+	net := agentloc.NewNetwork(agentloc.NetworkConfig{
+		Latency: agentloc.FixedLatency(150 * time.Microsecond),
+		Jitter:  100 * time.Microsecond,
+	})
+	defer net.Close()
+
+	siteIDs := make([]agentloc.NodeID, 8)
+	for i := range siteIDs {
+		siteIDs[i] = agentloc.NodeID(fmt.Sprintf("site-%d", i))
+	}
+	var nodes []*agentloc.Node
+	for _, id := range siteIDs {
+		n, err := agentloc.NewNode(agentloc.NodeConfig{ID: id, Link: net})
+		if err != nil {
+			return err
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	svc, err := agentloc.Deploy(ctx, agentloc.DefaultConfig(), nodes)
+	if err != nil {
+		return err
+	}
+
+	// Launch a fleet of harvesters from various sites.
+	const fleet = 10
+	for i := 0; i < fleet; i++ {
+		id := agentloc.AgentID(fmt.Sprintf("harvester-%d", i))
+		h := &harvester{Mech: svc.Config(), Nodes: siteIDs, MaxHops: 12, Seed: int64(i * 131)}
+		if err := nodes[i%len(nodes)].Launch(id, h); err != nil {
+			return err
+		}
+	}
+
+	// The monitor polls the fleet through the location service until all
+	// harvesters finish their tours, printing live progress.
+	monitor := svc.ClientFor(nodes[0])
+	for round := 1; ; round++ {
+		select {
+		case <-time.After(150 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		type row struct {
+			id   agentloc.AgentID
+			resp findingsResp
+		}
+		var rows []row
+		doneCount := 0
+		for i := 0; i < fleet; i++ {
+			id := agentloc.AgentID(fmt.Sprintf("harvester-%d", i))
+			where, err := monitor.Locate(ctx, id)
+			if err != nil {
+				continue // mid-registration or mid-hop; next round
+			}
+			var resp findingsResp
+			if err := nodes[0].CallAgent(ctx, where, id, "findings", nil, &resp); err != nil {
+				continue // hopped away between locate and call
+			}
+			rows = append(rows, row{id: id, resp: resp})
+			if resp.Done {
+				doneCount++
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+		totalDocs := 0
+		for _, r := range rows {
+			totalDocs += r.resp.Documents
+		}
+		fmt.Printf("round %d: reached %d/%d harvesters, %d docs indexed, %d done\n",
+			round, len(rows), fleet, totalDocs, doneCount)
+		if doneCount == fleet {
+			for _, r := range rows {
+				fmt.Printf("  %s: %d docs across %d sites, resting at %s\n",
+					r.id, r.resp.Documents, r.resp.Sites, r.resp.At)
+			}
+			break
+		}
+	}
+
+	stats, err := svc.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final hash function v%d, %d IAgent(s), %d splits, %d merges\n",
+		stats.HashVersion, stats.NumIAgents, stats.Splits, stats.Merges)
+	return nil
+}

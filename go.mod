@@ -1,0 +1,3 @@
+module agentloc
+
+go 1.22

@@ -1,0 +1,240 @@
+package bitstr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		wantErr bool
+	}{
+		{name: "empty", in: ""},
+		{name: "zero", in: "0"},
+		{name: "one", in: "1"},
+		{name: "mixed", in: "011010"},
+		{name: "long", in: strings.Repeat("10", 64)},
+		{name: "letter", in: "01a0", wantErr: true},
+		{name: "space", in: "0 1", wantErr: true},
+		{name: "digit2", in: "012", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b, err := Parse(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Parse(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			}
+			if err == nil && b.Raw() != tt.in {
+				t.Errorf("Parse(%q).Raw() = %q", tt.in, b.Raw())
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("0x1")
+}
+
+func TestFromUint64(t *testing.T) {
+	tests := []struct {
+		v     uint64
+		width int
+		want  string
+	}{
+		{v: 0, width: 0, want: ""},
+		{v: 0, width: 4, want: "0000"},
+		{v: 1, width: 1, want: "1"},
+		{v: 1, width: 4, want: "0001"},
+		{v: 5, width: 3, want: "101"},
+		{v: 5, width: 8, want: "00000101"},
+		{v: 0xFF, width: 8, want: "11111111"},
+		{v: 1 << 63, width: 64, want: "1" + strings.Repeat("0", 63)},
+		{v: 7, width: -1, want: ""},                              // clamped
+		{v: 3, width: 100, want: strings.Repeat("0", 62) + "11"}, // clamped to 64
+	}
+	for _, tt := range tests {
+		got := FromUint64(tt.v, tt.width)
+		if got.Raw() != tt.want {
+			t.Errorf("FromUint64(%d, %d) = %q, want %q", tt.v, tt.width, got.Raw(), tt.want)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	b := MustParse("0110")
+	want := []byte{0, 1, 1, 0}
+	for i, w := range want {
+		if got := b.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestStringEmptyRendersEpsilon(t *testing.T) {
+	if got := Empty.String(); got != "ε" {
+		t.Errorf("Empty.String() = %q, want ε", got)
+	}
+	if got := Empty.Raw(); got != "" {
+		t.Errorf("Empty.Raw() = %q, want empty", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	tests := []struct {
+		a, b, want string
+	}{
+		{"", "", ""},
+		{"0", "", "0"},
+		{"", "1", "1"},
+		{"01", "10", "0110"},
+	}
+	for _, tt := range tests {
+		got := MustParse(tt.a).Concat(MustParse(tt.b))
+		if got.Raw() != tt.want {
+			t.Errorf("Concat(%q, %q) = %q, want %q", tt.a, tt.b, got.Raw(), tt.want)
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	b := Empty.Append(1).Append(0).Append(1)
+	if b.Raw() != "101" {
+		t.Errorf("chained Append = %q, want 101", b.Raw())
+	}
+	if got := Empty.Append(7); got.Raw() != "1" { // nonzero treated as 1
+		t.Errorf("Append(7) = %q, want 1", got.Raw())
+	}
+}
+
+func TestSliceAndPrefix(t *testing.T) {
+	b := MustParse("011010")
+	if got := b.Slice(1, 4); got.Raw() != "110" {
+		t.Errorf("Slice(1,4) = %q, want 110", got.Raw())
+	}
+	if got := b.Prefix(3); got.Raw() != "011" {
+		t.Errorf("Prefix(3) = %q, want 011", got.Raw())
+	}
+	if got := b.Prefix(0); !got.IsEmpty() {
+		t.Errorf("Prefix(0) = %q, want empty", got.Raw())
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	b := MustParse("0110")
+	for _, p := range []string{"", "0", "01", "011", "0110"} {
+		if !b.HasPrefix(MustParse(p)) {
+			t.Errorf("HasPrefix(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"1", "00", "01101"} {
+		if b.HasPrefix(MustParse(p)) {
+			t.Errorf("HasPrefix(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	b := MustParse("0000")
+	got := b.SetAt(2, 1)
+	if got.Raw() != "0010" {
+		t.Errorf("SetAt(2,1) = %q, want 0010", got.Raw())
+	}
+	if b.Raw() != "0000" {
+		t.Errorf("SetAt mutated receiver: %q", b.Raw())
+	}
+	if got2 := got.SetAt(2, 0); got2.Raw() != "0000" {
+		t.Errorf("SetAt(2,0) = %q, want 0000", got2.Raw())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"0", "1", -1},
+		{"1", "0", 1},
+		{"01", "011", -1},
+		{"011", "011", 0},
+	}
+	for _, tt := range tests {
+		if got := MustParse(tt.a).Compare(MustParse(tt.b)); got != tt.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEqualAndComparable(t *testing.T) {
+	a, b := MustParse("010"), MustParse("010")
+	if !a.Equal(b) || a != b {
+		t.Error("identical bit strings compare unequal")
+	}
+	m := map[Bits]int{a: 1}
+	if m[b] != 1 {
+		t.Error("Bits unusable as map key")
+	}
+}
+
+// randomBits draws a random bit string of length up to n.
+func randomBits(r *rand.Rand, n int) Bits {
+	ln := r.Intn(n + 1)
+	b := Empty
+	for i := 0; i < ln; i++ {
+		b = b.Append(byte(r.Intn(2)))
+	}
+	return b
+}
+
+func TestQuickConcatLen(t *testing.T) {
+	f := func(av, bv uint64, aw, bw uint8) bool {
+		a := FromUint64(av, int(aw%65))
+		b := FromUint64(bv, int(bw%65))
+		c := a.Concat(b)
+		return c.Len() == a.Len()+b.Len() && c.HasPrefix(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		b := randomBits(r, 128)
+		got, err := Parse(b.Raw())
+		if err != nil {
+			t.Fatalf("Parse(Raw()) error: %v", err)
+		}
+		if got != b {
+			t.Fatalf("round trip mismatch: %q vs %q", got.Raw(), b.Raw())
+		}
+	}
+}
+
+func TestQuickPrefixTransitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		b := randomBits(r, 64)
+		if b.Len() < 2 {
+			continue
+		}
+		p1 := b.Prefix(r.Intn(b.Len()))
+		p2 := p1
+		if p1.Len() > 0 {
+			p2 = p1.Prefix(r.Intn(p1.Len()))
+		}
+		if !b.HasPrefix(p1) || !b.HasPrefix(p2) || !p1.HasPrefix(p2) {
+			t.Fatalf("prefix transitivity violated: b=%s p1=%s p2=%s", b, p1, p2)
+		}
+	}
+}

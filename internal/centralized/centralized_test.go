@@ -1,0 +1,177 @@
+package centralized
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+func newBaseline(t *testing.T, numNodes int, serviceTime time.Duration) (*Service, []*platform.Node) {
+	t.Helper()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	t.Cleanup(func() { net.Close() })
+	nodes := make([]*platform.Node, numNodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("cn-%d", i)), Link: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	svc, err := Deploy(context.Background(), DefaultConfig(), nodes, serviceTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, nodes
+}
+
+func cctx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRegisterLocateUpdate(t *testing.T) {
+	svc, nodes := newBaseline(t, 3, 0)
+	ctx := cctx(t)
+
+	client0 := svc.ClientFor(nodes[0])
+	assign, err := client0.Register(ctx, "c-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign.IAgent != "central" {
+		t.Errorf("assignment = %+v", assign)
+	}
+	where, err := svc.ClientFor(nodes[2]).Locate(ctx, "c-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != nodes[0].ID() {
+		t.Errorf("located at %s, want %s", where, nodes[0].ID())
+	}
+	if _, err := svc.ClientFor(nodes[1]).MoveNotify(ctx, "c-agent", assign); err != nil {
+		t.Fatal(err)
+	}
+	where, err = client0.Locate(ctx, "c-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != nodes[1].ID() {
+		t.Errorf("after move located at %s, want %s", where, nodes[1].ID())
+	}
+}
+
+func TestLocateUnknown(t *testing.T) {
+	svc, nodes := newBaseline(t, 1, 0)
+	_, err := svc.ClientFor(nodes[0]).Locate(cctx(t), "ghost")
+	if !errors.Is(err, core.ErrNotRegistered) {
+		t.Errorf("error = %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	svc, nodes := newBaseline(t, 1, 0)
+	ctx := cctx(t)
+	client := svc.ClientFor(nodes[0])
+	assign, err := client.Register(ctx, "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Deregister(ctx, "temp", assign); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Locate(ctx, "temp"); !errors.Is(err, core.ErrNotRegistered) {
+		t.Errorf("error = %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Deploy(ctx, DefaultConfig(), nil, 0); err == nil {
+		t.Error("deploy with no nodes accepted")
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	defer net.Close()
+	n, err := platform.NewNode(platform.Config{ID: "x", Link: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := Deploy(ctx, Config{Agent: ""}, []*platform.Node{n}, 0); err == nil {
+		t.Error("empty agent id accepted")
+	}
+	if _, err := Deploy(ctx, Config{Agent: "c", Node: "elsewhere"}, []*platform.Node{n}, 0); err == nil {
+		t.Error("unknown host node accepted")
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	svc, nodes := newBaseline(t, 1, 0)
+	ctx := cctx(t)
+	err := nodes[0].CallAgent(ctx, svc.Config().Node, svc.Config().Agent, "bogus", nil, nil)
+	if err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestSerialBottleneck pins the property the experiments rely on: the
+// central agent's serial mailbox makes concurrent clients queue.
+func TestSerialBottleneck(t *testing.T) {
+	const svcTime = 15 * time.Millisecond
+	svc, nodes := newBaseline(t, 2, svcTime)
+	ctx := cctx(t)
+	client := svc.ClientFor(nodes[1])
+	if _, err := client.Register(ctx, "queued"); err != nil {
+		t.Fatal(err)
+	}
+
+	const parallel = 6
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = client.Locate(ctx, "queued")
+		}()
+	}
+	wg.Wait()
+	// register + 6 locates, strictly serialized.
+	if elapsed := time.Since(start); elapsed < parallel*svcTime {
+		t.Errorf("%d parallel locates took %v, want ≥ %v (serial mailbox)", parallel, elapsed, parallel*svcTime)
+	}
+}
+
+func TestManyAgents(t *testing.T) {
+	svc, nodes := newBaseline(t, 3, 0)
+	ctx := cctx(t)
+	for i := 0; i < 200; i++ {
+		n := nodes[i%len(nodes)]
+		id := ids.AgentID(fmt.Sprintf("bulk-%d", i))
+		if _, err := svc.ClientFor(n).Register(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := svc.ClientFor(nodes[0])
+	for i := 0; i < 200; i++ {
+		id := ids.AgentID(fmt.Sprintf("bulk-%d", i))
+		where, err := client.Locate(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := nodes[i%len(nodes)].ID(); where != want {
+			t.Errorf("locate %s = %s, want %s", id, where, want)
+		}
+	}
+}

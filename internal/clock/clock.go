@@ -1,0 +1,115 @@
+// Package clock abstracts time so that rate statistics, thresholds and
+// timeouts can be tested deterministically with a fake clock and run against
+// the wall clock in production.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timer primitives. Implementations must
+// be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for at least d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced clock for tests. Create one with NewFake and
+// move time forward with Advance; sleepers and After timers fire when the
+// fake time passes their deadline.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+var _ Clock = (*Fake)(nil)
+
+// NewFake returns a Fake clock starting at the given instant.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (f *Fake) Sleep(d time.Duration) {
+	<-f.After(d)
+}
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := f.now.Add(d)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, fakeWaiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Advance moves the fake time forward by d and releases every sleeper whose
+// deadline has been reached, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var due []fakeWaiter
+	remaining := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.deadline.After(now) {
+			due = append(due, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool { return due[i].deadline.Before(due[j].deadline) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// PendingWaiters reports how many Sleep/After calls are currently blocked.
+// It lets tests synchronize with goroutines that are about to sleep.
+func (f *Fake) PendingWaiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}

@@ -1,0 +1,124 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Errorf("Real.Now went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	var c Real
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 2s")
+	}
+}
+
+func TestFakeNow(t *testing.T) {
+	start := time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Errorf("Now() = %v, want %v", f.Now(), start)
+	}
+	f.Advance(3 * time.Second)
+	if !f.Now().Equal(start.Add(3 * time.Second)) {
+		t.Errorf("Now() after Advance = %v", f.Now())
+	}
+}
+
+func TestFakeAfterImmediate(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) should deliver immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should deliver immediately")
+	}
+}
+
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before deadline")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case got := <-ch:
+		want := time.Unix(10, 0)
+		if !got.Equal(want) {
+			t.Errorf("After delivered %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestFakeSleepUnblocks(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for f.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not unblock after Advance")
+	}
+}
+
+func TestFakeMultipleWaitersOrdered(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch1 := f.After(1 * time.Second)
+	ch2 := f.After(2 * time.Second)
+	ch3 := f.After(3 * time.Second)
+	f.Advance(2 * time.Second)
+	select {
+	case <-ch1:
+	default:
+		t.Error("waiter 1 not released")
+	}
+	select {
+	case <-ch2:
+	default:
+		t.Error("waiter 2 not released")
+	}
+	select {
+	case <-ch3:
+		t.Error("waiter 3 released early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-ch3:
+	default:
+		t.Error("waiter 3 not released at deadline")
+	}
+}

@@ -1,0 +1,198 @@
+package consistent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+	"agentloc/internal/workload"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty ring accepted")
+	}
+	r, err := NewRing([]ids.AgentID{"only"}, 0) // vnodes clamped to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner("anything"); got != "only" {
+		t.Errorf("Owner = %s", got)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	trackers := []ids.AgentID{"t0", "t1", "t2", "t3"}
+	r1, err := NewRing(trackers, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(trackers, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ids.NewGenerator("det")
+	for i := 0; i < 500; i++ {
+		id := g.Next()
+		if r1.Owner(id) != r2.Owner(id) {
+			t.Fatalf("rings disagree on %s", id)
+		}
+	}
+}
+
+func TestRingBalancesItemCounts(t *testing.T) {
+	// The property the paper grants consistent hashing: "each node
+	// receives roughly the same number of items".
+	trackers := []ids.AgentID{"t0", "t1", "t2", "t3"}
+	r, err := NewRing(trackers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[ids.AgentID]int)
+	g := ids.NewGenerator("bal")
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(g.Next())]++
+	}
+	for _, tr := range trackers {
+		share := float64(counts[tr]) / n
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("tracker %s holds %.1f%% of items, want ≈25%%", tr, share*100)
+		}
+	}
+}
+
+func TestRingTrackers(t *testing.T) {
+	r, err := NewRing([]ids.AgentID{"b", "a", "c"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Trackers()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("Trackers = %v", got)
+	}
+}
+
+func newStaticCluster(t *testing.T, numNodes, k int) (*Service, []*platform.Node) {
+	t.Helper()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	t.Cleanup(func() { net.Close() })
+	nodes := make([]*platform.Node, numNodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("sn-%d", i)), Link: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	svc, err := Deploy(context.Background(), nodes, k, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, nodes
+}
+
+func TestDeployValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Deploy(ctx, nil, 2, 8, 0); err == nil {
+		t.Error("no nodes accepted")
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	defer net.Close()
+	n, err := platform.NewNode(platform.Config{ID: "x", Link: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := Deploy(ctx, []*platform.Node{n}, 0, 8, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestStaticRegisterLocate(t *testing.T) {
+	svc, nodes := newStaticCluster(t, 3, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for i := 0; i < 20; i++ {
+		n := nodes[i%len(nodes)]
+		id := ids.AgentID(fmt.Sprintf("st-%d", i))
+		if _, err := svc.ClientFor(n).Register(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	querier := svc.ClientFor(nodes[0])
+	for i := 0; i < 20; i++ {
+		id := ids.AgentID(fmt.Sprintf("st-%d", i))
+		where, err := querier.Locate(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := nodes[i%len(nodes)].ID(); where != want {
+			t.Errorf("locate %s = %s, want %s", id, where, want)
+		}
+	}
+	if _, err := querier.Locate(ctx, "ghost"); !errors.Is(err, core.ErrNotRegistered) {
+		t.Errorf("error = %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestStaticMoveNotifyAndDeregister(t *testing.T) {
+	svc, nodes := newStaticCluster(t, 2, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	assign, err := svc.ClientFor(nodes[0]).Register(ctx, "mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ClientFor(nodes[1]).MoveNotify(ctx, "mover", assign); err != nil {
+		t.Fatal(err)
+	}
+	where, err := svc.ClientFor(nodes[0]).Locate(ctx, "mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != nodes[1].ID() {
+		t.Errorf("located at %s, want %s", where, nodes[1].ID())
+	}
+	if err := svc.ClientFor(nodes[0]).Deregister(ctx, "mover", assign); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ClientFor(nodes[0]).Locate(ctx, "mover"); !errors.Is(err, core.ErrNotRegistered) {
+		t.Errorf("error = %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestClientFromSerializedConfig(t *testing.T) {
+	svc, nodes := newStaticCluster(t, 2, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Rebuild a client purely from the (gob-encodable) Config, as a
+	// roaming agent would.
+	client, err := NewClient(core.NodeCaller{N: nodes[1]}, svc.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Register(ctx, "carried"); err != nil {
+		t.Fatal(err)
+	}
+	where, err := svc.ClientFor(nodes[0]).Locate(ctx, "carried")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != nodes[1].ID() {
+		t.Errorf("located at %s, want %s", where, nodes[1].ID())
+	}
+}
+
+// The static client must satisfy the shared workload surface.
+var _ workload.LocationClient = (*Client)(nil)

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+)
+
+// Client-side errors.
+var (
+	// ErrNotRegistered is returned by Locate when the responsible IAgent
+	// has no entry for the target agent.
+	ErrNotRegistered = errors.New("core: agent not registered with the location service")
+	// ErrRetriesExhausted is returned when the refresh-and-retry loop of
+	// paper §4.3 fails to converge (persistent network trouble).
+	ErrRetriesExhausted = errors.New("core: retries exhausted")
+)
+
+// maxProtocolRetries bounds the §4.3 refresh-and-retry loop. Each retry
+// follows a hash refresh, so more than a handful indicates real trouble,
+// not staleness.
+const maxProtocolRetries = 8
+
+// backoff pauses briefly between protocol retries: transient windows (an
+// IAgent in transit during relocation, a rehash mid-handoff) need real time
+// to close, not just another immediate attempt.
+func backoff(ctx context.Context, attempt int) error {
+	if attempt == 0 {
+		return nil
+	}
+	select {
+	case <-time.After(time.Duration(attempt) * 5 * time.Millisecond):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Caller abstracts who is speaking to the location service: a hosted agent
+// (through its platform.Context) or an external process (through a
+// platform.Node).
+type Caller interface {
+	// Call sends a request to an agent at a node.
+	Call(ctx context.Context, at platform.NodeID, agent ids.AgentID, kind string, req, resp any) error
+	// LocalNode is the caller's own node — where its LHAgent lives.
+	LocalNode() platform.NodeID
+}
+
+// NodeCaller adapts a platform.Node to Caller.
+type NodeCaller struct {
+	N *platform.Node
+}
+
+var _ Caller = NodeCaller{}
+
+// Call implements Caller.
+func (c NodeCaller) Call(ctx context.Context, at platform.NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	return c.N.CallAgent(ctx, at, agent, kind, req, resp)
+}
+
+// LocalNode implements Caller.
+func (c NodeCaller) LocalNode() platform.NodeID { return c.N.ID() }
+
+// CtxCaller adapts an agent's platform.Context to Caller.
+type CtxCaller struct {
+	Ctx *platform.Context
+}
+
+var _ Caller = CtxCaller{}
+
+// Call implements Caller.
+func (c CtxCaller) Call(ctx context.Context, at platform.NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	return c.Ctx.Call(ctx, at, agent, kind, req, resp)
+}
+
+// LocalNode implements Caller.
+func (c CtxCaller) LocalNode() platform.NodeID { return c.Ctx.Node() }
+
+// Assignment caches which IAgent serves an agent and where that IAgent is.
+// Mobile agents keep their own Assignment in their migrating state so they
+// do not ask the LHAgent before every update (paper §2.3: the agent learns
+// its IAgent at creation).
+type Assignment struct {
+	IAgent      ids.AgentID
+	Node        platform.NodeID
+	HashVersion uint64
+}
+
+// Zero reports whether the assignment is unset.
+func (a Assignment) Zero() bool { return a.IAgent == "" }
+
+// Client implements the client side of the location protocol: whois at the
+// local LHAgent, direct IAgent calls, and the stale-copy refresh-and-retry
+// loop of paper §4.3.
+type Client struct {
+	caller Caller
+	cfg    Config
+}
+
+// NewClient builds a Client for the given caller.
+func NewClient(caller Caller, cfg Config) *Client {
+	return &Client{caller: caller, cfg: cfg}
+}
+
+// Whois asks the local LHAgent which IAgent serves the target.
+func (c *Client) Whois(ctx context.Context, target ids.AgentID) (Assignment, error) {
+	local := c.caller.LocalNode()
+	var resp WhoisResp
+	if err := c.caller.Call(ctx, local, LHAgentID(local), KindWhois, WhoisReq{Target: target}, &resp); err != nil {
+		return Assignment{}, fmt.Errorf("whois %s: %w", target, err)
+	}
+	return Assignment{IAgent: resp.IAgent, Node: resp.Node, HashVersion: resp.HashVersion}, nil
+}
+
+// refreshLocal forces the local LHAgent to catch up to at least minVersion.
+func (c *Client) refreshLocal(ctx context.Context, minVersion uint64) error {
+	local := c.caller.LocalNode()
+	var resp RefreshResp
+	err := c.caller.Call(ctx, local, LHAgentID(local), KindRefresh, RefreshReq{MinVersion: minVersion}, &resp)
+	if err != nil {
+		return fmt.Errorf("refresh hash copy: %w", err)
+	}
+	return nil
+}
+
+// Register announces a newly created agent's location (the caller's node)
+// and returns the assignment the agent should cache.
+func (c *Client) Register(ctx context.Context, self ids.AgentID) (Assignment, error) {
+	return c.reportLocation(ctx, KindRegister, self, Assignment{})
+}
+
+// MoveNotify informs the agent's IAgent that it now resides at the
+// caller's node. The cached assignment (possibly zero) is used first; the
+// returned assignment reflects any rehashing discovered on the way.
+func (c *Client) MoveNotify(ctx context.Context, self ids.AgentID, cached Assignment) (Assignment, error) {
+	return c.reportLocation(ctx, KindUpdate, self, cached)
+}
+
+// Deregister removes the agent's entry (agent disposal).
+func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assignment) error {
+	assign := cached
+	var err error
+	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
+		if err := backoff(ctx, attempt); err != nil {
+			return err
+		}
+		if assign.Zero() {
+			assign, err = c.Whois(ctx, self)
+			if err != nil {
+				return err
+			}
+		}
+		var ack Ack
+		err = c.caller.Call(ctx, assign.Node, assign.IAgent, KindDeregister, DeregisterReq{Agent: self}, &ack)
+		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
+		if err != nil {
+			return err
+		}
+		if !assign.Zero() {
+			return nil
+		}
+	}
+	return fmt.Errorf("deregister %s: %w", self, ErrRetriesExhausted)
+}
+
+// Locate finds the current node of the target agent: whois at the local
+// LHAgent, then query the responsible IAgent, refreshing the local hash
+// copy and retrying when the mapping was stale (paper §2.3 and §4.3).
+func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeID, error) {
+	var assign Assignment
+	var err error
+	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
+		if err := backoff(ctx, attempt); err != nil {
+			return "", err
+		}
+		if assign.Zero() {
+			assign, err = c.Whois(ctx, target)
+			if err != nil {
+				return "", err
+			}
+		}
+		var resp LocateResp
+		err = c.caller.Call(ctx, assign.Node, assign.IAgent, KindLocate, LocateReq{Agent: target}, &resp)
+		if err == nil && resp.Status == StatusUnknownAgent {
+			return "", fmt.Errorf("locate %s: %w", target, ErrNotRegistered)
+		}
+		assign, err = c.interpret(ctx, assign, resp.Status, resp.HashVersion, err)
+		if err != nil {
+			return "", err
+		}
+		if !assign.Zero() {
+			return resp.Node, nil
+		}
+	}
+	return "", fmt.Errorf("locate %s: %w", target, ErrRetriesExhausted)
+}
+
+// reportLocation implements register/update with the shared retry loop.
+func (c *Client) reportLocation(ctx context.Context, kind string, self ids.AgentID, cached Assignment) (Assignment, error) {
+	node := c.caller.LocalNode()
+	assign := cached
+	var err error
+	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
+		if err := backoff(ctx, attempt); err != nil {
+			return Assignment{}, err
+		}
+		if assign.Zero() {
+			assign, err = c.Whois(ctx, self)
+			if err != nil {
+				return Assignment{}, err
+			}
+		}
+		var ack Ack
+		err = c.caller.Call(ctx, assign.Node, assign.IAgent, kind, UpdateReq{Agent: self, Node: node}, &ack)
+		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
+		if err != nil {
+			return Assignment{}, err
+		}
+		if !assign.Zero() {
+			return assign, nil
+		}
+	}
+	return Assignment{}, fmt.Errorf("%s %s: %w", kind, self, ErrRetriesExhausted)
+}
+
+// interpret folds one IAgent response into the retry loop's state: on
+// success it returns the (non-zero) assignment; when the mapping proved
+// stale it refreshes the local copy and returns a zero assignment so the
+// caller re-resolves; hard errors are returned as errors.
+func (c *Client) interpret(ctx context.Context, assign Assignment, status Status, remoteVersion uint64, callErr error) (Assignment, error) {
+	switch {
+	case callErr != nil && platform.IsAgentNotFound(callErr):
+		// The IAgent is not at the node the mapping claimed: it was
+		// merged away or relocated. Force a newer copy than ours.
+		if err := c.refreshLocal(ctx, assign.HashVersion+1); err != nil {
+			return Assignment{}, err
+		}
+		return Assignment{}, nil
+	case callErr != nil:
+		return Assignment{}, callErr
+	case status == StatusNotResponsible:
+		// The IAgent is ahead of us; catch up to at least its version.
+		minVersion := remoteVersion
+		if minVersion <= assign.HashVersion {
+			minVersion = assign.HashVersion + 1
+		}
+		if err := c.refreshLocal(ctx, minVersion); err != nil {
+			return Assignment{}, err
+		}
+		return Assignment{}, nil
+	case status == StatusOK:
+		if remoteVersion > assign.HashVersion {
+			assign.HashVersion = remoteVersion
+		}
+		return assign, nil
+	default:
+		return Assignment{}, fmt.Errorf("core: unexpected IAgent status %v", status)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// This file implements the paper's third open problem (§6): "guaranteed
+// agent discovery; that is, ensuring that the location of an agent is found
+// even if an agent moves faster than the requests for its location".
+//
+// The locate-then-call pattern can livelock against a fast mover: by the
+// time the caller reaches the reported node, the agent has hopped. The
+// mechanism here side-steps the race with a rendezvous at the IAgent:
+//
+//   - A sender deposits a message at the target's IAgent (KindDeposit).
+//     The deposit follows the same responsibility/staleness rules as every
+//     other IAgent operation, so rehashing is transparent to senders.
+//   - A mobile agent checks in with its IAgent on every arrival
+//     (KindCheckIn = location update + mail collection in one round trip).
+//     Whatever was deposited since its last check-in is delivered with the
+//     acknowledgement.
+//
+// Delivery is therefore guaranteed at the target's next arrival, no matter
+// how fast it moves — the faster it moves, the sooner it checks in.
+// Pending messages follow rehash handoffs, so splits and merges cannot
+// lose mail.
+
+// Discovery message kinds.
+const (
+	// KindDeposit leaves a message for an agent at its IAgent.
+	KindDeposit = "loc.deposit"
+	// KindCheckIn reports a new location and collects pending messages.
+	KindCheckIn = "loc.checkin"
+)
+
+// Deposited is one message held by an IAgent for a mobile agent.
+type Deposited struct {
+	// From is the sending agent (or client identity), informational.
+	From ids.AgentID
+	// Kind names the application message type.
+	Kind string
+	// Payload is the opaque message body.
+	Payload []byte
+}
+
+// DepositReq leaves a message for Target at its IAgent.
+type DepositReq struct {
+	Target  ids.AgentID
+	Message Deposited
+}
+
+// CheckInReq reports the agent's new node and asks for pending mail.
+type CheckInReq struct {
+	Agent ids.AgentID
+	Node  platform.NodeID
+}
+
+// CheckInResp acknowledges the location update and delivers pending mail.
+type CheckInResp struct {
+	Ack     Ack
+	Pending []Deposited
+}
+
+// deposit serves KindDeposit on the IAgent.
+func (b *IAgentBehavior) deposit(ctx *platform.Context, req DepositReq) Ack {
+	b.est.Record()
+	ok, version := b.responsible(ctx, req.Target)
+	if !ok {
+		return Ack{Status: StatusNotResponsible, HashVersion: version}
+	}
+	b.loads.Add(req.Target)
+	b.mu.Lock()
+	if b.Pending == nil {
+		b.Pending = make(map[ids.AgentID][]Deposited)
+	}
+	b.Pending[req.Target] = append(b.Pending[req.Target], req.Message)
+	b.mu.Unlock()
+	return Ack{Status: StatusOK, HashVersion: version}
+}
+
+// checkIn serves KindCheckIn on the IAgent: an update plus mail delivery.
+func (b *IAgentBehavior) checkIn(ctx *platform.Context, req CheckInReq) CheckInResp {
+	ack := b.recordLocation(ctx, req.Agent, req.Node)
+	if ack.Status != StatusOK {
+		return CheckInResp{Ack: ack}
+	}
+	b.mu.Lock()
+	pending := b.Pending[req.Agent]
+	delete(b.Pending, req.Agent)
+	b.mu.Unlock()
+	return CheckInResp{Ack: ack, Pending: pending}
+}
+
+// Deposit leaves a message for the target agent at its IAgent; the target
+// receives it at its next check-in, however fast it is moving.
+func (c *Client) Deposit(ctx context.Context, from, target ids.AgentID, kind string, payload []byte) error {
+	msg := Deposited{From: from, Kind: kind, Payload: payload}
+	var assign Assignment
+	var err error
+	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
+		if err := backoff(ctx, attempt); err != nil {
+			return err
+		}
+		if assign.Zero() {
+			assign, err = c.Whois(ctx, target)
+			if err != nil {
+				return err
+			}
+		}
+		var ack Ack
+		err = c.caller.Call(ctx, assign.Node, assign.IAgent, KindDeposit, DepositReq{Target: target, Message: msg}, &ack)
+		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
+		if err != nil {
+			return err
+		}
+		if !assign.Zero() {
+			return nil
+		}
+	}
+	return fmt.Errorf("deposit for %s: %w", target, ErrRetriesExhausted)
+}
+
+// CheckIn reports the agent's current node (like MoveNotify) and collects
+// any messages deposited for it since its last check-in.
+func (c *Client) CheckIn(ctx context.Context, self ids.AgentID, cached Assignment) (Assignment, []Deposited, error) {
+	node := c.caller.LocalNode()
+	assign := cached
+	var err error
+	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
+		if err := backoff(ctx, attempt); err != nil {
+			return Assignment{}, nil, err
+		}
+		if assign.Zero() {
+			assign, err = c.Whois(ctx, self)
+			if err != nil {
+				return Assignment{}, nil, err
+			}
+		}
+		var resp CheckInResp
+		err = c.caller.Call(ctx, assign.Node, assign.IAgent, KindCheckIn, CheckInReq{Agent: self, Node: node}, &resp)
+		assign, err = c.interpret(ctx, assign, resp.Ack.Status, resp.Ack.HashVersion, err)
+		if err != nil {
+			return Assignment{}, nil, err
+		}
+		if !assign.Zero() {
+			return assign, resp.Pending, nil
+		}
+	}
+	return Assignment{}, nil, fmt.Errorf("check-in %s: %w", self, ErrRetriesExhausted)
+}
+
+// decodeDiscovery routes the discovery kinds inside IAgent.HandleRequest;
+// it returns (nil, false, nil) for other kinds.
+func (b *IAgentBehavior) decodeDiscovery(ctx *platform.Context, kind string, payload []byte) (any, bool, error) {
+	switch kind {
+	case KindDeposit:
+		var req DepositReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, true, err
+		}
+		return b.deposit(ctx, req), true, nil
+	case KindCheckIn:
+		var req CheckInReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, true, err
+		}
+		return b.checkIn(ctx, req), true, nil
+	default:
+		return nil, false, nil
+	}
+}

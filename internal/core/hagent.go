@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"agentloc/internal/hashtree"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/stats"
+	"agentloc/internal/transport"
+)
+
+// Extra message kinds served by the HAgent for introspection.
+const (
+	// KindHashStats returns rehashing counters and the current tree shape.
+	KindHashStats = "hash.stats"
+)
+
+// HashStatsResp summarizes the HAgent's view for tools and experiments.
+type HashStatsResp struct {
+	HashVersion uint64
+	NumIAgents  int
+	Splits      uint64
+	Merges      uint64
+	Relocations uint64
+	Locations   map[ids.AgentID]platform.NodeID
+	TreeRender  string
+}
+
+// HAgentBehavior is the Hash Agent: it holds the primary copy of the hash
+// function (paper §2.2) and coordinates rehashing, ensuring only one split
+// or merge is in progress at a time — its strictly serial mailbox provides
+// exactly that guarantee.
+type HAgentBehavior struct {
+	// Cfg is the mechanism configuration.
+	Cfg Config
+	// InitialState seeds the primary copy when the HAgent starts.
+	InitialState StateDTO
+	// NextIAgentSeq numbers newly created IAgents.
+	NextIAgentSeq uint64
+	// Standby marks a replica: it accepts state pushes and serves reads
+	// but declines rehash and relocation requests until promoted.
+	Standby bool
+
+	once    sync.Once
+	initErr error
+
+	state       *State
+	placeIdx    int
+	splits      uint64
+	merges      uint64
+	relocations uint64
+}
+
+var _ platform.Behavior = (*HAgentBehavior)(nil)
+
+// ensureRuntime decodes the initial state on first use.
+func (b *HAgentBehavior) ensureRuntime() error {
+	b.once.Do(func() {
+		st, err := FromDTO(b.InitialState)
+		if err != nil {
+			b.initErr = fmt.Errorf("HAgent: initial state: %w", err)
+			return
+		}
+		b.state = st
+		if b.NextIAgentSeq == 0 {
+			b.NextIAgentSeq = uint64(st.Tree.NumLeaves())
+		}
+	})
+	return b.initErr
+}
+
+// HandleRequest implements platform.Behavior. The serial mailbox means no
+// two rehash operations ever interleave.
+func (b *HAgentBehavior) HandleRequest(ctx *platform.Context, kind string, payload []byte) (any, error) {
+	if err := b.ensureRuntime(); err != nil {
+		return nil, err
+	}
+	if resp, handled, err := b.handleReplication(kind, payload); handled {
+		return resp, err
+	}
+	if b.Standby {
+		switch kind {
+		case KindRequestSplit, KindRequestMerge, KindRequestRelocate:
+			return RehashResp{Status: StatusIgnored, HashVersion: b.state.Ver}, nil
+		}
+	}
+	switch kind {
+	case KindGetHash:
+		var req GetHashReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if b.state.Version() <= req.IfNewerThan {
+			return GetHashResp{Unchanged: true}, nil
+		}
+		return GetHashResp{State: b.state.DTO()}, nil
+	case KindHashStats:
+		return HashStatsResp{
+			HashVersion: b.state.Version(),
+			NumIAgents:  b.state.Tree.NumLeaves(),
+			Splits:      b.splits,
+			Merges:      b.merges,
+			Relocations: b.relocations,
+			Locations:   copyLocations(b.state.Locations),
+			TreeRender:  b.state.Tree.Describe(),
+		}, nil
+	case KindRequestSplit:
+		var req RequestSplitReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.split(ctx, req)
+	case KindRequestMerge:
+		var req RequestMergeReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.merge(ctx, req)
+	case KindRequestRelocate:
+		var req RequestRelocateReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.relocate(ctx, req)
+	default:
+		return nil, fmt.Errorf("HAgent: unknown request kind %q", kind)
+	}
+}
+
+// split serves an overloaded IAgent's split request (paper §4.1): pick the
+// candidate that divides the reported load most evenly — complex splits
+// first, then simple splits with growing m — create the new IAgent, install
+// the new hash version, and notify every involved IAgent.
+func (b *HAgentBehavior) split(ctx *platform.Context, req RequestSplitReq) (RehashResp, error) {
+	if req.HashVersion < b.state.Version() || !b.state.Tree.Contains(string(req.IAgent)) {
+		return RehashResp{Status: StatusIgnored, HashVersion: b.state.Version()}, nil
+	}
+	cands, err := b.state.Tree.SplitCandidates(string(req.IAgent), b.Cfg.MaxSimpleBits)
+	if err != nil {
+		return RehashResp{}, fmt.Errorf("HAgent: split %s: %w", req.IAgent, err)
+	}
+	cand, ok := chooseSplit(cands, splitEvaluator(req), b.Cfg.Evenness)
+	if !ok {
+		return RehashResp{Status: StatusIgnored, HashVersion: b.state.Version()}, nil
+	}
+
+	b.NextIAgentSeq++
+	newID := ids.AgentID(fmt.Sprintf("iagent-%d", b.NextIAgentSeq))
+	newTree, err := b.state.Tree.ApplySplit(cand, string(newID))
+	if err != nil {
+		return RehashResp{}, fmt.Errorf("HAgent: apply split %v: %w", cand, err)
+	}
+
+	newNode := b.nextPlacement()
+	newState := &State{Ver: b.state.Ver + 1, Tree: newTree, Locations: copyLocations(b.state.Locations)}
+	newState.Locations[newID] = newNode
+
+	// Launch the new IAgent, pre-loaded with the new state, before
+	// notifying anyone: handoffs target it immediately.
+	newBehavior := &IAgentBehavior{Cfg: b.Cfg, StateSnapshot: newState.DTO()}
+	cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+	err = ctx.LaunchAt(cctx, newNode, newID, newBehavior, b.Cfg.IAgentServiceTime)
+	cancel()
+	if err != nil {
+		b.NextIAgentSeq--
+		return RehashResp{}, fmt.Errorf("HAgent: launch %s at %s: %w", newID, newNode, err)
+	}
+
+	oldState := b.state
+	b.state = newState
+	b.splits++
+	ctx.Emit("rehash.split", fmt.Sprintf("%s (%v rate %.0f/s) → new %s at %s, v%d",
+		req.IAgent, cand.Kind, req.Rate, newID, newNode, newState.Ver))
+
+	if err := b.notifyAffected(ctx, oldState.Tree, newState, newID); err != nil {
+		return RehashResp{}, err
+	}
+	b.propagate(ctx)
+	b.propagateEager(ctx)
+	return RehashResp{Status: StatusOK, HashVersion: b.state.Version()}, nil
+}
+
+// merge serves an underloaded IAgent's merge request (paper §4.2).
+func (b *HAgentBehavior) merge(ctx *platform.Context, req RequestMergeReq) (RehashResp, error) {
+	if req.HashVersion < b.state.Version() || !b.state.Tree.Contains(string(req.IAgent)) {
+		return RehashResp{Status: StatusIgnored, HashVersion: b.state.Version()}, nil
+	}
+	if b.state.Tree.NumLeaves() <= 1 {
+		return RehashResp{Status: StatusIgnored, HashVersion: b.state.Version()}, nil
+	}
+	newTree, _, err := b.state.Tree.Merge(string(req.IAgent))
+	if err != nil {
+		return RehashResp{}, fmt.Errorf("HAgent: merge %s: %w", req.IAgent, err)
+	}
+	newState := &State{Ver: b.state.Ver + 1, Tree: newTree, Locations: copyLocations(b.state.Locations)}
+	delete(newState.Locations, req.IAgent)
+
+	oldState := b.state
+	b.state = newState
+	b.merges++
+	ctx.Emit("rehash.merge", fmt.Sprintf("%s (rate %.1f/s) absorbed, v%d", req.IAgent, req.Rate, newState.Ver))
+
+	// The merged IAgent is notified like every other affected IAgent; on
+	// adopting a state without its leaf it hands off everything and
+	// disposes itself. Its location must stay resolvable during the
+	// handoff, so it was removed from Locations (future lookups) but the
+	// notification is sent to its last known node.
+	if err := b.notifyAffectedAt(ctx, oldState.Tree, newState, "", oldState.Locations); err != nil {
+		return RehashResp{}, err
+	}
+	b.propagate(ctx)
+	b.propagateEager(ctx)
+	return RehashResp{Status: StatusOK, HashVersion: b.state.Version()}, nil
+}
+
+// notifyAffected pushes the new state to every IAgent whose served pattern
+// changed, except skip (the freshly launched IAgent, which already has it).
+func (b *HAgentBehavior) notifyAffected(ctx *platform.Context, oldTree *hashtree.Tree, newState *State, skip ids.AgentID) error {
+	return b.notifyAffectedAt(ctx, oldTree, newState, skip, newState.Locations)
+}
+
+// notifyAffectedAt is notifyAffected with an explicit location directory,
+// needed when a merged IAgent is no longer in the new state's locations.
+func (b *HAgentBehavior) notifyAffectedAt(ctx *platform.Context, oldTree *hashtree.Tree, newState *State, skip ids.AgentID, where map[ids.AgentID]platform.NodeID) error {
+	req := AdoptStateReq{State: newState.DTO()}
+	for _, ia := range affectedIAgents(oldTree, newState.Tree) {
+		if ia == skip {
+			continue
+		}
+		node, ok := where[ia]
+		if !ok {
+			node, ok = newState.Locations[ia]
+		}
+		if !ok {
+			return fmt.Errorf("HAgent: no node for affected IAgent %s", ia)
+		}
+		var ack Ack
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		err := ctx.Call(cctx, node, ia, KindAdoptState, req, &ack)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("HAgent: notify %s at %s: %w", ia, node, err)
+		}
+	}
+	return nil
+}
+
+// nextPlacement picks the node for a newly created IAgent, round-robin over
+// the configured placement nodes.
+func (b *HAgentBehavior) nextPlacement() platform.NodeID {
+	nodes := b.Cfg.PlacementNodes
+	if len(nodes) == 0 {
+		return b.Cfg.HAgentNode
+	}
+	n := nodes[b.placeIdx%len(nodes)]
+	b.placeIdx++
+	return n
+}
+
+// loadEvaluator estimates the fraction of the requester's load a split
+// candidate would move to the new IAgent. hasLoad is false when no load
+// statistics were reported at all.
+type loadEvaluator func(bitPos int, newOnBit byte) (frac float64, hasLoad bool)
+
+// splitEvaluator builds the evaluator for a split request from whichever
+// statistics granularity the IAgent reported (paper §4.1's heuristics).
+func splitEvaluator(req RequestSplitReq) loadEvaluator {
+	if len(req.PerGroup) > 0 {
+		var total uint64
+		for _, n := range req.PerGroup {
+			total += n
+		}
+		return func(bitPos int, newOnBit byte) (float64, bool) {
+			if total == 0 {
+				return 0.5, false
+			}
+			return stats.GroupSplitFraction(req.PerGroup, bitPos, newOnBit), true
+		}
+	}
+	var total uint64
+	for _, n := range req.PerAgent {
+		total += n
+	}
+	return func(bitPos int, newOnBit byte) (float64, bool) {
+		if total == 0 {
+			return 0.5, false
+		}
+		var moved uint64
+		for agent, n := range req.PerAgent {
+			if agent.Binary().At(bitPos) == newOnBit {
+				moved += n
+			}
+		}
+		return float64(moved) / float64(total), true
+	}
+}
+
+// chooseSplit picks the first candidate whose load split deviates from
+// 50/50 by at most evenness; if none qualifies, the most even candidate
+// that moves a non-trivial share of the load is used (the rate is above
+// Tmax — splitting sub-optimally beats not splitting). With no load data at
+// all the first simple candidate is chosen.
+func chooseSplit(cands []hashtree.SplitCandidate, eval loadEvaluator, evenness float64) (hashtree.SplitCandidate, bool) {
+	best := -1
+	bestDev := math.Inf(1)
+	for i, c := range cands {
+		frac, hasLoad := eval(c.BitPos, c.NewOnBit)
+		if !hasLoad {
+			// No statistics: fall back to the first simple split.
+			for _, fc := range cands {
+				if fc.Kind == hashtree.SplitSimple {
+					return fc, true
+				}
+			}
+			if len(cands) > 0 {
+				return cands[0], true
+			}
+			return hashtree.SplitCandidate{}, false
+		}
+		dev := math.Abs(frac - 0.5)
+		if dev <= evenness {
+			return c, true
+		}
+		// A candidate moving none or all of the load does not relieve the
+		// requester; keep it only as a last resort.
+		if frac > 0 && frac < 1 && dev < bestDev {
+			best, bestDev = i, dev
+		}
+	}
+	if best >= 0 {
+		return cands[best], true
+	}
+	return hashtree.SplitCandidate{}, false
+}
+
+// copyLocations copies an IAgent location map.
+func copyLocations(in map[ids.AgentID]platform.NodeID) map[ids.AgentID]platform.NodeID {
+	out := make(map[ids.AgentID]platform.NodeID, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// ChooseSplitForTest exposes the split-candidate selection to benchmarks
+// and external tests; production code goes through the HAgent protocol.
+func ChooseSplitForTest(cands []hashtree.SplitCandidate, req RequestSplitReq, evenness float64) (hashtree.SplitCandidate, bool) {
+	return chooseSplit(cands, splitEvaluator(req), evenness)
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/stats"
+	"agentloc/internal/transport"
+)
+
+// IAgentBehavior is an Information Agent: it maintains the precise current
+// location of every mobile agent hashed to it (paper §2.2), tracks its own
+// request rate and per-agent load, and asks the HAgent to split or merge it
+// when the rate leaves [Tmin, Tmax].
+//
+// Exported fields are the durable state that survives migration (IAgents
+// are themselves mobile agents); runtime machinery is rebuilt lazily at the
+// hosting node.
+type IAgentBehavior struct {
+	// Cfg is the mechanism configuration.
+	Cfg Config
+	// Table maps served agents to their current nodes.
+	Table map[ids.AgentID]platform.NodeID
+	// StateSnapshot is the IAgent's copy of the hash state, kept current
+	// by the HAgent for every rehash the IAgent is involved in.
+	StateSnapshot StateDTO
+	// LoadSnapshot carries accumulated per-agent request counts across
+	// migrations.
+	LoadSnapshot map[ids.AgentID]uint64
+	// Pending holds messages deposited for served agents until their next
+	// check-in (the guaranteed-delivery extension; see discovery.go).
+	Pending map[ids.AgentID][]Deposited
+
+	once    sync.Once
+	initErr error
+
+	mu      sync.Mutex
+	state   *State
+	dead    bool
+	settled time.Time // creation or last rehash involvement; gates merging
+
+	est   *stats.RateEstimator
+	loads *stats.LoadAccount
+}
+
+var (
+	_ platform.Behavior = (*IAgentBehavior)(nil)
+	_ platform.Runner   = (*IAgentBehavior)(nil)
+)
+
+// ensureRuntime rebuilds the unexported machinery after creation or
+// migration.
+func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
+	b.once.Do(func() {
+		if b.Table == nil {
+			b.Table = make(map[ids.AgentID]platform.NodeID)
+		}
+		st, err := FromDTO(b.StateSnapshot)
+		if err != nil {
+			b.initErr = fmt.Errorf("IAgent %s: %w", ctx.Self(), err)
+			return
+		}
+		b.mu.Lock()
+		b.state = st
+		b.settled = ctx.Clock().Now()
+		b.mu.Unlock()
+		b.est = stats.NewRateEstimator(ctx.Clock(), b.Cfg.RateWindow)
+		b.loads = stats.NewLoadAccount()
+		for id, n := range b.LoadSnapshot {
+			for i := uint64(0); i < n; i++ {
+				b.loads.Add(id)
+			}
+		}
+		b.LoadSnapshot = nil
+	})
+	return b.initErr
+}
+
+// HandleRequest implements platform.Behavior. The platform delivers
+// requests strictly serially; the mutex guards the pieces the Run goroutine
+// also reads (hash state, liveness, and — for the placement extension —
+// the Table's node histogram).
+func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, payload []byte) (any, error) {
+	if err := b.ensureRuntime(ctx); err != nil {
+		return nil, err
+	}
+	if resp, handled, err := b.decodeDiscovery(ctx, kind, payload); handled {
+		return resp, err
+	}
+	switch kind {
+	case KindRegister:
+		var req RegisterReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.recordLocation(ctx, req.Agent, req.Node), nil
+	case KindUpdate:
+		var req UpdateReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.recordLocation(ctx, req.Agent, req.Node), nil
+	case KindDeregister:
+		var req DeregisterReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.deregister(ctx, req.Agent), nil
+	case KindLocate:
+		var req LocateReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.locate(ctx, req.Agent), nil
+	case KindAdoptState:
+		var req AdoptStateReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.adoptState(ctx, req)
+	case KindHandoff:
+		var req HandoffReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.handoff(req), nil
+	default:
+		return nil, fmt.Errorf("IAgent %s: unknown request kind %q", ctx.Self(), kind)
+	}
+}
+
+// responsible reports whether this IAgent currently serves the agent.
+func (b *IAgentBehavior) responsible(ctx *platform.Context, agent ids.AgentID) (bool, uint64) {
+	b.mu.Lock()
+	st := b.state
+	b.mu.Unlock()
+	owner, _, err := st.OwnerOf(agent)
+	if err != nil {
+		return false, st.Version()
+	}
+	return owner == ctx.Self(), st.Version()
+}
+
+// recordLocation serves register and update requests (paper §2.3: "each
+// time A moves, it informs its IAgent about its new location").
+func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID, node platform.NodeID) Ack {
+	b.est.Record()
+	ok, version := b.responsible(ctx, agent)
+	if !ok {
+		return Ack{Status: StatusNotResponsible, HashVersion: version}
+	}
+	b.loads.Add(agent)
+	b.mu.Lock()
+	b.Table[agent] = node
+	b.mu.Unlock()
+	return Ack{Status: StatusOK, HashVersion: version}
+}
+
+// deregister forgets a disposed agent.
+func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) Ack {
+	b.est.Record()
+	ok, version := b.responsible(ctx, agent)
+	if !ok {
+		return Ack{Status: StatusNotResponsible, HashVersion: version}
+	}
+	b.mu.Lock()
+	delete(b.Table, agent)
+	b.mu.Unlock()
+	b.loads.Remove(agent)
+	return Ack{Status: StatusOK, HashVersion: version}
+}
+
+// locate serves location queries (paper §2.3: the IAgent first checks
+// whether it is still responsible for the agent).
+func (b *IAgentBehavior) locate(ctx *platform.Context, agent ids.AgentID) LocateResp {
+	b.est.Record()
+	ok, version := b.responsible(ctx, agent)
+	if !ok {
+		return LocateResp{Status: StatusNotResponsible, HashVersion: version}
+	}
+	b.loads.Add(agent)
+	b.mu.Lock()
+	node, found := b.Table[agent]
+	b.mu.Unlock()
+	if !found {
+		return LocateResp{Status: StatusUnknownAgent, HashVersion: version}
+	}
+	return LocateResp{Status: StatusOK, Node: node, HashVersion: version}
+}
+
+// adoptState installs a new hash state pushed by the HAgent after a rehash
+// this IAgent is involved in, hands off every entry it no longer owns to
+// the now-responsible IAgents, and marks itself dead if its leaf is gone.
+func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (Ack, error) {
+	st, err := FromDTO(req.State)
+	if err != nil {
+		return Ack{}, fmt.Errorf("IAgent %s: adopt: %w", ctx.Self(), err)
+	}
+	b.mu.Lock()
+	if st.Version() <= b.state.Version() {
+		version := b.state.Version()
+		b.mu.Unlock()
+		return Ack{Status: StatusIgnored, HashVersion: version}, nil
+	}
+	b.state = st
+	b.settled = ctx.Clock().Now()
+	stillPresent := st.Tree.Contains(string(ctx.Self()))
+	b.mu.Unlock()
+
+	// Group entries this IAgent no longer owns by their new owner.
+	b.mu.Lock()
+	entries := make(map[ids.AgentID]platform.NodeID, len(b.Table))
+	for agent, node := range b.Table {
+		entries[agent] = node
+	}
+	b.mu.Unlock()
+	moved := make(map[ids.AgentID]*HandoffReq)
+	for agent, node := range entries {
+		owner, _, err := st.OwnerOf(agent)
+		if err != nil || owner == ctx.Self() {
+			continue
+		}
+		h := moved[owner]
+		if h == nil {
+			h = &HandoffReq{
+				Entries: make(map[ids.AgentID]platform.NodeID),
+				Load:    make(map[ids.AgentID]uint64),
+				Pending: make(map[ids.AgentID][]Deposited),
+			}
+			moved[owner] = h
+		}
+		h.Entries[agent] = node
+		h.Load[agent] = b.loads.Load(agent)
+		b.mu.Lock()
+		if msgs := b.Pending[agent]; len(msgs) > 0 {
+			h.Pending[agent] = msgs
+		}
+		b.mu.Unlock()
+	}
+	for owner, h := range moved {
+		ownerNode, ok := st.Locations[owner]
+		if !ok {
+			return Ack{}, fmt.Errorf("IAgent %s: no location for new owner %s", ctx.Self(), owner)
+		}
+		if err := b.callWithRetry(ctx, ownerNode, owner, KindHandoff, h, nil); err != nil {
+			return Ack{}, fmt.Errorf("IAgent %s: handoff to %s: %w", ctx.Self(), owner, err)
+		}
+		b.mu.Lock()
+		for agent := range h.Entries {
+			delete(b.Table, agent)
+			delete(b.Pending, agent)
+		}
+		b.mu.Unlock()
+		for agent := range h.Entries {
+			b.loads.Remove(agent)
+		}
+	}
+
+	if !stillPresent {
+		b.mu.Lock()
+		b.dead = true
+		b.mu.Unlock()
+		ctx.Emit("iagent.retire", fmt.Sprintf("leaf gone at v%d; handed off %d owners", st.Version(), len(moved)))
+	} else if len(moved) > 0 {
+		ctx.Emit("iagent.adopt", fmt.Sprintf("v%d; handed off to %d owners", st.Version(), len(moved)))
+	}
+	// A rehash resets the rate statistics so the fresh assignment is
+	// measured from scratch.
+	b.est.Reset()
+	return Ack{Status: StatusOK, HashVersion: st.Version()}, nil
+}
+
+// handoff merges entries transferred from another IAgent during rehashing.
+func (b *IAgentBehavior) handoff(req HandoffReq) Ack {
+	b.mu.Lock()
+	for agent, node := range req.Entries {
+		b.Table[agent] = node
+	}
+	if len(req.Pending) > 0 && b.Pending == nil {
+		b.Pending = make(map[ids.AgentID][]Deposited)
+	}
+	for agent, msgs := range req.Pending {
+		b.Pending[agent] = append(b.Pending[agent], msgs...)
+	}
+	b.mu.Unlock()
+	for agent := range req.Entries {
+		for i := uint64(0); i < req.Load[agent]; i++ {
+			b.loads.Add(agent)
+		}
+	}
+	b.mu.Lock()
+	version := b.state.Version()
+	b.mu.Unlock()
+	return Ack{Status: StatusOK, HashVersion: version}
+}
+
+// callWithRetry retries transient call failures a few times; handoffs must
+// not be lost to a single dropped message.
+func (b *IAgentBehavior) callWithRetry(ctx *platform.Context, at platform.NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		err = ctx.Call(cctx, at, agent, kind, req, resp)
+		cancel()
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Run implements platform.Runner: the IAgent's autonomous loop compares its
+// request rate against the thresholds every CheckInterval and asks the
+// HAgent for a split or a merge (paper §4). It also disposes the agent once
+// a merge has removed its leaf.
+func (b *IAgentBehavior) Run(ctx *platform.Context) error {
+	if err := b.ensureRuntime(ctx); err != nil {
+		return err
+	}
+	lastPlacement := ctx.Clock().Now()
+	for {
+		if !ctx.Sleep(b.Cfg.CheckInterval) {
+			return nil // agent stopped
+		}
+		if b.Cfg.PlacementEnabled && ctx.Clock().Now().Sub(lastPlacement) >= b.Cfg.PlacementInterval {
+			lastPlacement = ctx.Clock().Now()
+			moved, err := b.maybeRelocate(ctx)
+			if err != nil {
+				continue // transient; try again next round
+			}
+			if moved {
+				return nil // Run resumes at the destination node
+			}
+		}
+		b.mu.Lock()
+		dead := b.dead
+		version := b.state.Version()
+		settled := b.settled
+		b.mu.Unlock()
+
+		if dead {
+			ctx.Dispose()
+			return nil
+		}
+
+		rate := b.est.Rate()
+		switch {
+		case rate > b.Cfg.TMax:
+			req := RequestSplitReq{
+				IAgent:      ctx.Self(),
+				HashVersion: version,
+				Rate:        rate,
+			}
+			if b.Cfg.LoadStatsPrefixBits > 0 {
+				req.PerGroup = stats.GroupLoads(b.loads.Snapshot(), b.Cfg.LoadStatsPrefixBits)
+			} else {
+				req.PerAgent = b.loads.Snapshot()
+			}
+			var resp RehashResp
+			// A failed or declined request is retried naturally at the
+			// next tick; the rate condition persists while overloaded.
+			cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+			_ = ctx.Call(cctx, b.Cfg.HAgentNode, b.Cfg.HAgent, KindRequestSplit, req, &resp)
+			cancel()
+		case rate < b.Cfg.TMin && ctx.Clock().Now().Sub(settled) >= b.Cfg.MergeGrace:
+			req := RequestMergeReq{IAgent: ctx.Self(), HashVersion: version, Rate: rate}
+			var resp RehashResp
+			cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+			_ = ctx.Call(cctx, b.Cfg.HAgentNode, b.Cfg.HAgent, KindRequestMerge, req, &resp)
+			cancel()
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// KindLHAdopt pushes a hash state into an LHAgent (eager-propagation
+// ablation; the paper's design refreshes on demand instead).
+const KindLHAdopt = "loc.lh-adopt"
+
+// AdoptLHStateReq carries an eagerly pushed state.
+type AdoptLHStateReq struct {
+	State StateDTO
+}
+
+// LHAgentBehavior is a Local Hash Agent: one lives at every node and holds
+// a secondary copy of the hash function (paper §2.2). The copy may be
+// stale; it is refreshed on demand from the HAgent when a stale mapping is
+// detected (paper §4.3).
+type LHAgentBehavior struct {
+	// Cfg is the mechanism configuration (HAgent id and node).
+	Cfg Config
+
+	mu     sync.Mutex
+	cached *State
+}
+
+var _ platform.Behavior = (*LHAgentBehavior)(nil)
+
+// HandleRequest implements platform.Behavior.
+func (b *LHAgentBehavior) HandleRequest(ctx *platform.Context, kind string, payload []byte) (any, error) {
+	switch kind {
+	case KindWhois:
+		var req WhoisReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.whois(ctx, req)
+	case KindRefresh:
+		var req RefreshReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.refresh(ctx, req)
+	case KindLHAdopt:
+		var req AdoptLHStateReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		st, err := FromDTO(req.State)
+		if err != nil {
+			return nil, fmt.Errorf("LHAgent %s: adopt: %w", ctx.Self(), err)
+		}
+		b.mu.Lock()
+		if b.cached == nil || st.Version() > b.cached.Version() {
+			b.cached = st
+		}
+		version := b.cached.Version()
+		b.mu.Unlock()
+		return RefreshResp{HashVersion: version}, nil
+	default:
+		return nil, fmt.Errorf("LHAgent %s: unknown request kind %q", ctx.Self(), kind)
+	}
+}
+
+// whois resolves the IAgent responsible for the target from the local
+// (possibly stale) copy — the fast path of every operation.
+func (b *LHAgentBehavior) whois(ctx *platform.Context, req WhoisReq) (WhoisResp, error) {
+	st, err := b.stateOrFetch(ctx)
+	if err != nil {
+		return WhoisResp{}, err
+	}
+	iagent, node, err := st.OwnerOf(req.Target)
+	if err != nil {
+		return WhoisResp{}, fmt.Errorf("LHAgent %s: %w", ctx.Self(), err)
+	}
+	return WhoisResp{IAgent: iagent, Node: node, HashVersion: st.Version()}, nil
+}
+
+// refresh brings the local copy to at least MinVersion, pulling from the
+// HAgent if needed (paper §4.3's update-propagation path).
+func (b *LHAgentBehavior) refresh(ctx *platform.Context, req RefreshReq) (RefreshResp, error) {
+	b.mu.Lock()
+	version := b.cached.Version()
+	b.mu.Unlock()
+	if version >= req.MinVersion && version > 0 {
+		return RefreshResp{HashVersion: version}, nil
+	}
+	st, err := b.fetch(ctx, version)
+	if err != nil {
+		return RefreshResp{}, err
+	}
+	return RefreshResp{HashVersion: st.Version()}, nil
+}
+
+// stateOrFetch returns the cached state, fetching the first copy lazily.
+func (b *LHAgentBehavior) stateOrFetch(ctx *platform.Context) (*State, error) {
+	b.mu.Lock()
+	st := b.cached
+	b.mu.Unlock()
+	if st != nil {
+		return st, nil
+	}
+	return b.fetch(ctx, 0)
+}
+
+// fetch pulls the primary copy from the HAgent if it is newer than the
+// local version, and installs it. When the primary is unreachable it fails
+// over to the configured replicas (the fault-tolerance extension): reads
+// survive a primary outage.
+func (b *LHAgentBehavior) fetch(ctx *platform.Context, ifNewerThan uint64) (*State, error) {
+	sources := make([]HAgentRef, 0, 1+len(b.Cfg.HAgentFallbacks))
+	sources = append(sources, HAgentRef{Agent: b.Cfg.HAgent, Node: b.Cfg.HAgentNode})
+	sources = append(sources, b.Cfg.HAgentFallbacks...)
+	var (
+		resp GetHashResp
+		err  error
+	)
+	for _, src := range sources {
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		err = ctx.Call(cctx, src.Node, src.Agent, KindGetHash, GetHashReq{IfNewerThan: ifNewerThan}, &resp)
+		cancel()
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("LHAgent %s: fetch hash: %w", ctx.Self(), err)
+	}
+	if resp.Unchanged {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.cached == nil {
+			return nil, fmt.Errorf("LHAgent %s: HAgent reported unchanged but no copy is cached", ctx.Self())
+		}
+		return b.cached, nil
+	}
+	st, err := FromDTO(resp.State)
+	if err != nil {
+		return nil, fmt.Errorf("LHAgent %s: decode hash: %w", ctx.Self(), err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cached == nil || st.Version() > b.cached.Version() {
+		b.cached = st
+	}
+	return b.cached, nil
+}

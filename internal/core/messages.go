@@ -1,0 +1,204 @@
+// Package core implements the paper's hash-based mobile agent location
+// mechanism: IAgents that track agent locations, the HAgent holding the
+// primary copy of the extendible hash function, per-node LHAgents with
+// on-demand-refreshed secondary copies, and the split/merge rehashing that
+// keeps every IAgent's request rate inside [Tmin, Tmax].
+package core
+
+import (
+	"encoding/gob"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+)
+
+// Message kinds of the location protocol.
+const (
+	// Client → LHAgent.
+	KindWhois   = "loc.whois"
+	KindRefresh = "loc.refresh"
+
+	// Client / mobile agent → IAgent.
+	KindRegister   = "loc.register"
+	KindUpdate     = "loc.update"
+	KindLocate     = "loc.locate"
+	KindDeregister = "loc.deregister"
+
+	// HAgent → IAgent.
+	KindAdoptState = "loc.adopt-state"
+	// IAgent → IAgent.
+	KindHandoff = "loc.handoff"
+
+	// LHAgent / tools → HAgent.
+	KindGetHash = "hash.get"
+	// IAgent → HAgent.
+	KindRequestSplit = "hash.request-split"
+	KindRequestMerge = "hash.request-merge"
+)
+
+// Status encodes protocol-level outcomes that are not transport errors.
+type Status int
+
+const (
+	// StatusOK means the operation succeeded.
+	StatusOK Status = iota + 1
+	// StatusNotResponsible means the contacted IAgent no longer serves the
+	// named agent — the hash function has changed. The caller must refresh
+	// its LHAgent copy and retry (paper §4.3).
+	StatusNotResponsible
+	// StatusUnknownAgent means the responsible IAgent has no entry for the
+	// agent (never registered or deregistered).
+	StatusUnknownAgent
+	// StatusIgnored means the HAgent declined a rehash request (stale
+	// version, rate back inside thresholds, or last remaining IAgent).
+	StatusIgnored
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotResponsible:
+		return "not-responsible"
+	case StatusUnknownAgent:
+		return "unknown-agent"
+	case StatusIgnored:
+		return "ignored"
+	default:
+		return "invalid-status"
+	}
+}
+
+// WhoisReq asks an LHAgent which IAgent serves the target agent.
+type WhoisReq struct {
+	Target ids.AgentID
+}
+
+// WhoisResp names the responsible IAgent and its current node, along with
+// the hash version the answer was computed from.
+type WhoisResp struct {
+	IAgent      ids.AgentID
+	Node        platform.NodeID
+	HashVersion uint64
+}
+
+// RefreshReq forces an LHAgent to bring its hash copy to at least
+// MinVersion by contacting the HAgent (paper §4.3 update propagation).
+type RefreshReq struct {
+	MinVersion uint64
+}
+
+// RefreshResp reports the LHAgent's version after the refresh.
+type RefreshResp struct {
+	HashVersion uint64
+}
+
+// RegisterReq registers a newly created agent at its current node.
+type RegisterReq struct {
+	Agent ids.AgentID
+	Node  platform.NodeID
+}
+
+// UpdateReq informs the IAgent of an agent's new location after a move.
+type UpdateReq struct {
+	Agent ids.AgentID
+	Node  platform.NodeID
+}
+
+// DeregisterReq removes a disposed agent's entry.
+type DeregisterReq struct {
+	Agent ids.AgentID
+}
+
+// Ack is the IAgent's response to register/update/deregister requests.
+type Ack struct {
+	Status Status
+	// HashVersion lets the caller detect how stale its copy is when
+	// Status is StatusNotResponsible.
+	HashVersion uint64
+}
+
+// LocateReq asks an IAgent for the current location of an agent it serves.
+type LocateReq struct {
+	Agent ids.AgentID
+}
+
+// LocateResp carries the located agent's node.
+type LocateResp struct {
+	Status      Status
+	Node        platform.NodeID
+	HashVersion uint64
+}
+
+// GetHashReq pulls the hash state from the HAgent. If the HAgent's version
+// is not greater than IfNewerThan, the response is flagged Unchanged and
+// carries no state.
+type GetHashReq struct {
+	IfNewerThan uint64
+}
+
+// GetHashResp carries the primary hash state.
+type GetHashResp struct {
+	Unchanged bool
+	State     StateDTO
+}
+
+// RequestSplitReq is sent by an overloaded IAgent (rate > Tmax). The HAgent
+// picks an even split point from the reported load statistics (paper §4.1),
+// which come at one of two granularities — "the exact number of update and
+// query requests received per agent or for groups of agents (e.g., all
+// agents with a specific prefix)":
+//
+//   - PerAgent: exact per-agent accumulated request counts.
+//   - PerGroup: accumulated counts per id-prefix group (keyed by the
+//     prefix's bit string), sent instead of PerAgent when the mechanism is
+//     configured with LoadStatsPrefixBits > 0. Smaller messages, slightly
+//     coarser split decisions.
+type RequestSplitReq struct {
+	IAgent      ids.AgentID
+	HashVersion uint64
+	Rate        float64
+	PerAgent    map[ids.AgentID]uint64
+	PerGroup    map[string]uint64
+}
+
+// RequestMergeReq is sent by an underloaded IAgent (rate < Tmin).
+type RequestMergeReq struct {
+	IAgent      ids.AgentID
+	HashVersion uint64
+	Rate        float64
+}
+
+// RehashResp reports the HAgent's decision on a split/merge request.
+type RehashResp struct {
+	Status      Status
+	HashVersion uint64
+}
+
+// AdoptStateReq pushes a new hash state to an IAgent involved in a rehash.
+// The IAgent must re-derive its responsibilities, hand off entries it no
+// longer owns, and — if its leaf is gone — dispose itself.
+type AdoptStateReq struct {
+	State StateDTO
+}
+
+// HandoffReq transfers location entries between IAgents during rehashing.
+type HandoffReq struct {
+	Entries map[ids.AgentID]platform.NodeID
+	// Load carries the accumulated per-agent request statistics so the
+	// receiving IAgent's split decisions stay informed.
+	Load map[ids.AgentID]uint64
+	// Pending carries undelivered deposited messages (guaranteed-delivery
+	// extension) so rehashing cannot lose mail.
+	Pending map[ids.AgentID][]Deposited
+}
+
+// register the protocol's concrete types and behaviours with gob so agents
+// can migrate and payloads round-trip. Encoding type registries are the
+// canonical acceptable use of init.
+func init() {
+	gob.Register(&IAgentBehavior{})
+	gob.Register(&HAgentBehavior{})
+	gob.Register(&LHAgentBehavior{})
+}

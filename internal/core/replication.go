@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// This file implements the paper's second §7 extension: fault tolerance for
+// the HAgent — "we are supporting a primary copy mechanism for the hash
+// function, thus making the HAgent that keeps this copy a vulnerability
+// point."
+//
+// The design adds standby HAgents (replicas):
+//
+//   - The primary pushes every state change to each replica, best effort;
+//     a briefly lagging replica is no worse than a stale LHAgent (the
+//     client protocol already tolerates staleness).
+//   - Replicas answer reads (KindGetHash / KindHashStats) but decline
+//     rehash/relocate requests with StatusIgnored.
+//   - LHAgents try the primary first and fail over to replicas for reads,
+//     so agents stay locatable while the primary is down.
+//   - Promotion is an explicit operation (KindPromote), deliberately left
+//     to an operator or an external failure detector — automatic
+//     promotion without consensus invites split brain, which is exactly
+//     the rabbit hole the paper left for future work.
+
+// Replication message kinds.
+const (
+	// KindReplicate pushes the primary's state to a replica.
+	KindReplicate = "hash.replicate"
+	// KindPromote turns a replica into the primary.
+	KindPromote = "hash.promote"
+)
+
+// HAgentRef names an HAgent instance and its (static) node.
+type HAgentRef struct {
+	Agent ids.AgentID
+	Node  platform.NodeID
+}
+
+// ReplicateReq carries a state push from the primary.
+type ReplicateReq struct {
+	State StateDTO
+}
+
+// PromoteResp acknowledges a promotion.
+type PromoteResp struct {
+	HashVersion uint64
+}
+
+// handleReplication serves the replication message kinds; it returns
+// (nil, false, nil) for kinds it does not handle.
+func (b *HAgentBehavior) handleReplication(kind string, payload []byte) (any, bool, error) {
+	switch kind {
+	case KindReplicate:
+		var req ReplicateReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, true, err
+		}
+		st, err := FromDTO(req.State)
+		if err != nil {
+			return nil, true, fmt.Errorf("HAgent replica: %w", err)
+		}
+		if st.Ver > b.state.Ver {
+			b.state = st
+		}
+		return Ack{Status: StatusOK, HashVersion: b.state.Ver}, true, nil
+	case KindPromote:
+		b.Standby = false
+		return PromoteResp{HashVersion: b.state.Ver}, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// propagateEager pushes the new state to every LHAgent when the ablation
+// flag is on; the paper's design instead lets LHAgents refresh on demand
+// (§4.3), trading propagation traffic for occasional stale-copy retries.
+func (b *HAgentBehavior) propagateEager(ctx *platform.Context) {
+	if !b.Cfg.EagerPropagation {
+		return
+	}
+	req := AdoptLHStateReq{State: b.state.DTO()}
+	for _, node := range b.Cfg.PlacementNodes {
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		// Best effort: an unreachable LHAgent just stays stale, exactly
+		// as in the on-demand design.
+		_ = ctx.Call(cctx, node, LHAgentID(node), KindLHAdopt, req, nil)
+		cancel()
+	}
+}
+
+// propagate pushes the current state to every configured replica, best
+// effort. Replica lag is tolerable by design; persistent failures surface
+// through the replica's own staleness, not by failing rehashes.
+func (b *HAgentBehavior) propagate(ctx *platform.Context) {
+	if len(b.Cfg.HAgentReplicas) == 0 {
+		return
+	}
+	req := ReplicateReq{State: b.state.DTO()}
+	for _, ref := range b.Cfg.HAgentReplicas {
+		if ref.Agent == ctx.Self() && ref.Node == ctx.Node() {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		var ack Ack
+		// Failure to reach a replica must not fail the rehash.
+		_ = ctx.Call(cctx, ref.Node, ref.Agent, KindReplicate, req, &ack)
+		cancel()
+	}
+}
+
+// DeployReplicas launches standby HAgents on the given nodes and returns
+// their references; pass them in Config.HAgentReplicas (for the primary to
+// push to) and Config.HAgentFallbacks (for LHAgents to fail over to) when
+// deploying the mechanism.
+func DeployReplicas(cfg Config, initial StateDTO, nodes []*platform.Node) ([]HAgentRef, error) {
+	refs := make([]HAgentRef, 0, len(nodes))
+	for i, n := range nodes {
+		ref := HAgentRef{
+			Agent: ids.AgentID(fmt.Sprintf("%s-replica-%d", cfg.HAgent, i+1)),
+			Node:  n.ID(),
+		}
+		replica := &HAgentBehavior{Cfg: cfg, InitialState: initial, Standby: true}
+		if err := n.Launch(ref.Agent, replica); err != nil {
+			return nil, fmt.Errorf("core: deploy replica %s: %w", ref.Agent, err)
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"agentloc/internal/hashtree"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// newReplicatedCluster deploys a mechanism with one HAgent replica on the
+// last node.
+func newReplicatedCluster(t *testing.T, numNodes int) (*testCluster, HAgentRef) {
+	t.Helper()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	t.Cleanup(func() { net.Close() })
+	nodes := make([]*platform.Node, numNodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("node-%d", i)), Link: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+
+	cfg := quietConfig()
+	ref := HAgentRef{Agent: "hagent-replica-1", Node: nodes[numNodes-1].ID()}
+	cfg.HAgentReplicas = []HAgentRef{ref}
+	cfg.HAgentFallbacks = []HAgentRef{ref}
+
+	svc, err := Deploy(context.Background(), cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Launch the replica with the same initial state the primary started
+	// from (version 1, iagent-1 everywhere).
+	initial := &State{
+		Ver:       1,
+		Tree:      hashtree.New("iagent-1"),
+		Locations: map[ids.AgentID]platform.NodeID{"iagent-1": nodes[0].ID()},
+	}
+	refs, err := DeployReplicas(svc.Config(), initial.DTO(), nodes[numNodes-1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0] != ref {
+		t.Fatalf("DeployReplicas refs = %v, want %v", refs, ref)
+	}
+	return &testCluster{nodes: nodes, service: svc}, ref
+}
+
+func TestReplicaReceivesStatePushes(t *testing.T) {
+	c, ref := newReplicatedCluster(t, 3)
+	ctx := testCtx(t)
+	cfg := c.service.Config()
+
+	// Register agents and force a split through the HAgent protocol.
+	homes := registerMany(t, c, ctx, 16)
+	perAgent := make(map[ids.AgentID]uint64, len(homes))
+	for agent := range homes {
+		perAgent[agent] = 5
+	}
+	var resp RehashResp
+	err := c.nodes[0].CallAgent(ctx, cfg.HAgentNode, cfg.HAgent, KindRequestSplit,
+		RequestSplitReq{IAgent: "iagent-1", HashVersion: 1, Rate: 999, PerAgent: perAgent}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("split status = %v", resp.Status)
+	}
+
+	// The replica must now hold version 2.
+	var hash GetHashResp
+	err = c.nodes[0].CallAgent(ctx, ref.Node, ref.Agent, KindGetHash, GetHashReq{}, &hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.Unchanged {
+		t.Fatal("replica returned unchanged for a fresh read")
+	}
+	st, err := FromDTO(hash.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ver != 2 {
+		t.Errorf("replica state version = %d, want 2", st.Ver)
+	}
+	if st.Tree.NumLeaves() != 2 {
+		t.Errorf("replica tree has %d leaves, want 2", st.Tree.NumLeaves())
+	}
+}
+
+func TestReplicaDeclinesRehashUntilPromoted(t *testing.T) {
+	c, ref := newReplicatedCluster(t, 2)
+	ctx := testCtx(t)
+
+	var resp RehashResp
+	err := c.nodes[0].CallAgent(ctx, ref.Node, ref.Agent, KindRequestMerge,
+		RequestMergeReq{IAgent: "iagent-1", HashVersion: 1}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusIgnored {
+		t.Errorf("standby rehash status = %v, want ignored", resp.Status)
+	}
+
+	var prom PromoteResp
+	if err := c.nodes[0].CallAgent(ctx, ref.Node, ref.Agent, KindPromote, nil, &prom); err != nil {
+		t.Fatal(err)
+	}
+	if prom.HashVersion != 1 {
+		t.Errorf("promoted at version %d, want 1", prom.HashVersion)
+	}
+	// A promoted replica accepts rehash requests (this one is still
+	// declined — last leaf — but by the merge rule, not the standby rule,
+	// which is indistinguishable here; exercise a split instead).
+	homes := registerMany(t, c, ctx, 8)
+	perAgent := make(map[ids.AgentID]uint64, len(homes))
+	for agent := range homes {
+		perAgent[agent] = 5
+	}
+	err = c.nodes[0].CallAgent(ctx, ref.Node, ref.Agent, KindRequestSplit,
+		RequestSplitReq{IAgent: "iagent-1", HashVersion: 1, Rate: 999, PerAgent: perAgent}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK {
+		t.Errorf("promoted split status = %v, want ok", resp.Status)
+	}
+}
+
+func TestLHAgentFailsOverToReplicaForReads(t *testing.T) {
+	c, _ := newReplicatedCluster(t, 3)
+	ctx := testCtx(t)
+	cfg := c.service.Config()
+
+	// Register only from node-0 so node-1's LHAgent stays cold (no
+	// cached copy).
+	homes := make(map[ids.AgentID]platform.NodeID, 6)
+	reg := c.service.ClientFor(c.nodes[0])
+	for i := 0; i < 6; i++ {
+		agent := ids.AgentID(fmt.Sprintf("ft-agent-%d", i))
+		if _, err := reg.Register(ctx, agent); err != nil {
+			t.Fatal(err)
+		}
+		homes[agent] = c.nodes[0].ID()
+	}
+
+	// Kill the primary HAgent. Reads (whois via LHAgent fetch) must still
+	// work through the replica; agents stay locatable.
+	if err := c.nodes[0].Kill(cfg.HAgent); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node-1's cold LHAgent must fetch fresh — through the replica.
+	client := c.service.ClientFor(c.nodes[1])
+	for agent, home := range homes {
+		got, err := client.Locate(ctx, agent)
+		if err != nil {
+			t.Fatalf("locate %s with dead primary: %v", agent, err)
+		}
+		if got != home {
+			t.Errorf("locate %s = %s, want %s", agent, got, home)
+		}
+	}
+}

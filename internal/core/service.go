@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"agentloc/internal/hashtree"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+)
+
+// Service deploys and fronts a complete location mechanism on a set of
+// platform nodes: the HAgent on its configured node, one LHAgent per node,
+// and an initial IAgent. Further IAgents appear and disappear autonomously
+// through rehashing.
+type Service struct {
+	cfg   Config
+	nodes []*platform.Node
+}
+
+// Deploy launches the mechanism's agents. The nodes must all be reachable
+// through the same transport. If cfg.HAgentNode is empty the first node is
+// used; if cfg.PlacementNodes is empty all nodes are eligible.
+func Deploy(ctx context.Context, cfg Config, nodes []*platform.Node) (*Service, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: deploy: no nodes")
+	}
+	if cfg.HAgentNode == "" {
+		cfg.HAgentNode = nodes[0].ID()
+	}
+	if len(cfg.PlacementNodes) == 0 {
+		cfg.PlacementNodes = make([]platform.NodeID, len(nodes))
+		for i, n := range nodes {
+			cfg.PlacementNodes[i] = n.ID()
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	byID := make(map[platform.NodeID]*platform.Node, len(nodes))
+	for _, n := range nodes {
+		byID[n.ID()] = n
+	}
+	hnode, ok := byID[cfg.HAgentNode]
+	if !ok {
+		return nil, fmt.Errorf("core: deploy: HAgent node %s not among the given nodes", cfg.HAgentNode)
+	}
+
+	// The initial hash function maps every agent to a single IAgent,
+	// placed on the first placement node.
+	firstIAgent := ids.AgentID("iagent-1")
+	firstNode := cfg.PlacementNodes[0]
+	inode, ok := byID[firstNode]
+	if !ok {
+		return nil, fmt.Errorf("core: deploy: placement node %s not among the given nodes", firstNode)
+	}
+	initial := &State{
+		Ver:       1,
+		Tree:      hashtree.New(string(firstIAgent)),
+		Locations: map[ids.AgentID]platform.NodeID{firstIAgent: firstNode},
+	}
+
+	hagent := &HAgentBehavior{Cfg: cfg, InitialState: initial.DTO(), NextIAgentSeq: 1}
+	if err := hnode.Launch(cfg.HAgent, hagent); err != nil {
+		return nil, fmt.Errorf("core: deploy HAgent: %w", err)
+	}
+	for _, n := range nodes {
+		if err := n.Launch(LHAgentID(n.ID()), &LHAgentBehavior{Cfg: cfg}); err != nil {
+			return nil, fmt.Errorf("core: deploy LHAgent at %s: %w", n.ID(), err)
+		}
+	}
+	iagent := &IAgentBehavior{Cfg: cfg, StateSnapshot: initial.DTO()}
+	if err := inode.Launch(firstIAgent, iagent, platform.WithServiceTime(cfg.IAgentServiceTime)); err != nil {
+		return nil, fmt.Errorf("core: deploy IAgent: %w", err)
+	}
+
+	return &Service{cfg: cfg, nodes: nodes}, nil
+}
+
+// Config returns the deployed configuration (with defaults filled in).
+func (s *Service) Config() Config { return s.cfg }
+
+// ClientFor returns a protocol client speaking from the given node.
+func (s *Service) ClientFor(n *platform.Node) *Client {
+	return NewClient(NodeCaller{N: n}, s.cfg)
+}
+
+// Stats pulls the HAgent's rehashing counters and tree shape.
+func (s *Service) Stats(ctx context.Context) (HashStatsResp, error) {
+	var resp HashStatsResp
+	err := s.nodes[0].CallAgent(ctx, s.cfg.HAgentNode, s.cfg.HAgent, KindHashStats, nil, &resp)
+	if err != nil {
+		return HashStatsResp{}, fmt.Errorf("core: stats: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/stats"
+	"agentloc/internal/transport"
+	"agentloc/internal/workload"
+)
+
+// The adaptation experiment goes beyond the paper's two figures to quantify
+// its closing claim (§5): "if at some point a large number of mobile agents
+// is created in the system or their moving rate changes unpredictably, our
+// mechanism will adapt nicely by changing appropriately the hash function
+// … in order to keep constant the time needed to locate a mobile agent."
+// It injects a sudden burst of highly mobile agents into an idle system and
+// samples the IAgent count and the location time until both stabilize.
+
+// AdaptationPoint is one sample of the timeline.
+type AdaptationPoint struct {
+	// Elapsed is the time since the burst was injected.
+	Elapsed time.Duration
+	// IAgents is the IAgent population at the sample.
+	IAgents int
+	// Splits is the cumulative split count.
+	Splits uint64
+	// Location summarizes a small probe of location queries.
+	Location stats.Summary
+}
+
+// AdaptationSpec parameterizes the burst.
+type AdaptationSpec struct {
+	NumNodes       int
+	BurstTAgents   int
+	BurstResidence time.Duration
+	SampleEvery    time.Duration
+	MaxDuration    time.Duration
+	ProbeQueries   int
+	ServiceTime    time.Duration
+	NetLatency     time.Duration
+	Cfg            core.Config
+	Seed           int64
+}
+
+// AdaptationTimeline runs the burst experiment and returns the sampled
+// timeline. Rows are printed to w as they are measured.
+func AdaptationTimeline(ctx context.Context, spec AdaptationSpec, w io.Writer) ([]AdaptationPoint, error) {
+	if spec.NumNodes < 1 {
+		return nil, fmt.Errorf("experiment: NumNodes = %d", spec.NumNodes)
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{
+		Latency: transport.LANLatency(spec.NetLatency),
+		Seed:    spec.Seed,
+	})
+	nodes := make([]*platform.Node, spec.NumNodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{
+			ID:   platform.NodeID(fmt.Sprintf("node-%d", i)),
+			Link: net,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: node %d: %w", i, err)
+		}
+		nodes[i] = n
+	}
+	defer func() {
+		var wg sync.WaitGroup
+		for _, n := range nodes {
+			wg.Add(1)
+			go func(n *platform.Node) {
+				defer wg.Done()
+				n.Close()
+			}(n)
+		}
+		wg.Wait()
+		net.Close()
+	}()
+
+	cfg := spec.Cfg
+	cfg.IAgentServiceTime = spec.ServiceTime
+	svc, err := core.Deploy(ctx, cfg, nodes)
+	if err != nil {
+		return nil, err
+	}
+	mech := workload.MechanismRef{Scheme: workload.SchemeHashed, Hashed: svc.Config()}
+	client := svc.ClientFor(nodes[len(nodes)-1])
+
+	fmt.Fprintf(w, "Adaptation timeline — burst of %d TAgents (residence %v) into an idle system\n",
+		spec.BurstTAgents, spec.BurstResidence)
+	fmt.Fprintf(w, "%-10s %-8s %-7s %-14s\n", "elapsed", "IAgents", "splits", "locate(trim)")
+
+	// Probe agents: a handful of stationary, pre-registered agents whose
+	// location time is sampled throughout — the "constant location time"
+	// the paper promises for bystanders while the system adapts.
+	probes := make([]ids.AgentID, 5)
+	for i := range probes {
+		probes[i] = ids.AgentID(fmt.Sprintf("probe-%d", i))
+		if _, err := client.Register(ctx, probes[i]); err != nil {
+			return nil, err
+		}
+	}
+	querier := workload.NewQuerier(client, probes, spec.Seed+7)
+
+	// Inject the burst in the background so sampling captures the ramp
+	// (registration of a highly mobile population is itself load).
+	start := time.Now()
+	burstDone := make(chan error, 1)
+	go func() {
+		_, err := workload.LaunchTAgents(ctx, mech, nodes, "burst", spec.BurstTAgents, spec.BurstResidence)
+		burstDone <- err
+	}()
+	defer func() {
+		// The launcher goroutine must not outlive the nodes it registers
+		// against; wait for it before the deferred teardown runs.
+		<-burstDone
+	}()
+
+	var points []AdaptationPoint
+	stableSince := -1
+	lastIAgents := -1
+	for time.Since(start) < spec.MaxDuration || len(points) < 4 {
+		select {
+		case <-time.After(spec.SampleEvery):
+		case <-ctx.Done():
+			return points, ctx.Err()
+		}
+		hs, err := svc.Stats(ctx)
+		if err != nil {
+			return points, err
+		}
+		samples, _, err := querier.Measure(ctx, spec.ProbeQueries, 0, 5*time.Second)
+		if err != nil {
+			return points, err
+		}
+		pt := AdaptationPoint{
+			Elapsed:  time.Since(start),
+			IAgents:  hs.NumIAgents,
+			Splits:   hs.Splits,
+			Location: stats.Summarize(samples),
+		}
+		points = append(points, pt)
+		fmt.Fprintf(w, "%-10v %-8d %-7d %-14v\n",
+			pt.Elapsed.Round(10*time.Millisecond), pt.IAgents, pt.Splits,
+			pt.Location.Trimmed.Round(10*time.Microsecond))
+
+		// Stop once the IAgent population has been stable for 4 samples
+		// (adaptation finished).
+		if hs.NumIAgents == lastIAgents {
+			if stableSince < 0 {
+				stableSince = len(points)
+			}
+			if hs.NumIAgents > 1 && len(points)-stableSince >= 3 {
+				break
+			}
+		} else {
+			stableSince = -1
+			lastIAgents = hs.NumIAgents
+		}
+	}
+	return points, nil
+}
+
+// DefaultAdaptationSpec derives the burst parameters from the experiment
+// Params.
+func DefaultAdaptationSpec(p Params) AdaptationSpec {
+	return AdaptationSpec{
+		NumNodes:       p.NumNodes,
+		BurstTAgents:   80,
+		BurstResidence: p.scaled(50 * time.Millisecond),
+		SampleEvery:    p.scaled(250 * time.Millisecond),
+		MaxDuration:    p.scaled(40 * time.Second),
+		ProbeQueries:   10,
+		ServiceTime:    p.ServiceTime,
+		NetLatency:     p.NetLatency,
+		Cfg:            p.coreConfig(),
+		Seed:           p.Seed,
+	}
+}

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"agentloc/internal/workload"
+)
+
+// tinyParams keeps experiment tests fast while preserving the load shapes.
+func tinyParams() Params {
+	p := PaperParams()
+	p.Scale = 0.25
+	p.Queries = 40
+	p.QueryInterval = 10 * time.Millisecond
+	p.Warmup = 1200 * time.Millisecond
+	p.TAgentCountsI = []int{6, 40}
+	p.TAgentsII = 12
+	p.ResidencesII = []time.Duration{20 * time.Millisecond, 200 * time.Millisecond}
+	return p
+}
+
+func expCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := expCtx(t)
+	if _, err := Run(ctx, RunSpec{NumNodes: 0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Run(ctx, RunSpec{NumNodes: 1, NumTAgents: 1, Queries: 1}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestRunCentralizedPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment point in -short mode")
+	}
+	p := tinyParams()
+	res, err := Run(expCtx(t), p.spec(workload.SchemeCentralized, 6, p.ResidenceI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Location.Count == 0 {
+		t.Fatal("no samples collected")
+	}
+	if res.Failures > p.Queries/10 {
+		t.Errorf("too many failures: %d", res.Failures)
+	}
+	if res.NumIAgents != 0 {
+		t.Errorf("centralized run reports IAgents: %d", res.NumIAgents)
+	}
+}
+
+func TestRunHashedPointSplits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment point in -short mode")
+	}
+	p := tinyParams()
+	res, err := Run(expCtx(t), p.spec(workload.SchemeHashed, 40, p.ResidenceI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Location.Count == 0 {
+		t.Fatal("no samples collected")
+	}
+	// 40 TAgents at this mobility exceed one IAgent's Tmax; the mechanism
+	// must have split at least once during warmup.
+	if res.Splits == 0 || res.NumIAgents < 2 {
+		t.Errorf("expected rehashing under load: IAgents=%d splits=%d", res.NumIAgents, res.Splits)
+	}
+}
+
+// TestFigure7Shape asserts the paper's Figure 7 qualitatively: the
+// centralized scheme degrades with the population while the hash-based
+// mechanism stays far flatter and wins at scale.
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	p := tinyParams()
+	points, err := ExperimentI(expCtx(t), p, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	small, large := points[0], points[1]
+	centralGrowth := float64(large.Centralized.Location.Trimmed) / float64(small.Centralized.Location.Trimmed)
+	if centralGrowth < 2 {
+		t.Errorf("centralized did not degrade with population: %v → %v (×%.1f)",
+			small.Centralized.Location.Trimmed, large.Centralized.Location.Trimmed, centralGrowth)
+	}
+	if large.Hashed.Location.Trimmed >= large.Centralized.Location.Trimmed {
+		t.Errorf("hashed (%v) not faster than centralized (%v) at %d TAgents",
+			large.Hashed.Location.Trimmed, large.Centralized.Location.Trimmed, large.TAgents)
+	}
+	hashedGrowth := float64(large.Hashed.Location.Trimmed) / float64(small.Hashed.Location.Trimmed)
+	if hashedGrowth >= centralGrowth {
+		t.Errorf("hashed growth ×%.1f not flatter than centralized ×%.1f", hashedGrowth, centralGrowth)
+	}
+}
+
+// TestFigure8Shape asserts Figure 8 qualitatively: at high mobility the
+// hash-based mechanism beats the centralized scheme.
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	p := tinyParams()
+	points, err := ExperimentII(expCtx(t), p, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	fast := points[0] // shortest residence = highest mobility
+	if fast.Hashed.Location.Trimmed >= fast.Centralized.Location.Trimmed {
+		t.Errorf("hashed (%v) not faster than centralized (%v) at residence %v",
+			fast.Hashed.Location.Trimmed, fast.Centralized.Location.Trimmed, fast.Residence)
+	}
+}
+
+func TestExperimentReportFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	p := tinyParams()
+	p.TAgentCountsI = []int{5}
+	var sb strings.Builder
+	if _, err := ExperimentI(expCtx(t), p, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Experiment I", "Figure 7", "TAgents", "centralized", "hashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParamsScaling(t *testing.T) {
+	p := PaperParams()
+	p.Scale = 0.5
+	if got := p.scaled(time.Second); got != 500*time.Millisecond {
+		t.Errorf("scaled(1s) = %v, want 500ms", got)
+	}
+	cfg := p.coreConfig()
+	if cfg.TMax != 100 {
+		t.Errorf("TMax = %v, want 100 (50 / 0.5)", cfg.TMax)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("scaled config invalid: %v", err)
+	}
+	p.Scale = 1.0
+	if got := p.scaled(time.Second); got != time.Second {
+		t.Errorf("scaled(1s) at 1.0 = %v", got)
+	}
+	p.Scale = 0
+	if got := p.scaled(time.Second); got != time.Second {
+		t.Errorf("scaled(1s) at 0 = %v (should default to unscaled)", got)
+	}
+}
+
+func TestQuickParamsValid(t *testing.T) {
+	p := QuickParams()
+	if err := p.coreConfig().Validate(); err != nil {
+		t.Errorf("QuickParams core config invalid: %v", err)
+	}
+	if p.Queries == 0 || len(p.TAgentCountsI) == 0 || len(p.ResidencesII) == 0 {
+		t.Error("QuickParams has empty sweeps")
+	}
+}
+
+func TestAdaptationTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptation experiment in -short mode")
+	}
+	p := tinyParams()
+	spec := DefaultAdaptationSpec(p)
+	spec.BurstTAgents = 40
+	spec.MaxDuration = 20 * time.Second
+	points, err := AdaptationTimeline(expCtx(t), spec, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 4 {
+		t.Fatalf("timeline has %d points, want ≥ 4", len(points))
+	}
+	last := points[len(points)-1]
+	if last.IAgents < 2 || last.Splits < 1 {
+		t.Errorf("system did not adapt to the burst: %+v", last)
+	}
+	// IAgent population must be non-decreasing through a pure burst
+	// (merging is disabled by the growth of load, and MergeGrace holds).
+	for i := 1; i < len(points); i++ {
+		if points[i].IAgents < points[i-1].IAgents {
+			t.Errorf("IAgents shrank mid-burst: %d → %d", points[i-1].IAgents, points[i].IAgents)
+		}
+	}
+}
+
+func TestAdaptationValidation(t *testing.T) {
+	if _, err := AdaptationTimeline(expCtx(t), AdaptationSpec{}, io.Discard); err == nil {
+		t.Error("zero spec accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentloc/internal/centralized"
+	"agentloc/internal/core"
+	"agentloc/internal/platform"
+	"agentloc/internal/stats"
+	"agentloc/internal/transport"
+	"agentloc/internal/workload"
+)
+
+// RunSpec describes one measurement: a scheme, a population, a mobility
+// rate, and a query load.
+type RunSpec struct {
+	Scheme        workload.Scheme
+	NumNodes      int
+	NumTAgents    int
+	Residence     time.Duration
+	Queries       int
+	QueryInterval time.Duration
+	QueryTimeout  time.Duration
+	Warmup        time.Duration
+	ServiceTime   time.Duration
+	NetLatency    time.Duration
+	Cfg           core.Config // hash-based mechanism configuration
+	Seed          int64
+}
+
+// RunResult is one measured point.
+type RunResult struct {
+	Spec     RunSpec
+	Location stats.Summary // the paper's "location time"
+	Failures int           // queries that exceeded QueryTimeout
+	// Hash mechanism introspection (zero for the centralized scheme).
+	NumIAgents int
+	Splits     uint64
+	Merges     uint64
+}
+
+// Run executes one measurement end to end: build a simulated LAN, deploy
+// the scheme, launch the TAgent population, warm up, measure location
+// times, and tear everything down.
+func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
+	if spec.NumNodes < 1 {
+		return RunResult{}, fmt.Errorf("experiment: NumNodes = %d", spec.NumNodes)
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{
+		Latency: transport.LANLatency(spec.NetLatency),
+		Seed:    spec.Seed,
+	})
+	nodes := make([]*platform.Node, spec.NumNodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{
+			ID:   platform.NodeID(fmt.Sprintf("node-%d", i)),
+			Link: net,
+		})
+		if err != nil {
+			return RunResult{}, fmt.Errorf("experiment: node %d: %w", i, err)
+		}
+		nodes[i] = n
+	}
+	defer func() {
+		// Close nodes concurrently: roaming agents mid-move resolve
+		// quickly once their peers disappear.
+		var wg sync.WaitGroup
+		for _, n := range nodes {
+			wg.Add(1)
+			go func(n *platform.Node) {
+				defer wg.Done()
+				n.Close()
+			}(n)
+		}
+		wg.Wait()
+		net.Close()
+	}()
+
+	var (
+		mech    workload.MechanismRef
+		hashed  *core.Service
+		querier workload.LocationClient
+	)
+	switch spec.Scheme {
+	case workload.SchemeHashed:
+		cfg := spec.Cfg
+		cfg.IAgentServiceTime = spec.ServiceTime
+		svc, err := core.Deploy(ctx, cfg, nodes)
+		if err != nil {
+			return RunResult{}, err
+		}
+		hashed = svc
+		mech = workload.MechanismRef{Scheme: workload.SchemeHashed, Hashed: svc.Config()}
+		querier = svc.ClientFor(nodes[len(nodes)-1])
+	case workload.SchemeCentralized:
+		svc, err := centralized.Deploy(ctx, centralized.DefaultConfig(), nodes, spec.ServiceTime)
+		if err != nil {
+			return RunResult{}, err
+		}
+		mech = workload.MechanismRef{Scheme: workload.SchemeCentralized, Central: svc.Config()}
+		querier = svc.ClientFor(nodes[len(nodes)-1])
+	default:
+		return RunResult{}, fmt.Errorf("experiment: unknown scheme %v", spec.Scheme)
+	}
+
+	pop, err := workload.LaunchTAgents(ctx, mech, nodes, "tagent", spec.NumTAgents, spec.Residence)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	select {
+	case <-time.After(spec.Warmup):
+	case <-ctx.Done():
+		return RunResult{}, ctx.Err()
+	}
+
+	q := workload.NewQuerier(querier, pop.Agents, spec.Seed+100)
+	samples, failures, err := q.Measure(ctx, spec.Queries, spec.QueryInterval, spec.QueryTimeout)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("experiment: measure: %w", err)
+	}
+
+	res := RunResult{
+		Spec:     spec,
+		Location: stats.Summarize(samples),
+		Failures: failures,
+	}
+	if hashed != nil {
+		sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		hs, err := hashed.Stats(sctx)
+		cancel()
+		if err == nil {
+			res.NumIAgents = hs.NumIAgents
+			res.Splits = hs.Splits
+			res.Merges = hs.Merges
+		}
+	}
+	return res, nil
+}

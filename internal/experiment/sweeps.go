@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"agentloc/internal/workload"
+)
+
+// PointI is one x-position of Experiment I (Figure 7).
+type PointI struct {
+	TAgents     int
+	Centralized RunResult
+	Hashed      RunResult
+}
+
+// PointII is one x-position of Experiment II (Figure 8).
+type PointII struct {
+	Residence   time.Duration
+	Centralized RunResult
+	Hashed      RunResult
+}
+
+// ExperimentI reproduces Figure 7: mean location time as a function of the
+// number of TAgents, residence time fixed. Progress rows are written to w
+// as each point completes (pass io.Discard to silence).
+func ExperimentI(ctx context.Context, p Params, w io.Writer) ([]PointI, error) {
+	fmt.Fprintf(w, "Experiment I — location time vs number of TAgents (Figure 7)\n")
+	fmt.Fprintf(w, "residence=%v queries=%d Tmax=%.0f/s Tmin=%.0f/s service=%v scale=%.2f nodes=%d\n",
+		p.scaled(p.ResidenceI), p.Queries, p.TMax, p.TMin, p.ServiceTime, p.Scale, p.NumNodes)
+	fmt.Fprintf(w, "%-9s %-14s %-14s %-8s %-7s\n", "TAgents", "centralized", "hashed", "IAgents", "splits")
+
+	points := make([]PointI, 0, len(p.TAgentCountsI))
+	for _, n := range p.TAgentCountsI {
+		central, err := Run(ctx, p.spec(workload.SchemeCentralized, n, p.ResidenceI))
+		if err != nil {
+			return points, fmt.Errorf("experiment I centralized n=%d: %w", n, err)
+		}
+		hashed, err := Run(ctx, p.spec(workload.SchemeHashed, n, p.ResidenceI))
+		if err != nil {
+			return points, fmt.Errorf("experiment I hashed n=%d: %w", n, err)
+		}
+		pt := PointI{TAgents: n, Centralized: central, Hashed: hashed}
+		points = append(points, pt)
+		fmt.Fprintf(w, "%-9d %-14v %-14v %-8d %-7d\n",
+			n, central.Location.Trimmed.Round(10*time.Microsecond),
+			hashed.Location.Trimmed.Round(10*time.Microsecond),
+			hashed.NumIAgents, hashed.Splits)
+	}
+	return points, nil
+}
+
+// ExperimentII reproduces Figure 8: mean location time as a function of
+// the residence time (mobility rate), population fixed.
+func ExperimentII(ctx context.Context, p Params, w io.Writer) ([]PointII, error) {
+	fmt.Fprintf(w, "Experiment II — location time vs TAgent mobility (Figure 8)\n")
+	fmt.Fprintf(w, "TAgents=%d queries=%d Tmax=%.0f/s Tmin=%.0f/s service=%v scale=%.2f nodes=%d\n",
+		p.TAgentsII, p.Queries, p.TMax, p.TMin, p.ServiceTime, p.Scale, p.NumNodes)
+	fmt.Fprintf(w, "%-12s %-14s %-14s %-8s %-7s\n", "residence", "centralized", "hashed", "IAgents", "splits")
+
+	points := make([]PointII, 0, len(p.ResidencesII))
+	for _, res := range p.ResidencesII {
+		central, err := Run(ctx, p.spec(workload.SchemeCentralized, p.TAgentsII, res))
+		if err != nil {
+			return points, fmt.Errorf("experiment II centralized res=%v: %w", res, err)
+		}
+		hashed, err := Run(ctx, p.spec(workload.SchemeHashed, p.TAgentsII, res))
+		if err != nil {
+			return points, fmt.Errorf("experiment II hashed res=%v: %w", res, err)
+		}
+		pt := PointII{Residence: res, Centralized: central, Hashed: hashed}
+		points = append(points, pt)
+		fmt.Fprintf(w, "%-12v %-14v %-14v %-8d %-7d\n",
+			p.scaled(res), central.Location.Trimmed.Round(10*time.Microsecond),
+			hashed.Location.Trimmed.Round(10*time.Microsecond),
+			hashed.NumIAgents, hashed.Splits)
+	}
+	return points, nil
+}
+
+// spec assembles the RunSpec for one point.
+func (p Params) spec(scheme workload.Scheme, tagents int, residence time.Duration) RunSpec {
+	return RunSpec{
+		Scheme:        scheme,
+		NumNodes:      p.NumNodes,
+		NumTAgents:    tagents,
+		Residence:     p.scaled(residence),
+		Queries:       p.Queries,
+		QueryInterval: p.scaled(p.QueryInterval),
+		QueryTimeout:  p.QueryTimeout,
+		Warmup:        p.scaled(p.Warmup),
+		ServiceTime:   p.ServiceTime,
+		NetLatency:    p.NetLatency,
+		Cfg:           p.coreConfig(),
+		Seed:          p.Seed,
+	}
+}

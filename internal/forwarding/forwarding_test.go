@@ -1,0 +1,171 @@
+package forwarding
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+func newForwardingCluster(t *testing.T, numNodes int) (*Service, []*platform.Node) {
+	t.Helper()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	t.Cleanup(func() { net.Close() })
+	nodes := make([]*platform.Node, numNodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("fn-%d", i)), Link: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	svc, err := Deploy(context.Background(), DefaultConfig(), nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, nodes
+}
+
+func fctx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRegisterAndLocate(t *testing.T) {
+	svc, nodes := newForwardingCluster(t, 3)
+	ctx := fctx(t)
+	if _, err := svc.ClientFor(nodes[1]).Register(ctx, "fw-agent"); err != nil {
+		t.Fatal(err)
+	}
+	where, err := svc.ClientFor(nodes[2]).Locate(ctx, "fw-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != nodes[1].ID() {
+		t.Errorf("located at %s, want %s", where, nodes[1].ID())
+	}
+}
+
+func TestLocateUnknown(t *testing.T) {
+	svc, nodes := newForwardingCluster(t, 1)
+	if _, err := svc.ClientFor(nodes[0]).Locate(fctx(t), "ghost"); !errors.Is(err, core.ErrNotRegistered) {
+		t.Errorf("error = %v, want ErrNotRegistered", err)
+	}
+}
+
+// TestChaseAcrossChain builds a pointer chain by moving the agent several
+// times without any locate in between, then verifies the chase finds it and
+// compresses the chain.
+func TestChaseAcrossChain(t *testing.T) {
+	svc, nodes := newForwardingCluster(t, 5)
+	ctx := fctx(t)
+
+	assign, err := svc.ClientFor(nodes[0]).Register(ctx, "chained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop 0 → 1 → 2 → 3 → 4, leaving pointers behind.
+	for i := 1; i < 5; i++ {
+		assign, err = svc.ClientFor(nodes[i]).MoveNotify(ctx, "chained", assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	where, err := svc.ClientFor(nodes[0]).Locate(ctx, "chained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != nodes[4].ID() {
+		t.Fatalf("located at %s, want %s", where, nodes[4].ID())
+	}
+
+	// The chase compressed the chain: the registry now points directly at
+	// the final node.
+	var looked LookupResp
+	err = nodes[0].CallAgent(ctx, svc.Config().Node, svc.Config().Registry, KindLookup, LookupReq{Agent: "chained"}, &looked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !looked.Known || looked.Node != nodes[4].ID() {
+		t.Errorf("registry after compression = %+v, want %s", looked, nodes[4].ID())
+	}
+}
+
+func TestDeregisterBreaksChain(t *testing.T) {
+	svc, nodes := newForwardingCluster(t, 2)
+	ctx := fctx(t)
+	assign, err := svc.ClientFor(nodes[0]).Register(ctx, "gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ClientFor(nodes[0]).Deregister(ctx, "gone", assign); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ClientFor(nodes[1]).Locate(ctx, "gone"); !errors.Is(err, core.ErrNotRegistered) {
+		t.Errorf("error = %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestMoveNotifyWithoutPrevious(t *testing.T) {
+	// A MoveNotify with a zero assignment (no previous node recorded)
+	// must still mark the agent resident locally.
+	svc, nodes := newForwardingCluster(t, 2)
+	ctx := fctx(t)
+	if _, err := svc.ClientFor(nodes[0]).Register(ctx, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ClientFor(nodes[1]).MoveNotify(ctx, "fresh", core.Assignment{}); err != nil {
+		t.Fatal(err)
+	}
+	// Breaking the client contract (no previous node in the cached
+	// assignment) leaves the old node's resident flag standing, so the
+	// locate returns the stale node — the documented failure mode of
+	// forwarding pointers when a departure goes unrecorded.
+	where, err := svc.ClientFor(nodes[0]).Locate(ctx, "fresh")
+	if err != nil {
+		t.Fatalf("locate: %v", err)
+	}
+	if where != nodes[0].ID() {
+		t.Errorf("located at %s, want the stale %s", where, nodes[0].ID())
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Deploy(ctx, DefaultConfig(), nil, 0); err == nil {
+		t.Error("no nodes accepted")
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	defer net.Close()
+	n, err := platform.NewNode(platform.Config{ID: "solo", Link: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := Deploy(ctx, Config{Registry: ""}, []*platform.Node{n}, 0); err == nil {
+		t.Error("empty registry accepted")
+	}
+	if _, err := Deploy(ctx, Config{Registry: "r", Node: "elsewhere"}, []*platform.Node{n}, 0); err == nil {
+		t.Error("unknown registry node accepted")
+	}
+}
+
+func TestUnknownKinds(t *testing.T) {
+	svc, nodes := newForwardingCluster(t, 1)
+	ctx := fctx(t)
+	if err := nodes[0].CallAgent(ctx, svc.Config().Node, svc.Config().Registry, "bogus", nil, nil); err == nil {
+		t.Error("registry accepted unknown kind")
+	}
+	if err := nodes[0].CallAgent(ctx, nodes[0].ID(), ForwarderID(nodes[0].ID()), "bogus", nil, nil); err == nil {
+		t.Error("forwarder accepted unknown kind")
+	}
+}

@@ -1,0 +1,107 @@
+package hashtree
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"agentloc/internal/bitstr"
+)
+
+// DTO is the wire representation of a Tree, suitable for gob and JSON
+// encoding. The HAgent ships DTOs to LHAgents during hash-function update
+// propagation (paper §4.3).
+type DTO struct {
+	Version   uint64  `json:"version"`
+	RootLabel string  `json:"rootLabel,omitempty"`
+	Root      NodeDTO `json:"root"`
+}
+
+// NodeDTO is the wire representation of one tree node. Exactly one of
+// IAgent or the child fields is populated.
+type NodeDTO struct {
+	IAgent     string   `json:"iagent,omitempty"`
+	LeftLabel  string   `json:"leftLabel,omitempty"`
+	Left       *NodeDTO `json:"left,omitempty"`
+	RightLabel string   `json:"rightLabel,omitempty"`
+	Right      *NodeDTO `json:"right,omitempty"`
+}
+
+// DTO converts the tree to its wire form.
+func (t *Tree) DTO() DTO {
+	var conv func(n *node) NodeDTO
+	conv = func(n *node) NodeDTO {
+		if n.isLeaf() {
+			return NodeDTO{IAgent: n.iagent}
+		}
+		l := conv(n.left)
+		r := conv(n.right)
+		return NodeDTO{
+			LeftLabel:  n.leftLabel.Raw(),
+			Left:       &l,
+			RightLabel: n.rightLabel.Raw(),
+			Right:      &r,
+		}
+	}
+	return DTO{
+		Version:   t.version,
+		RootLabel: t.rootLabel.Raw(),
+		Root:      conv(t.root),
+	}
+}
+
+// FromDTO rebuilds a Tree from its wire form, validating it.
+func FromDTO(d DTO) (*Tree, error) {
+	rootLabel, err := bitstr.Parse(d.RootLabel)
+	if err != nil {
+		return nil, fmt.Errorf("hashtree: bad root label: %w", err)
+	}
+	var conv func(nd NodeDTO) (*node, error)
+	conv = func(nd NodeDTO) (*node, error) {
+		if nd.Left == nil && nd.Right == nil {
+			return &node{iagent: nd.IAgent}, nil
+		}
+		if nd.Left == nil || nd.Right == nil {
+			return nil, fmt.Errorf("hashtree: DTO internal node with a single child")
+		}
+		ll, err := bitstr.Parse(nd.LeftLabel)
+		if err != nil {
+			return nil, fmt.Errorf("hashtree: bad left label: %w", err)
+		}
+		rl, err := bitstr.Parse(nd.RightLabel)
+		if err != nil {
+			return nil, fmt.Errorf("hashtree: bad right label: %w", err)
+		}
+		left, err := conv(*nd.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := conv(*nd.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &node{leftLabel: ll, left: left, rightLabel: rl, right: right}, nil
+	}
+	root, err := conv(d.Root)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{version: d.Version, rootLabel: rootLabel, root: root}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodeJSON serializes the tree as JSON.
+func (t *Tree) EncodeJSON() ([]byte, error) {
+	return json.Marshal(t.DTO())
+}
+
+// DecodeJSON deserializes a tree from JSON produced by EncodeJSON.
+func DecodeJSON(data []byte) (*Tree, error) {
+	var d DTO
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("hashtree: decode: %w", err)
+	}
+	return FromDTO(d)
+}

@@ -1,0 +1,49 @@
+package hashtree
+
+// PaperTree returns the running example used throughout the documentation
+// and the figure tests: a seven-IAgent tree structurally equivalent to the
+// paper's Figure 1. (The paper's exact bit values were lost in the source
+// text's OCR; this instance preserves every structural feature the worked
+// examples rely on: seven leaves, a multi-bit label on an internal edge —
+// "00" into the IA3/IA4 subtree — and a multi-bit label on a leaf edge —
+// "01" into IA5, so that IA5 serves all agents with prefix 110x, x ∈ {0,1}.)
+//
+//	hash tree v1 (rootLabel=ε)
+//	├─0─ (·)
+//	│    ├─0─ IA0             hyper-label 0.0
+//	│    └─1─ (·)
+//	│         ├─0─ IA1        hyper-label 0.1.0
+//	│         └─1─ IA2        hyper-label 0.1.1
+//	└─1─ (·)
+//	     ├─00─ (·)            (second bit unused)
+//	     │     ├─0─ IA3       hyper-label 1.00.0
+//	     │     └─1─ IA4       hyper-label 1.00.1
+//	     └─1─ (·)
+//	          ├─01─ IA5       hyper-label 1.1.01  (fourth bit unused)
+//	          └─1── IA6       hyper-label 1.1.1
+func PaperTree() *Tree {
+	leaf := func(id string) *NodeDTO { return &NodeDTO{IAgent: id} }
+	inner := func(ll string, l *NodeDTO, rl string, r *NodeDTO) *NodeDTO {
+		return &NodeDTO{LeftLabel: ll, Left: l, RightLabel: rl, Right: r}
+	}
+	d := DTO{
+		Version: 1,
+		Root: *inner(
+			"0", inner(
+				"0", leaf("IA0"),
+				"1", inner("0", leaf("IA1"), "1", leaf("IA2")),
+			),
+			"1", inner(
+				"00", inner("0", leaf("IA3"), "1", leaf("IA4")),
+				"1", inner("01", leaf("IA5"), "1", leaf("IA6")),
+			),
+		),
+	}
+	t, err := FromDTO(d)
+	if err != nil {
+		// PaperTree is a compile-time constant structure; failure here is a
+		// programming error, not a runtime condition.
+		panic("hashtree: PaperTree invalid: " + err.Error())
+	}
+	return t
+}

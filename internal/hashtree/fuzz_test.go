@@ -1,0 +1,87 @@
+package hashtree
+
+import (
+	"testing"
+
+	"agentloc/internal/bitstr"
+)
+
+// FuzzDecodeJSON hardens the wire decoder against arbitrary bytes: it must
+// either reject the input or produce a tree that validates and answers
+// lookups.
+func FuzzDecodeJSON(f *testing.F) {
+	seed, err := PaperTree().EncodeJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"root":{"iagent":"A"}}`))
+	f.Add([]byte(`{"version":1,"rootLabel":"01","root":{"iagent":"A"}}`))
+	f.Add([]byte(`not json at all`))
+	id := bitstr.FromUint64(0xDEADBEEF, 64)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := DecodeJSON(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid tree: %v", err)
+		}
+		owner, err := tree.Lookup(id)
+		if err != nil {
+			return // trees deeper than 64 bits legitimately fail lookups
+		}
+		if owner == "" {
+			t.Fatal("lookup returned empty owner on valid tree")
+		}
+	})
+}
+
+// FuzzSplitSequence applies fuzzer-chosen split/merge sequences and checks
+// the structural invariants survive.
+func FuzzSplitSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{9, 9, 9, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		tree := New("ia-0")
+		next := 1
+		for _, op := range script {
+			agents := tree.IAgents()
+			target := agents[int(op)%len(agents)]
+			if op%4 == 3 && len(agents) > 1 {
+				nt, _, err := tree.Merge(target)
+				if err != nil {
+					t.Fatalf("merge %s: %v", target, err)
+				}
+				tree = nt
+				continue
+			}
+			cands, err := tree.SplitCandidates(target, 3)
+			if err != nil {
+				t.Fatalf("candidates %s: %v", target, err)
+			}
+			c := cands[int(op/4)%len(cands)]
+			nt, err := tree.ApplySplit(c, newFuzzID(&next))
+			if err != nil {
+				t.Fatalf("split %v: %v", c, err)
+			}
+			tree = nt
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("invalid tree after script %v: %v", script, err)
+		}
+		// Totality on a few probes.
+		for _, v := range []uint64{0, ^uint64(0), 0xAAAAAAAAAAAAAAAA, 0x123456789ABCDEF0} {
+			if _, err := tree.Lookup(bitstr.FromUint64(v, 64)); err != nil {
+				t.Fatalf("lookup %x: %v", v, err)
+			}
+		}
+	})
+}
+
+func newFuzzID(next *int) string {
+	id := "fz-" + itoa(*next)
+	*next++
+	return id
+}

@@ -1,0 +1,112 @@
+package hashtree
+
+import "fmt"
+
+// MergeKind distinguishes the two merging procedures of paper §4.2.
+type MergeKind int
+
+const (
+	// MergeSimple folds the leaf into a sibling that is itself a leaf.
+	MergeSimple MergeKind = iota + 1
+	// MergeComplex distributes the leaf's load over the leaves of an
+	// internal sibling subtree.
+	MergeComplex
+)
+
+// String implements fmt.Stringer.
+func (k MergeKind) String() string {
+	switch k {
+	case MergeSimple:
+		return "simple"
+	case MergeComplex:
+		return "complex"
+	default:
+		return fmt.Sprintf("MergeKind(%d)", int(k))
+	}
+}
+
+// MergeResult reports what a merge did.
+type MergeResult struct {
+	// Kind is simple if the removed leaf's sibling was a leaf, complex if
+	// it was an internal node.
+	Kind MergeKind
+	// Absorbers lists the IAgents that take over the removed IAgent's
+	// agents: a single IAgent for a simple merge, the leaves of the
+	// sibling subtree for a complex merge.
+	Absorbers []string
+}
+
+// Merge removes the leaf owned by iagent (paper §4.2). The parent node
+// collapses: the sibling subtree is re-attached one level up, its edge
+// label prefixed with the collapsed parent's label, so the bit that used to
+// route between the two siblings becomes an unused bit. Merging the only
+// leaf fails with ErrLastLeaf.
+//
+// It returns the new tree (version incremented) and the set of IAgents that
+// absorb the removed IAgent's load.
+func (t *Tree) Merge(iagent string) (*Tree, MergeResult, error) {
+	nt := t.clone()
+	nt.version++
+
+	leaf, parent, err := nt.findLeaf(iagent)
+	if err != nil {
+		return nil, MergeResult{}, err
+	}
+	if parent == nil {
+		return nil, MergeResult{}, ErrLastLeaf
+	}
+
+	sibling := parent.right
+	siblingLabel := parent.rightLabel
+	if sibling == leaf {
+		sibling = parent.left
+		siblingLabel = parent.leftLabel
+	}
+
+	kind := MergeComplex
+	if sibling.isLeaf() {
+		kind = MergeSimple
+	}
+
+	// Find the parent's parent to re-attach the sibling.
+	pathNodes, wentLeft, err := nt.pathTo(iagent)
+	if err != nil {
+		return nil, MergeResult{}, err
+	}
+	// pathNodes[len-1] == parent; the grandparent, if any, precedes it.
+	if len(pathNodes) == 1 {
+		// Parent is the root: the sibling becomes the new root and the
+		// routing bit (the valid bit of the sibling's label) joins the
+		// RootLabel as an unused bit.
+		nt.rootLabel = nt.rootLabel.Concat(siblingLabel)
+		nt.root = sibling
+	} else {
+		grand := pathNodes[len(pathNodes)-2]
+		goesLeft := wentLeft[len(wentLeft)-2]
+		if goesLeft {
+			grand.leftLabel = grand.leftLabel.Concat(siblingLabel)
+			grand.left = sibling
+		} else {
+			grand.rightLabel = grand.rightLabel.Concat(siblingLabel)
+			grand.right = sibling
+		}
+	}
+
+	if err := nt.Validate(); err != nil {
+		return nil, MergeResult{}, fmt.Errorf("hashtree: merge produced invalid tree: %w", err)
+	}
+
+	var absorbers []string
+	var collect func(n *node)
+	collect = func(n *node) {
+		if n.isLeaf() {
+			absorbers = append(absorbers, n.iagent)
+			return
+		}
+		collect(n.left)
+		collect(n.right)
+	}
+	collect(sibling)
+
+	return nt, MergeResult{Kind: kind, Absorbers: absorbers}, nil
+}

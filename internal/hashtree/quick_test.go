@@ -1,0 +1,185 @@
+package hashtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agentloc/internal/bitstr"
+)
+
+// buildFromScript grows a tree deterministically from a byte script (the
+// same construction the fuzz target uses), so quick.Check can explore the
+// space of reachable trees.
+func buildFromScript(script []byte) (*Tree, error) {
+	tree := New("q-0")
+	next := 1
+	for _, op := range script {
+		agents := tree.IAgents()
+		target := agents[int(op)%len(agents)]
+		if op%5 == 4 && len(agents) > 1 {
+			nt, _, err := tree.Merge(target)
+			if err != nil {
+				return nil, err
+			}
+			tree = nt
+			continue
+		}
+		cands, err := tree.SplitCandidates(target, 3)
+		if err != nil {
+			return nil, err
+		}
+		nt, err := tree.ApplySplit(cands[int(op/5)%len(cands)], newFuzzID(&next))
+		if err != nil {
+			return nil, err
+		}
+		tree = nt
+	}
+	return tree, nil
+}
+
+// TestQuickLookupTotalOnReachableTrees: every 64-bit id resolves to an
+// existing IAgent on every reachable tree.
+func TestQuickLookupTotalOnReachableTrees(t *testing.T) {
+	f := func(script []byte, id uint64) bool {
+		if len(script) > 24 {
+			script = script[:24]
+		}
+		tree, err := buildFromScript(script)
+		if err != nil {
+			return false
+		}
+		if tree.Validate() != nil {
+			return false
+		}
+		owner, err := tree.Lookup(bitstr.FromUint64(id, 64))
+		if err != nil {
+			return false
+		}
+		for _, ia := range tree.IAgents() {
+			if ia == owner {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncodingPreservesLookup: the JSON wire form preserves the
+// mapping for arbitrary ids on arbitrary reachable trees.
+func TestQuickEncodingPreservesLookup(t *testing.T) {
+	f := func(script []byte, id uint64) bool {
+		if len(script) > 16 {
+			script = script[:16]
+		}
+		tree, err := buildFromScript(script)
+		if err != nil {
+			return false
+		}
+		data, err := tree.EncodeJSON()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			return false
+		}
+		b := bitstr.FromUint64(id, 64)
+		a1, err1 := tree.Lookup(b)
+		a2, err2 := back.Lookup(b)
+		return err1 == nil && err2 == nil && a1 == a2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitMovesExactlyMatchingBit: for any reachable tree, any leaf
+// and any candidate, ids move to the new IAgent iff their bit at the
+// candidate's position equals NewOnBit.
+func TestQuickSplitMovesExactlyMatchingBit(t *testing.T) {
+	f := func(script []byte, pick uint8, id uint64) bool {
+		if len(script) > 12 {
+			script = script[:12]
+		}
+		tree, err := buildFromScript(script)
+		if err != nil {
+			return false
+		}
+		agents := tree.IAgents()
+		target := agents[int(pick)%len(agents)]
+		cands, err := tree.SplitCandidates(target, 3)
+		if err != nil {
+			return false
+		}
+		c := cands[int(pick/7)%len(cands)]
+		nt, err := tree.ApplySplit(c, "QNEW")
+		if err != nil {
+			return false
+		}
+		b := bitstr.FromUint64(id, 64)
+		before, err1 := tree.Lookup(b)
+		after, err2 := nt.Lookup(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if after == "QNEW" {
+			return b.At(c.BitPos) == c.NewOnBit
+		}
+		return after == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeAbsorbersOnly: after merging any leaf of any reachable
+// tree, the merged leaf's ids land only on reported absorbers and all other
+// ids keep their owner.
+func TestQuickMergeAbsorbersOnly(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	f := func(script []byte, pick uint8) bool {
+		if len(script) > 12 {
+			script = script[:12]
+		}
+		tree, err := buildFromScript(script)
+		if err != nil {
+			return false
+		}
+		agents := tree.IAgents()
+		if len(agents) < 2 {
+			return true // nothing to merge
+		}
+		target := agents[int(pick)%len(agents)]
+		nt, res, err := tree.Merge(target)
+		if err != nil {
+			return false
+		}
+		absorber := make(map[string]bool, len(res.Absorbers))
+		for _, a := range res.Absorbers {
+			absorber[a] = true
+		}
+		for i := 0; i < 32; i++ {
+			b := bitstr.FromUint64(r.Uint64(), 64)
+			before, err1 := tree.Lookup(b)
+			after, err2 := nt.Lookup(b)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if before == target {
+				if !absorber[after] {
+					return false
+				}
+			} else if after != before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package hashtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the tree as indented ASCII art, one node per line, with
+// edge labels in the paper's notation. Example:
+//
+//	hash tree v3 (rootLabel=ε)
+//	├─0─ (·)
+//	│    ├─0─ IA0
+//	│    └─1─ IA1
+//	└─1─ IA2
+func (t *Tree) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hash tree v%d (rootLabel=%s)\n", t.version, t.rootLabel)
+	if t.root.isLeaf() {
+		fmt.Fprintf(&b, "─── %s\n", t.root.iagent)
+		return b.String()
+	}
+	var walk func(n *node, prefix string)
+	walk = func(n *node, prefix string) {
+		renderChild := func(label, childPrefix, connector string, child *node) {
+			if child.isLeaf() {
+				fmt.Fprintf(&b, "%s%s─%s─ %s\n", prefix, connector, label, child.iagent)
+				return
+			}
+			fmt.Fprintf(&b, "%s%s─%s─ (·)\n", prefix, connector, label)
+			walk(child, childPrefix)
+		}
+		pad := strings.Repeat(" ", len(n.leftLabel.Raw()))
+		renderChild(n.leftLabel.Raw(), prefix+"│  "+pad, "├", n.left)
+		pad = strings.Repeat(" ", len(n.rightLabel.Raw()))
+		renderChild(n.rightLabel.Raw(), prefix+"   "+pad, "└", n.right)
+	}
+	walk(t.root, "")
+	return b.String()
+}
+
+// Describe returns a one-line-per-leaf summary in the paper's hyper-label
+// notation, e.g. "IA3: 1.00.0 (serves 10?0*)".
+func (t *Tree) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hash tree v%d: %d IAgents\n", t.version, t.NumLeaves())
+	for _, l := range t.Leaves() {
+		fmt.Fprintf(&b, "  %s: hyper-label %s serves %s\n", l.IAgent, l.HyperLabelString(), t.servedPattern(l))
+	}
+	return b.String()
+}
+
+// servedPattern renders the prefix pattern the leaf serves, using '?' for
+// unused bits, e.g. "1?0" for a leaf reached via labels "1?"+"0" — agents
+// whose first bit is 1 and third bit is 0, any second bit.
+func (t *Tree) servedPattern(l Leaf) string {
+	var b strings.Builder
+	for i := 0; i < t.rootLabel.Len(); i++ {
+		b.WriteByte('?')
+	}
+	for _, lab := range l.HyperLabel {
+		raw := lab.Raw()
+		b.WriteByte(raw[0])
+		for i := 1; i < len(raw); i++ {
+			b.WriteByte('?')
+		}
+	}
+	b.WriteByte('*')
+	return b.String()
+}
+
+// DOT renders the tree in graphviz dot format: leaves are boxes named by
+// their IAgent, internal nodes are points, edges are labelled with their
+// bit strings (valid bit emphasized by position — it is always the first).
+//
+//	go run ./cmd/locsim tree -dot | dot -Tsvg > tree.svg
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph hashtree {\n")
+	fmt.Fprintf(&b, "  label=\"hash tree v%d (rootLabel=%s)\";\n", t.version, t.rootLabel)
+	b.WriteString("  node [fontname=\"monospace\"];\n")
+	b.WriteString("  edge [fontname=\"monospace\"];\n")
+	next := 0
+	var walk func(n *node) string
+	walk = func(n *node) string {
+		name := fmt.Sprintf("n%d", next)
+		next++
+		if n.isLeaf() {
+			fmt.Fprintf(&b, "  %s [shape=box, label=%q];\n", name, n.iagent)
+			return name
+		}
+		fmt.Fprintf(&b, "  %s [shape=point];\n", name)
+		left := walk(n.left)
+		fmt.Fprintf(&b, "  %s -> %s [label=%q];\n", name, left, n.leftLabel.Raw())
+		right := walk(n.right)
+		fmt.Fprintf(&b, "  %s -> %s [label=%q];\n", name, right, n.rightLabel.Raw())
+		return name
+	}
+	walk(t.root)
+	b.WriteString("}\n")
+	return b.String()
+}

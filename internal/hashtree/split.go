@@ -1,0 +1,271 @@
+package hashtree
+
+import (
+	"fmt"
+
+	"agentloc/internal/bitstr"
+)
+
+// SplitKind distinguishes the two splitting procedures of paper §4.1.
+type SplitKind int
+
+const (
+	// SplitSimple extends the hash by m fresh bits below the leaf.
+	SplitSimple SplitKind = iota + 1
+	// SplitComplex re-activates an unused bit of a multi-bit label.
+	SplitComplex
+)
+
+// String implements fmt.Stringer.
+func (k SplitKind) String() string {
+	switch k {
+	case SplitSimple:
+		return "simple"
+	case SplitComplex:
+		return "complex"
+	default:
+		return fmt.Sprintf("SplitKind(%d)", int(k))
+	}
+}
+
+// SplitCandidate describes one way of splitting an overloaded IAgent's leaf.
+// Candidates are produced by SplitCandidates in the paper's preference order
+// and applied with ApplySplit once the caller has found one that divides the
+// load evenly (the caller judges evenness — only it knows the per-agent
+// request statistics).
+type SplitCandidate struct {
+	// Kind is the splitting procedure this candidate uses.
+	Kind SplitKind
+	// IAgent is the id of the IAgent whose leaf is being split.
+	IAgent string
+	// BitPos is the absolute index into an agent's binary id of the bit
+	// that will discriminate between the old and the new IAgent. Callers
+	// evaluate evenness by partitioning the served agents on this bit.
+	BitPos int
+	// NewOnBit is the value of the discriminating bit that routes to the
+	// NEW IAgent; agents with the complementary value stay where the tree
+	// previously sent them.
+	NewOnBit byte
+
+	// treeVersion pins the candidate to the tree that produced it.
+	treeVersion uint64
+	// m is the number of extra bits for a simple split (m ≥ 1).
+	m int
+	// pathIndex selects the edge holding the multi-bit label for a complex
+	// split: -1 means the tree's RootLabel, i ≥ 0 means the edge leaving
+	// the i-th node on the root→leaf path.
+	pathIndex int
+	// labelBit is the index within that label of the re-activated bit
+	// (≥ 1 for edge labels, whose bit 0 is the valid bit; ≥ 0 for the
+	// RootLabel, all of whose bits are unused).
+	labelBit int
+}
+
+// String renders the candidate for logs.
+func (c SplitCandidate) String() string {
+	if c.Kind == SplitSimple {
+		return fmt.Sprintf("simple-split(%s, m=%d, bit=%d)", c.IAgent, c.m, c.BitPos)
+	}
+	return fmt.Sprintf("complex-split(%s, edge=%d, labelBit=%d, bit=%d)", c.IAgent, c.pathIndex, c.labelBit, c.BitPos)
+}
+
+// SplitCandidates enumerates the ways to split the given IAgent's leaf, in
+// the paper's preference order: complex splits first (left-most multi-bit
+// label first, and within a label the first unused bit first), then simple
+// splits with m = 1 .. maxSimpleBits. The tree's RootLabel, if non-empty,
+// is considered the left-most label (all of its bits are unused).
+func (t *Tree) SplitCandidates(iagent string, maxSimpleBits int) ([]SplitCandidate, error) {
+	pathNodes, wentLeft, err := t.pathTo(iagent)
+	if err != nil {
+		return nil, err
+	}
+	if maxSimpleBits < 1 {
+		maxSimpleBits = 1
+	}
+
+	var out []SplitCandidate
+
+	// Complex candidates over the RootLabel.
+	pos := 0
+	for j := 0; j < t.rootLabel.Len(); j++ {
+		b := t.rootLabel.At(j)
+		out = append(out, SplitCandidate{
+			Kind:        SplitComplex,
+			IAgent:      iagent,
+			BitPos:      pos + j,
+			NewOnBit:    1 - b,
+			treeVersion: t.version,
+			pathIndex:   -1,
+			labelBit:    j,
+		})
+	}
+	pos += t.rootLabel.Len()
+
+	// Complex candidates over the path's edge labels, top-down.
+	for i, n := range pathNodes {
+		label := n.rightLabel
+		if wentLeft[i] {
+			label = n.leftLabel
+		}
+		for j := 1; j < label.Len(); j++ {
+			b := label.At(j)
+			out = append(out, SplitCandidate{
+				Kind:        SplitComplex,
+				IAgent:      iagent,
+				BitPos:      pos + j,
+				NewOnBit:    1 - b,
+				treeVersion: t.version,
+				pathIndex:   i,
+				labelBit:    j,
+			})
+		}
+		pos += label.Len()
+	}
+
+	// Simple candidates: split on the m-th fresh bit below the leaf.
+	for m := 1; m <= maxSimpleBits; m++ {
+		out = append(out, SplitCandidate{
+			Kind:        SplitSimple,
+			IAgent:      iagent,
+			BitPos:      pos + m - 1,
+			NewOnBit:    1,
+			treeVersion: t.version,
+			m:           m,
+		})
+	}
+	return out, nil
+}
+
+// ApplySplit materializes a split candidate, assigning the newly created
+// leaf to newIAgent. It returns a new tree with the version incremented.
+// The candidate must have been produced by SplitCandidates on this exact
+// tree version.
+func (t *Tree) ApplySplit(c SplitCandidate, newIAgent string) (*Tree, error) {
+	if c.treeVersion != t.version {
+		return nil, fmt.Errorf("hashtree: stale split candidate (tree v%d, candidate v%d)", t.version, c.treeVersion)
+	}
+	if newIAgent == "" {
+		return nil, fmt.Errorf("hashtree: empty new IAgent id")
+	}
+	if t.Contains(newIAgent) {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateIAgent, newIAgent)
+	}
+	nt := t.clone()
+	nt.version++
+	var err error
+	switch c.Kind {
+	case SplitSimple:
+		err = nt.applySimpleSplit(c, newIAgent)
+	case SplitComplex:
+		err = nt.applyComplexSplit(c, newIAgent)
+	default:
+		err = fmt.Errorf("hashtree: unknown split kind %v", c.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := nt.Validate(); err != nil {
+		return nil, fmt.Errorf("hashtree: split produced invalid tree: %w", err)
+	}
+	return nt, nil
+}
+
+// applySimpleSplit turns the leaf into an internal node with two fresh leaf
+// children. With m > 1 the m-1 skipped bits are appended (as unused '0'
+// placeholder bits) to the leaf's incoming label — or to the RootLabel if
+// the leaf is the root (paper §4.1: "the last label of the hyper-label is
+// augmented ... the split was done on the m-th bit").
+func (t *Tree) applySimpleSplit(c SplitCandidate, newIAgent string) error {
+	leaf, parent, err := t.findLeaf(c.IAgent)
+	if err != nil {
+		return err
+	}
+	pad := bitstr.Empty
+	for i := 1; i < c.m; i++ {
+		pad = pad.Append(0)
+	}
+	switch {
+	case parent == nil:
+		t.rootLabel = t.rootLabel.Concat(pad)
+	case parent.left == leaf:
+		parent.leftLabel = parent.leftLabel.Concat(pad)
+	default:
+		parent.rightLabel = parent.rightLabel.Concat(pad)
+	}
+	// The old IAgent keeps the 0-side; the new IAgent takes the 1-side
+	// (consistent with NewOnBit = 1).
+	leaf.left = &node{iagent: leaf.iagent}
+	leaf.right = &node{iagent: newIAgent}
+	leaf.leftLabel = bitstr.MustParse("0")
+	leaf.rightLabel = bitstr.MustParse("1")
+	leaf.iagent = ""
+	return nil
+}
+
+// applyComplexSplit re-activates an unused bit of a multi-bit label. The
+// subtree below the label keeps the agents whose bit matches the recorded
+// value; agents with the complementary bit are routed to the new leaf.
+func (t *Tree) applyComplexSplit(c SplitCandidate, newIAgent string) error {
+	newLeaf := &node{iagent: newIAgent}
+
+	if c.pathIndex < 0 {
+		// Split inside the RootLabel.
+		if c.labelBit < 0 || c.labelBit >= t.rootLabel.Len() {
+			return fmt.Errorf("hashtree: complex split labelBit %d out of range for root label %s", c.labelBit, t.rootLabel)
+		}
+		b := t.rootLabel.At(c.labelBit)
+		keepLabel := t.rootLabel.Slice(c.labelBit, t.rootLabel.Len())
+		mid := &node{}
+		setChild(mid, b, keepLabel, t.root)
+		setChild(mid, 1-b, singleBit(1-b), newLeaf)
+		t.rootLabel = t.rootLabel.Prefix(c.labelBit)
+		t.root = mid
+		return nil
+	}
+
+	pathNodes, wentLeft, err := t.pathTo(c.IAgent)
+	if err != nil {
+		return err
+	}
+	if c.pathIndex >= len(pathNodes) {
+		return fmt.Errorf("hashtree: complex split pathIndex %d out of range (path length %d)", c.pathIndex, len(pathNodes))
+	}
+	u := pathNodes[c.pathIndex]
+	left := wentLeft[c.pathIndex]
+	label := u.rightLabel
+	child := u.right
+	if left {
+		label = u.leftLabel
+		child = u.left
+	}
+	if c.labelBit < 1 || c.labelBit >= label.Len() {
+		return fmt.Errorf("hashtree: complex split labelBit %d out of range for label %s", c.labelBit, label)
+	}
+	b := label.At(c.labelBit)
+	mid := &node{}
+	setChild(mid, b, label.Slice(c.labelBit, label.Len()), child)
+	setChild(mid, 1-b, singleBit(1-b), newLeaf)
+	if left {
+		u.leftLabel = label.Prefix(c.labelBit)
+		u.left = mid
+	} else {
+		u.rightLabel = label.Prefix(c.labelBit)
+		u.right = mid
+	}
+	return nil
+}
+
+// setChild wires child under n on the side selected by the label's valid
+// bit.
+func setChild(n *node, validBit byte, label bitstr.Bits, child *node) {
+	if validBit == 0 {
+		n.leftLabel, n.left = label, child
+	} else {
+		n.rightLabel, n.right = label, child
+	}
+}
+
+// singleBit returns a 1-bit label.
+func singleBit(b byte) bitstr.Bits {
+	return bitstr.Empty.Append(b)
+}

@@ -1,0 +1,85 @@
+// Package ids defines agent identifiers and their binary representations.
+//
+// The location mechanism is deliberately independent of any platform naming
+// scheme (paper §1): the hash function consumes only "the binary
+// representation of a mobile agent's id". We therefore map opaque string ids
+// to a fixed-width bit string through FNV-1a, which distributes arbitrary
+// names uniformly over the id space.
+package ids
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync/atomic"
+
+	"agentloc/internal/bitstr"
+)
+
+// BinaryWidth is the number of bits in an agent id's binary representation.
+// 64 bits keeps collisions negligible for any realistic agent population
+// while leaving plenty of prefix depth for the hash tree.
+const BinaryWidth = 64
+
+// AgentID names a mobile agent. IDs are opaque strings; two agents must not
+// share an id.
+type AgentID string
+
+// String implements fmt.Stringer.
+func (id AgentID) String() string { return string(id) }
+
+// Binary returns the BinaryWidth-bit binary representation of the id: the
+// FNV-1a hash of the id text passed through a 64-bit finalizer. The hash
+// tree consumes a prefix of this bit string, and the mechanism's load
+// balance depends on every prefix bit being uniform — raw FNV-1a leaves the
+// high-order bits nearly constant for short similar strings, so the
+// finalizer (murmur3's fmix64) avalanches them.
+func (id AgentID) Binary() bitstr.Bits {
+	h := fnv.New64a()
+	h.Write([]byte(id)) // hash.Hash.Write never returns an error
+	return bitstr.FromUint64(fmix64(h.Sum64()), BinaryWidth)
+}
+
+// fmix64 is the murmur3 64-bit finalizer: a bijective mixer with full
+// avalanche, so every output bit depends on every input bit.
+func fmix64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Generator hands out unique agent ids with a common prefix. It is safe for
+// concurrent use.
+type Generator struct {
+	prefix string
+	next   atomic.Uint64
+}
+
+// NewGenerator returns a Generator whose ids share the given prefix, e.g.
+// "tagent". Prefixes keep experiment logs readable.
+func NewGenerator(prefix string) *Generator {
+	return &Generator{prefix: prefix}
+}
+
+// Next returns a fresh unique id such as "tagent-17".
+func (g *Generator) Next() AgentID {
+	n := g.next.Add(1)
+	return AgentID(g.prefix + "-" + strconv.FormatUint(n, 10))
+}
+
+// WithBinaryPrefix searches for an id with the given textual stem whose
+// binary representation starts with the requested prefix. It is a test and
+// example helper for constructing agents that land on a chosen IAgent; it
+// returns an error if no match is found within maxTries attempts.
+func WithBinaryPrefix(stem string, prefix bitstr.Bits, maxTries int) (AgentID, error) {
+	for i := 0; i < maxTries; i++ {
+		id := AgentID(fmt.Sprintf("%s-%d", stem, i))
+		if id.Binary().HasPrefix(prefix) {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("ids: no id with stem %q and binary prefix %s in %d tries", stem, prefix, maxTries)
+}

@@ -1,0 +1,109 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"agentloc/internal/bitstr"
+)
+
+func TestBinaryWidth(t *testing.T) {
+	for _, id := range []AgentID{"", "a", "tagent-1", "some/long/agent/name"} {
+		if got := id.Binary().Len(); got != BinaryWidth {
+			t.Errorf("Binary(%q).Len() = %d, want %d", id, got, BinaryWidth)
+		}
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	id := AgentID("tagent-42")
+	if id.Binary() != id.Binary() {
+		t.Error("Binary() is not deterministic")
+	}
+}
+
+func TestBinaryDistinguishesIDs(t *testing.T) {
+	seen := make(map[bitstr.Bits]AgentID)
+	g := NewGenerator("t")
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		b := id.Binary()
+		if prev, ok := seen[b]; ok {
+			t.Fatalf("collision: %q and %q both map to %s", prev, id, b)
+		}
+		seen[b] = id
+	}
+}
+
+func TestBinaryPrefixBalance(t *testing.T) {
+	// The first bit should split a large population roughly in half; the
+	// mechanism's load balance depends on this.
+	g := NewGenerator("bal")
+	var ones int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Binary().At(0) == 1 {
+			ones++
+		}
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Errorf("first-bit balance: %d/%d ones, want within 45%%..55%%", ones, n)
+	}
+}
+
+func TestGeneratorUnique(t *testing.T) {
+	g := NewGenerator("x")
+	const n = 1000
+	ids := make(chan AgentID, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/10; j++ {
+				ids <- g.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[AgentID]bool, n)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWithBinaryPrefix(t *testing.T) {
+	for _, p := range []string{"0", "1", "00", "01", "10", "11", "010"} {
+		prefix := bitstr.MustParse(p)
+		id, err := WithBinaryPrefix("t", prefix, 10000)
+		if err != nil {
+			t.Fatalf("WithBinaryPrefix(%q): %v", p, err)
+		}
+		if !id.Binary().HasPrefix(prefix) {
+			t.Errorf("id %q binary %s does not start with %s", id, id.Binary(), prefix)
+		}
+	}
+}
+
+func TestWithBinaryPrefixExhausts(t *testing.T) {
+	// A 30-bit prefix is unreachable in 10 tries.
+	long := bitstr.FromUint64(0x2AAAAAAA, 30)
+	if _, err := WithBinaryPrefix("t", long, 10); err == nil {
+		t.Error("expected error for unreachable prefix")
+	}
+}
+
+func TestQuickBinaryTotal(t *testing.T) {
+	f := func(s string) bool {
+		b := AgentID(s).Binary()
+		return b.Len() == BinaryWidth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,332 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentloc/internal/clock"
+	"agentloc/internal/ids"
+)
+
+// hosted is an agent instance resident at a node.
+type hosted struct {
+	id          ids.AgentID
+	behavior    Behavior
+	node        *Node
+	serviceTime time.Duration
+
+	mailbox *mailbox
+
+	mu      sync.Mutex
+	stopped bool
+	moved   bool
+
+	stop    chan struct{}
+	boxDone chan struct{}
+	runDone chan struct{} // closed when the Run goroutine exits; nil if not a Runner
+}
+
+func newHosted(id ids.AgentID, b Behavior, n *Node) *hosted {
+	return &hosted{
+		id:       id,
+		behavior: b,
+		node:     n,
+		mailbox:  newMailbox(),
+		stop:     make(chan struct{}),
+		boxDone:  make(chan struct{}),
+	}
+}
+
+// start launches the mailbox goroutine and, for Runner behaviours, the Run
+// goroutine.
+func (h *hosted) start(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.mailboxLoop()
+	}()
+	if runner, ok := h.behavior.(Runner); ok {
+		h.runDone = make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(h.runDone)
+			// A Run error means the agent's active loop died; the agent
+			// remains reachable through its mailbox, matching a mobile
+			// agent whose autonomous behaviour ended.
+			_ = runner.Run(h.context())
+		}()
+	}
+}
+
+// context builds the Context handed to behaviour callbacks.
+func (h *hosted) context() *Context {
+	return &Context{host: h}
+}
+
+// submit queues a request and waits for the mailbox to process it.
+func (h *hosted) submit(req agentRequest) (any, error) {
+	w := work{req: req, result: make(chan workResult, 1)}
+	if !h.mailbox.push(w) {
+		return nil, fmt.Errorf("%s%s left %s", agentNotFoundPrefix, h.id, h.node.id)
+	}
+	res := <-w.result
+	return res.body, res.err
+}
+
+// mailboxLoop processes requests strictly serially, charging the service
+// time per request.
+func (h *hosted) mailboxLoop() {
+	defer close(h.boxDone)
+	for {
+		w, ok := h.mailbox.pop()
+		if !ok {
+			return
+		}
+		if h.serviceTime > 0 {
+			h.node.clk.Sleep(h.serviceTime)
+		}
+		body, err := h.behavior.HandleRequest(h.context(), w.req.Kind, w.req.Payload)
+		w.result <- workResult{body: body, err: err}
+	}
+}
+
+// stopAndWait shuts the agent down: the mailbox closes (pending requests
+// are failed), and both goroutines are awaited.
+func (h *hosted) stopAndWait() {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		<-h.boxDone
+		if h.runDone != nil {
+			<-h.runDone
+		}
+		return
+	}
+	h.stopped = true
+	h.mu.Unlock()
+
+	close(h.stop)
+	pending := h.mailbox.close()
+	for _, w := range pending {
+		w.result <- workResult{err: fmt.Errorf("%s%s stopped at %s", agentNotFoundPrefix, h.id, h.node.id)}
+	}
+	<-h.boxDone
+	if h.runDone != nil {
+		h.mu.Lock()
+		fromRun := h.moved // Move marks this before stopping
+		h.mu.Unlock()
+		if !fromRun {
+			<-h.runDone
+		}
+	}
+}
+
+// detachForMove is stopAndWait for the migration path: it is invoked from
+// the agent's own Run goroutine, so it must not wait for runDone.
+func (h *hosted) detachForMove() {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	h.stopped = true
+	h.moved = true
+	h.mu.Unlock()
+
+	close(h.stop)
+	pending := h.mailbox.close()
+	for _, w := range pending {
+		w.result <- workResult{err: fmt.Errorf("%s%s moving from %s", agentNotFoundPrefix, h.id, h.node.id)}
+	}
+	<-h.boxDone
+}
+
+// Context is the platform interface handed to behaviour callbacks. It is
+// valid only while the agent is hosted.
+type Context struct {
+	host *hosted
+}
+
+// Self returns the agent's own id.
+func (c *Context) Self() ids.AgentID { return c.host.id }
+
+// Node returns the id of the node currently hosting the agent.
+func (c *Context) Node() NodeID { return c.host.node.id }
+
+// Clock returns the hosting node's clock.
+func (c *Context) Clock() clock.Clock { return c.host.node.clk }
+
+// Emit records a high-level event in the hosting node's trace log (a no-op
+// when the node has no log).
+func (c *Context) Emit(kind, detail string) {
+	c.host.node.trace.Emit(string(c.host.id), kind, detail)
+}
+
+// Done returns a channel closed when the agent is being stopped or is
+// about to move; Run loops select on it.
+func (c *Context) Done() <-chan struct{} { return c.host.stop }
+
+// Sleep blocks for d on the node's clock, returning early with false if
+// the agent is stopped.
+func (c *Context) Sleep(d time.Duration) bool {
+	select {
+	case <-c.host.node.clk.After(d):
+		return true
+	case <-c.host.stop:
+		return false
+	}
+}
+
+// Call sends a request to another agent and waits for its response.
+func (c *Context) Call(ctx context.Context, at NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	return c.host.node.callAgent(ctx, c.host.id, at, agent, kind, req, resp)
+}
+
+// LaunchAt creates a new agent on the target node (agents beget agents —
+// how the HAgent creates IAgents). The behaviour must be registered with
+// RegisterBehavior.
+func (c *Context) LaunchAt(ctx context.Context, at NodeID, id ids.AgentID, b Behavior, serviceTime time.Duration) error {
+	return c.host.node.LaunchAt(ctx, at, id, b, serviceTime)
+}
+
+// Move migrates the agent to the target node: its behaviour state is
+// serialized, shipped, and relaunched there. Move may only be called from
+// the agent's Run goroutine, which must return promptly after a successful
+// Move. Requests arriving during the hand-over fail with an
+// agent-not-found error, exactly as on a real platform while an agent is
+// in transit.
+func (c *Context) Move(ctx context.Context, target NodeID) error {
+	h := c.host
+	if _, ok := h.behavior.(Runner); !ok {
+		return ErrNotRunner
+	}
+	if target == h.node.id {
+		return nil
+	}
+
+	// Stop accepting and finish in-flight work first, so the serialized
+	// state is quiescent.
+	h.detachForMove()
+
+	n := h.node
+	n.mu.Lock()
+	delete(n.agents, h.id)
+	n.mu.Unlock()
+
+	xfer := agentTransfer{Agent: h.id, ServiceTimeNS: int64(h.serviceTime), Behavior: behaviorBox{B: h.behavior}}
+	if err := n.peer.Call(ctx, target.Addr(), kindAgentTransfer, xfer, nil); err != nil {
+		// The agent is gone locally and did not arrive remotely: relaunch
+		// it here rather than losing it (a platform would retry the
+		// dispatch; relaunching locally is the simplest safe recovery).
+		if rerr := n.Launch(h.id, h.behavior, WithServiceTime(h.serviceTime)); rerr != nil && !errors.Is(rerr, ErrNodeClosed) {
+			return fmt.Errorf("move %s to %s failed (%v) and relaunch failed: %w", h.id, target, err, rerr)
+		}
+		return fmt.Errorf("move %s to %s: %w", h.id, target, err)
+	}
+	return nil
+}
+
+// Dispose permanently removes the agent from its node. Like Move it is
+// intended for Run goroutines; a behaviour's HandleRequest must not call
+// it (it would deadlock waiting for its own mailbox).
+func (c *Context) Dispose() {
+	h := c.host
+	n := h.node
+	n.mu.Lock()
+	delete(n.agents, h.id)
+	n.mu.Unlock()
+	h.detachForMove()
+}
+
+// work is one queued request with its reply channel.
+type work struct {
+	req    agentRequest
+	result chan workResult
+}
+
+type workResult struct {
+	body any
+	err  error
+}
+
+// mailbox is an unbounded FIFO queue. Unboundedness is deliberate: the
+// experiments measure queueing delay at overloaded agents, so the queue
+// must be able to grow — exactly like the message queue of an Aglets
+// agent.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []work
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues w, reporting false if the mailbox is closed.
+func (m *mailbox) push(w work) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.items = append(m.items, w)
+	m.cond.Signal()
+	return true
+}
+
+// pop dequeues the next item, blocking while the mailbox is empty. It
+// returns false once the mailbox is closed.
+func (m *mailbox) pop() (work, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return work{}, false
+	}
+	w := m.items[0]
+	m.items = m.items[1:]
+	return w, true
+}
+
+// close shuts the mailbox and returns the undelivered items.
+func (m *mailbox) close() []work {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	pending := m.items
+	m.items = nil
+	m.cond.Broadcast()
+	return pending
+}
+
+// Len reports the queue length (diagnostics and tests).
+func (m *mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// QueueLen reports the agent's current mailbox backlog. Zero for unknown
+// agents.
+func (n *Node) QueueLen(id ids.AgentID) int {
+	n.mu.Lock()
+	h, ok := n.agents[id]
+	n.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return h.mailbox.Len()
+}

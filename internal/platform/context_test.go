@@ -1,0 +1,151 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentloc/internal/ids"
+)
+
+// chattyBehavior exercises the Context surface from inside a Run loop: it
+// calls a peer agent, sleeps, and disposes itself on request.
+type chattyBehavior struct {
+	Peer     ids.AgentID
+	PeerNode NodeID
+
+	started chan string // receives the peer's reply once
+}
+
+func (c *chattyBehavior) HandleRequest(ctx *Context, kind string, payload []byte) (any, error) {
+	switch kind {
+	case "greet":
+		return echoResp{Text: "hello from " + string(ctx.Self()) + " at " + string(ctx.Node())}, nil
+	case "die":
+		// Disposal must not run inside the mailbox (it would deadlock);
+		// signal the Run goroutine instead. For the test we dispose from
+		// a fresh goroutine, the documented alternative.
+		go ctx.Dispose()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func (c *chattyBehavior) Run(ctx *Context) error {
+	if ctx.Clock() == nil {
+		return fmt.Errorf("nil clock")
+	}
+	if !ctx.Sleep(time.Millisecond) {
+		return nil
+	}
+	if c.Peer != "" {
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		var resp echoResp
+		if err := ctx.Call(cctx, c.PeerNode, c.Peer, "echo", echoReq{Text: "hi"}, &resp); err != nil {
+			return err
+		}
+		c.started <- resp.Text
+	}
+	<-ctx.Done()
+	return nil
+}
+
+var (
+	_ Behavior = (*chattyBehavior)(nil)
+	_ Runner   = (*chattyBehavior)(nil)
+)
+
+func TestContextSurface(t *testing.T) {
+	nodes := newTestNodes(t, "cs-1", "cs-2")
+	if got := nodes["cs-1"].ID(); got != "cs-1" {
+		t.Errorf("ID() = %s", got)
+	}
+	if nodes["cs-1"].Clock() == nil {
+		t.Error("nil node clock")
+	}
+
+	if err := nodes["cs-2"].Launch("peer", &echoBehavior{Tag: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan string, 1)
+	chatty := &chattyBehavior{Peer: "peer", PeerNode: "cs-2", started: started}
+	if err := nodes["cs-1"].Launch("chatty", chatty); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case text := <-started:
+		if text != "p:hi" {
+			t.Errorf("peer reply = %q", text)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run never completed its Call")
+	}
+
+	// Agents() lists the hosted agent.
+	found := false
+	for _, id := range nodes["cs-1"].Agents() {
+		if id == "chatty" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Agents() = %v, missing chatty", nodes["cs-1"].Agents())
+	}
+
+	// Context methods answered from a handler.
+	var resp echoResp
+	if err := nodes["cs-2"].CallAgent(callCtx(t), "cs-1", "chatty", "greet", nil, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "hello from chatty at cs-1" {
+		t.Errorf("greet = %q", resp.Text)
+	}
+
+	// Dispose (from a goroutine, signalled by a request) removes the
+	// agent and unblocks <-ctx.Done().
+	if err := nodes["cs-2"].CallAgent(callCtx(t), "cs-1", "chatty", "die", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes["cs-1"].Hosts("chatty") && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if nodes["cs-1"].Hosts("chatty") {
+		t.Error("agent still hosted after Dispose")
+	}
+}
+
+func TestContextLaunchAt(t *testing.T) {
+	RegisterBehavior(&echoBehavior{})
+	nodes := newTestNodes(t, "la-1", "la-2")
+	if err := nodes["la-1"].Launch("spawner", &spawnerBehavior{Target: "la-2"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !nodes["la-2"].Hosts("spawned") && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !nodes["la-2"].Hosts("spawned") {
+		t.Fatal("spawner never launched its child remotely")
+	}
+}
+
+// spawnerBehavior launches another agent remotely from its Run loop,
+// exercising Context.LaunchAt (how the HAgent creates IAgents).
+type spawnerBehavior struct {
+	Target NodeID
+}
+
+func (s *spawnerBehavior) HandleRequest(ctx *Context, kind string, payload []byte) (any, error) {
+	return nil, fmt.Errorf("no requests")
+}
+
+func (s *spawnerBehavior) Run(ctx *Context) error {
+	cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return ctx.LaunchAt(cctx, s.Target, "spawned", &echoBehavior{Tag: "child"}, 0)
+}

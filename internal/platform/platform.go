@@ -1,0 +1,369 @@
+// Package platform is a from-scratch mobile-agent platform — the substitute
+// for the Aglets platform the paper builds on. It provides exactly the
+// primitives the location mechanism relies on:
+//
+//   - Nodes: execution contexts reachable over a transport.Link.
+//   - Agents: units of behaviour hosted at a node, each with a serial
+//     mailbox (one request at a time, with a configurable service time —
+//     the serialism is what makes an overloaded agent a queueing
+//     bottleneck, the effect the paper's experiments measure).
+//   - Messaging: request/response calls addressed to agent@node.
+//   - Mobility: an agent dispatches itself to another node; its behaviour
+//     state is gob-serialized, shipped, and resumed there.
+//
+// Behaviours that migrate must be registered with RegisterBehavior so gob
+// can reconstruct them on the receiving node.
+package platform
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"agentloc/internal/clock"
+	"agentloc/internal/ids"
+	"agentloc/internal/trace"
+	"agentloc/internal/transport"
+)
+
+// NodeID names a node. It doubles as the node's transport address.
+type NodeID string
+
+// Addr returns the node's transport address.
+func (n NodeID) Addr() transport.Addr { return transport.Addr(n) }
+
+// Behavior is an agent's application logic. Implementations that migrate
+// between nodes must be gob-encodable (exported fields only) and registered
+// with RegisterBehavior.
+type Behavior interface {
+	// HandleRequest processes one request from the agent's mailbox.
+	// Requests are delivered strictly one at a time per agent.
+	HandleRequest(ctx *Context, kind string, payload []byte) (any, error)
+}
+
+// Runner is implemented by active agents: Run is started on a dedicated
+// goroutine when the agent launches at a node (both on creation and after
+// each migration). A Run that calls Context.Move must return promptly
+// afterwards; the platform resumes Run on the destination node.
+type Runner interface {
+	Run(ctx *Context) error
+}
+
+// RegisterBehavior registers a migrating behaviour's concrete type with
+// gob. Call it once per type, typically from the package that defines the
+// behaviour, before any agent of that type migrates.
+func RegisterBehavior(b Behavior) {
+	gob.Register(b)
+}
+
+// Platform-level errors.
+var (
+	// ErrAgentExists is returned when launching an agent id already hosted
+	// at the node.
+	ErrAgentExists = errors.New("platform: agent already hosted")
+	// ErrAgentNotFound is returned when a request targets an agent the
+	// node does not host. Across the wire it is detected with
+	// IsAgentNotFound.
+	ErrAgentNotFound = errors.New("platform: agent not found")
+	// ErrNodeClosed is returned by operations on a closed node.
+	ErrNodeClosed = errors.New("platform: node closed")
+	// ErrNotRunner is returned by Context.Move when called outside a Run
+	// goroutine.
+	ErrNotRunner = errors.New("platform: Move is only available to Runner agents")
+)
+
+// agentNotFoundPrefix marks ErrAgentNotFound across the wire, where error
+// identity is lost.
+const agentNotFoundPrefix = "agent-not-found: "
+
+// IsAgentNotFound reports whether an error (possibly a *transport.
+// RemoteError from another node) indicates the target agent was not at the
+// node.
+func IsAgentNotFound(err error) bool {
+	if errors.Is(err, ErrAgentNotFound) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, agentNotFoundPrefix)
+}
+
+// Wire message kinds handled by every node.
+const (
+	kindAgentRequest  = "platform.agent-request"
+	kindAgentTransfer = "platform.agent-transfer"
+	kindNodePing      = "platform.ping"
+)
+
+// agentRequest wraps a request addressed to an agent at the node.
+type agentRequest struct {
+	Agent   ids.AgentID
+	From    ids.AgentID // requesting agent, if any
+	Kind    string
+	Payload []byte
+}
+
+// agentTransfer carries a migrating agent's serialized state.
+type agentTransfer struct {
+	Agent         ids.AgentID
+	ServiceTimeNS int64
+	Behavior      behaviorBox
+}
+
+// behaviorBox wraps a Behavior so gob encodes the concrete registered type.
+type behaviorBox struct {
+	B Behavior
+}
+
+// Config configures a node.
+type Config struct {
+	// ID is the node's name and transport address.
+	ID NodeID
+	// Link is the transport carrying the node's traffic.
+	Link transport.Link
+	// Clock drives agent service times and residence timers. Defaults to
+	// the real clock.
+	Clock clock.Clock
+	// Trace receives high-level events emitted by hosted agents through
+	// Context.Emit. Nil disables tracing (the default).
+	Trace *trace.Log
+}
+
+// Node hosts agents and serves the platform's wire protocol.
+type Node struct {
+	id    NodeID
+	clk   clock.Clock
+	peer  *transport.Peer
+	trace *trace.Log
+
+	mu     sync.Mutex
+	agents map[ids.AgentID]*hosted
+	closed bool
+	wg     sync.WaitGroup // run goroutines
+}
+
+// NewNode creates a node and binds it to its transport address.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("platform: empty node id")
+	}
+	if cfg.Link == nil {
+		return nil, errors.New("platform: nil link")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	n := &Node{
+		id:     cfg.ID,
+		clk:    cfg.Clock,
+		trace:  cfg.Trace,
+		agents: make(map[ids.AgentID]*hosted),
+	}
+	peer, err := transport.NewPeer(cfg.Link, cfg.ID.Addr(), n.handle)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", cfg.ID, err)
+	}
+	n.peer = peer
+	return n, nil
+}
+
+// ID returns the node's name.
+func (n *Node) ID() NodeID { return n.id }
+
+// Clock returns the node's clock.
+func (n *Node) Clock() clock.Clock { return n.clk }
+
+// Trace returns the node's event log; nil when tracing is disabled.
+func (n *Node) Trace() *trace.Log { return n.trace }
+
+// LaunchOption tunes an agent launch.
+type LaunchOption func(*hosted)
+
+// WithServiceTime sets the simulated per-request processing time of the
+// agent's mailbox. It models the paper's real Aglets message-handling cost;
+// a busy agent with non-zero service time builds a queue.
+func WithServiceTime(d time.Duration) LaunchOption {
+	return func(h *hosted) { h.serviceTime = d }
+}
+
+// Launch hosts a new agent at this node and, if the behaviour implements
+// Runner, starts its Run goroutine.
+func (n *Node) Launch(id ids.AgentID, b Behavior, opts ...LaunchOption) error {
+	if id == "" {
+		return errors.New("platform: empty agent id")
+	}
+	if b == nil {
+		return errors.New("platform: nil behavior")
+	}
+	h := newHosted(id, b, n)
+	for _, opt := range opts {
+		opt(h)
+	}
+
+	// The lock is held through start() so the hosted agent is never
+	// visible (to Kill/Close) before its goroutine bookkeeping is set up.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrNodeClosed
+	}
+	if _, ok := n.agents[id]; ok {
+		return fmt.Errorf("%w: %s at %s", ErrAgentExists, id, n.id)
+	}
+	n.agents[id] = h
+	h.start(&n.wg)
+	return nil
+}
+
+// Kill stops and removes an agent, waiting for its goroutines to exit.
+// Killing an absent agent is an error.
+func (n *Node) Kill(id ids.AgentID) error {
+	n.mu.Lock()
+	h, ok := n.agents[id]
+	if ok {
+		delete(n.agents, id)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s at %s", ErrAgentNotFound, id, n.id)
+	}
+	h.stopAndWait()
+	return nil
+}
+
+// Agents lists the ids of the agents currently hosted.
+func (n *Node) Agents() []ids.AgentID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ids.AgentID, 0, len(n.agents))
+	for id := range n.agents {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Hosts reports whether the node currently hosts the agent.
+func (n *Node) Hosts(id ids.AgentID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.agents[id]
+	return ok
+}
+
+// CallAgent sends a request to an agent hosted at the given node and waits
+// for its response. It is the entry point for non-agent callers (clients,
+// experiment drivers); agents use Context.Call.
+func (n *Node) CallAgent(ctx context.Context, at NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	return n.callAgent(ctx, "", at, agent, kind, req, resp)
+}
+
+// callAgent implements agent-addressed calls with an optional sender id.
+func (n *Node) callAgent(ctx context.Context, from ids.AgentID, at NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	payload, err := transport.Encode(req)
+	if err != nil {
+		return fmt.Errorf("call %s@%s %s: encode: %w", agent, at, kind, err)
+	}
+	wrapped := agentRequest{Agent: agent, From: from, Kind: kind, Payload: payload}
+	var raw rawResponse
+	if err := n.peer.Call(ctx, at.Addr(), kindAgentRequest, wrapped, &raw); err != nil {
+		return err
+	}
+	if resp != nil {
+		if err := transport.Decode(raw.Payload, resp); err != nil {
+			return fmt.Errorf("call %s@%s %s: decode: %w", agent, at, kind, err)
+		}
+	}
+	return nil
+}
+
+// rawResponse carries an agent's gob-encoded response body.
+type rawResponse struct {
+	Payload []byte
+}
+
+// Ping checks that a node is reachable.
+func (n *Node) Ping(ctx context.Context, at NodeID) error {
+	return n.peer.Call(ctx, at.Addr(), kindNodePing, nil, nil)
+}
+
+// LaunchAt launches an agent on a remote node. The behaviour must be
+// registered with RegisterBehavior.
+func (n *Node) LaunchAt(ctx context.Context, at NodeID, id ids.AgentID, b Behavior, serviceTime time.Duration) error {
+	if at == n.id {
+		return n.Launch(id, b, WithServiceTime(serviceTime))
+	}
+	xfer := agentTransfer{Agent: id, ServiceTimeNS: int64(serviceTime), Behavior: behaviorBox{B: b}}
+	return n.peer.Call(ctx, at.Addr(), kindAgentTransfer, xfer, nil)
+}
+
+// Close stops all hosted agents and releases the node's transport binding.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	agents := make([]*hosted, 0, len(n.agents))
+	for _, h := range n.agents {
+		agents = append(agents, h)
+	}
+	n.agents = make(map[ids.AgentID]*hosted)
+	n.mu.Unlock()
+
+	for _, h := range agents {
+		h.stopAndWait()
+	}
+	n.peer.Close()
+	n.wg.Wait()
+	return nil
+}
+
+// handle serves the node's wire protocol.
+func (n *Node) handle(from transport.Addr, kind string, payload []byte) (any, error) {
+	switch kind {
+	case kindNodePing:
+		return nil, nil
+	case kindAgentRequest:
+		var req agentRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, fmt.Errorf("node %s: bad agent request: %w", n.id, err)
+		}
+		return n.deliver(req)
+	case kindAgentTransfer:
+		var xfer agentTransfer
+		if err := transport.Decode(payload, &xfer); err != nil {
+			return nil, fmt.Errorf("node %s: bad agent transfer: %w", n.id, err)
+		}
+		if xfer.Behavior.B == nil {
+			return nil, fmt.Errorf("node %s: transfer of %s carried no behavior", n.id, xfer.Agent)
+		}
+		err := n.Launch(xfer.Agent, xfer.Behavior.B, WithServiceTime(time.Duration(xfer.ServiceTimeNS)))
+		return nil, err
+	default:
+		return nil, fmt.Errorf("node %s: unknown message kind %q", n.id, kind)
+	}
+}
+
+// deliver routes a request into the target agent's mailbox and waits for
+// the result.
+func (n *Node) deliver(req agentRequest) (any, error) {
+	n.mu.Lock()
+	h, ok := n.agents[req.Agent]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%s%s not at %s", agentNotFoundPrefix, req.Agent, n.id)
+	}
+	result, err := h.submit(req)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := transport.Encode(result)
+	if err != nil {
+		return nil, fmt.Errorf("agent %s: encode response: %w", req.Agent, err)
+	}
+	return rawResponse{Payload: payload}, nil
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"agentloc/internal/bitstr"
+	"agentloc/internal/ids"
+)
+
+// GroupLoads aggregates per-agent loads into per-prefix-group loads: all
+// agents whose binary representation shares the same leading bits count as
+// one group. This is the coarser statistics granularity of paper §4.1
+// ("the exact number of update and query requests received per agent or
+// for groups of agents (e.g., all agents with a specific prefix)"): the
+// split-request message shrinks from one entry per agent to at most 2^bits
+// entries, at the cost of split-evenness precision beyond the grouped
+// bits.
+func GroupLoads(perAgent map[ids.AgentID]uint64, bits int) map[string]uint64 {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > ids.BinaryWidth {
+		bits = ids.BinaryWidth
+	}
+	out := make(map[string]uint64)
+	for agent, load := range perAgent {
+		prefix := agent.Binary().Prefix(bits).Raw()
+		out[prefix] += load
+	}
+	return out
+}
+
+// GroupSplitFraction estimates the fraction of load that a split moving
+// agents whose id bit at bitPos equals newOnBit would transfer, given only
+// per-prefix-group loads. For bit positions inside the grouped prefix the
+// answer is exact (the bit is part of the group key); beyond it, each
+// group's load is assumed to divide evenly over the unknown bit — the
+// expectation under a uniform hash.
+func GroupSplitFraction(perGroup map[string]uint64, bitPos int, newOnBit byte) float64 {
+	var moved, total float64
+	for prefix, load := range perGroup {
+		total += float64(load)
+		if bitPos < len(prefix) {
+			b, err := bitstr.Parse(prefix)
+			if err != nil {
+				continue // corrupt key; contributes to total only
+			}
+			if b.At(bitPos) == newOnBit {
+				moved += float64(load)
+			}
+		} else {
+			moved += float64(load) / 2
+		}
+	}
+	if total == 0 {
+		return 0.5
+	}
+	return moved / total
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agentloc/internal/ids"
+)
+
+func TestGroupLoadsAggregates(t *testing.T) {
+	perAgent := make(map[ids.AgentID]uint64)
+	g := ids.NewGenerator("grp")
+	var total uint64
+	for i := 0; i < 200; i++ {
+		id := g.Next()
+		perAgent[id] = uint64(i%7 + 1)
+		total += uint64(i%7 + 1)
+	}
+	groups := GroupLoads(perAgent, 3)
+	if len(groups) > 8 {
+		t.Errorf("3-bit grouping produced %d groups, want ≤ 8", len(groups))
+	}
+	var groupTotal uint64
+	for prefix, load := range groups {
+		if len(prefix) != 3 {
+			t.Errorf("group key %q has length %d, want 3", prefix, len(prefix))
+		}
+		groupTotal += load
+	}
+	if groupTotal != total {
+		t.Errorf("group total = %d, want %d (load conserved)", groupTotal, total)
+	}
+}
+
+func TestGroupLoadsClampsBits(t *testing.T) {
+	perAgent := map[ids.AgentID]uint64{"a": 1}
+	if groups := GroupLoads(perAgent, 0); len(groups) != 1 {
+		t.Errorf("bits=0 groups = %v", groups)
+	}
+	groups := GroupLoads(perAgent, 1000)
+	for prefix := range groups {
+		if len(prefix) != ids.BinaryWidth {
+			t.Errorf("clamped prefix length = %d, want %d", len(prefix), ids.BinaryWidth)
+		}
+	}
+}
+
+func TestGroupSplitFractionExactWithinPrefix(t *testing.T) {
+	groups := map[string]uint64{
+		"00": 10,
+		"01": 30,
+		"10": 40,
+		"11": 20,
+	}
+	// Bit 0: groups 1x hold 60 of 100.
+	if got := GroupSplitFraction(groups, 0, 1); got != 0.6 {
+		t.Errorf("bit0=1 fraction = %v, want 0.6", got)
+	}
+	if got := GroupSplitFraction(groups, 0, 0); got != 0.4 {
+		t.Errorf("bit0=0 fraction = %v, want 0.4", got)
+	}
+	// Bit 1: groups x1 hold 50 of 100.
+	if got := GroupSplitFraction(groups, 1, 1); got != 0.5 {
+		t.Errorf("bit1=1 fraction = %v, want 0.5", got)
+	}
+}
+
+func TestGroupSplitFractionBeyondPrefixIsHalf(t *testing.T) {
+	groups := map[string]uint64{"00": 70, "11": 30}
+	// Bit 5 is outside the 2-bit prefix: every group contributes half.
+	if got := GroupSplitFraction(groups, 5, 1); got != 0.5 {
+		t.Errorf("beyond-prefix fraction = %v, want 0.5", got)
+	}
+}
+
+func TestGroupSplitFractionEmpty(t *testing.T) {
+	if got := GroupSplitFraction(nil, 0, 1); got != 0.5 {
+		t.Errorf("empty fraction = %v, want 0.5", got)
+	}
+}
+
+func TestGroupSplitFractionIgnoresCorruptKeys(t *testing.T) {
+	groups := map[string]uint64{"0x": 50, "1": 50}
+	// The corrupt key contributes to the total but not the moved side.
+	got := GroupSplitFraction(groups, 0, 1)
+	if got != 0.5 {
+		t.Errorf("fraction with corrupt key = %v, want 0.5", got)
+	}
+}
+
+// TestGroupFractionApproximatesExact compares the grouped estimate against
+// the exact per-agent fraction on random populations: within the grouped
+// prefix the two must agree exactly; beyond it, the estimate must stay
+// close for uniform loads (the expectation argument).
+func TestGroupFractionApproximatesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	perAgent := make(map[ids.AgentID]uint64)
+	g := ids.NewGenerator("approx")
+	var total float64
+	for i := 0; i < 2000; i++ {
+		id := g.Next()
+		load := uint64(r.Intn(5) + 1)
+		perAgent[id] = load
+		total += float64(load)
+	}
+	const bits = 4
+	groups := GroupLoads(perAgent, bits)
+
+	exact := func(bitPos int, newOnBit byte) float64 {
+		var moved float64
+		for agent, n := range perAgent {
+			if agent.Binary().At(bitPos) == newOnBit {
+				moved += float64(n)
+			}
+		}
+		return moved / total
+	}
+
+	for bitPos := 0; bitPos < bits; bitPos++ {
+		e, gr := exact(bitPos, 1), GroupSplitFraction(groups, bitPos, 1)
+		if math.Abs(e-gr) > 1e-12 {
+			t.Errorf("bit %d (inside prefix): exact %v vs grouped %v", bitPos, e, gr)
+		}
+	}
+	for bitPos := bits; bitPos < bits+4; bitPos++ {
+		e, gr := exact(bitPos, 1), GroupSplitFraction(groups, bitPos, 1)
+		if math.Abs(e-gr) > 0.05 {
+			t.Errorf("bit %d (beyond prefix): exact %v vs grouped %v (want within 0.05)", bitPos, e, gr)
+		}
+	}
+}
+
+func TestQuickGroupFractionBounds(t *testing.T) {
+	f := func(loads []uint16, bitPos uint8, newOnBit bool) bool {
+		groups := make(map[string]uint64)
+		g := ids.NewGenerator("qgf")
+		for _, l := range loads {
+			prefix := g.Next().Binary().Prefix(4).Raw()
+			groups[prefix] += uint64(l)
+		}
+		bit := byte(0)
+		if newOnBit {
+			bit = 1
+		}
+		frac := GroupSplitFraction(groups, int(bitPos%16), bit)
+		if frac < 0 || frac > 1 {
+			return false
+		}
+		// The two sides of any bit partition the load completely.
+		other := GroupSplitFraction(groups, int(bitPos%16), 1-bit)
+		return math.Abs(frac+other-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"sync"
+
+	"agentloc/internal/ids"
+)
+
+// LoadAccount tracks, per served mobile agent, the accumulated number of
+// update and query requests (paper §4.1: "we maintain for each agent the
+// accumulated rate of update and query requests"). The rehashing machinery
+// consults it to choose split bits that divide the load evenly.
+//
+// LoadAccount is safe for concurrent use.
+type LoadAccount struct {
+	mu   sync.Mutex
+	load map[ids.AgentID]uint64
+}
+
+// NewLoadAccount returns an empty account.
+func NewLoadAccount() *LoadAccount {
+	return &LoadAccount{load: make(map[ids.AgentID]uint64)}
+}
+
+// Add charges one request for the given agent.
+func (a *LoadAccount) Add(id ids.AgentID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.load[id]++
+}
+
+// Remove forgets an agent entirely (it moved to another IAgent or died).
+func (a *LoadAccount) Remove(id ids.AgentID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.load, id)
+}
+
+// Load returns the accumulated request count for one agent.
+func (a *LoadAccount) Load(id ids.AgentID) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.load[id]
+}
+
+// Total returns the accumulated request count over all served agents.
+func (a *LoadAccount) Total() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var sum uint64
+	for _, v := range a.load {
+		sum += v
+	}
+	return sum
+}
+
+// Agents returns the ids of all agents with recorded load. The slice is a
+// copy and safe to retain.
+func (a *LoadAccount) Agents() []ids.AgentID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ids.AgentID, 0, len(a.load))
+	for id := range a.load {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Snapshot returns a copy of the per-agent load map.
+func (a *LoadAccount) Snapshot() map[ids.AgentID]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[ids.AgentID]uint64, len(a.load))
+	for id, v := range a.load {
+		out[id] = v
+	}
+	return out
+}
+
+// SplitEvenness evaluates a candidate partition of the tracked agents: given
+// a predicate that assigns each agent to side A or side B, it returns the
+// load fractions of the two sides. The rehashing code calls it with "does
+// bit k of the agent's binary id equal 0" predicates to find an even split
+// (paper §4.1: increment m "until m is sufficiently large to produce an even
+// split").
+func (a *LoadAccount) SplitEvenness(sideA func(ids.AgentID) bool) (fracA, fracB float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var la, lb uint64
+	for id, v := range a.load {
+		w := v
+		if w == 0 {
+			w = 1 // an agent with no recorded requests still counts as presence
+		}
+		if sideA(id) {
+			la += w
+		} else {
+			lb += w
+		}
+	}
+	total := la + lb
+	if total == 0 {
+		return 0.5, 0.5
+	}
+	return float64(la) / float64(total), float64(lb) / float64(total)
+}

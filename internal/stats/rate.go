@@ -1,0 +1,109 @@
+// Package stats provides the measurement machinery the location mechanism
+// depends on: sliding-window request-rate estimation (which drives the
+// Tmax/Tmin rehashing thresholds of paper §4), per-agent load accounting
+// (which picks even split points), and summary statistics for experiment
+// reports ("statistically normalized averages", paper §5).
+package stats
+
+import (
+	"sync"
+	"time"
+
+	"agentloc/internal/clock"
+)
+
+// RateEstimator estimates the recent rate of events (requests) per second
+// over a sliding window. The paper requires "running statistics of the
+// requests received by each IAgent"; a sliding window keeps the estimate
+// responsive to workload shifts without being jumpy.
+//
+// RateEstimator is safe for concurrent use.
+type RateEstimator struct {
+	mu     sync.Mutex
+	clk    clock.Clock
+	window time.Duration
+	events []time.Time // ring of event times inside the window, oldest first
+	head   int         // index of oldest event
+	count  int         // events currently stored
+	total  uint64      // lifetime event count
+}
+
+// NewRateEstimator returns an estimator with the given sliding window. A
+// window of one to a few seconds matches the paper's "messages per second"
+// thresholds.
+func NewRateEstimator(clk clock.Clock, window time.Duration) *RateEstimator {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &RateEstimator{
+		clk:    clk,
+		window: window,
+		events: make([]time.Time, 64),
+	}
+}
+
+// Record notes one event at the current time.
+func (r *RateEstimator) Record() {
+	r.RecordN(1)
+}
+
+// RecordN notes n simultaneous events at the current time.
+func (r *RateEstimator) RecordN(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clk.Now()
+	r.evict(now)
+	for i := 0; i < n; i++ {
+		r.push(now)
+	}
+	r.total += uint64(n)
+}
+
+// Rate returns the estimated events per second over the window.
+func (r *RateEstimator) Rate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clk.Now()
+	r.evict(now)
+	return float64(r.count) / r.window.Seconds()
+}
+
+// Total returns the lifetime number of recorded events.
+func (r *RateEstimator) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Reset clears the window (but not the lifetime total).
+func (r *RateEstimator) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.head, r.count = 0, 0
+}
+
+// push appends an event time, growing the ring if needed. Caller holds mu.
+func (r *RateEstimator) push(t time.Time) {
+	if r.count == len(r.events) {
+		grown := make([]time.Time, 2*len(r.events))
+		for i := 0; i < r.count; i++ {
+			grown[i] = r.events[(r.head+i)%len(r.events)]
+		}
+		r.events = grown
+		r.head = 0
+	}
+	r.events[(r.head+r.count)%len(r.events)] = t
+	r.count++
+}
+
+// evict drops events older than the window. Caller holds mu.
+func (r *RateEstimator) evict(now time.Time) {
+	cutoff := now.Add(-r.window)
+	for r.count > 0 && r.events[r.head].Before(cutoff) {
+		r.head = (r.head + 1) % len(r.events)
+		r.count--
+	}
+}

@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"agentloc/internal/clock"
+	"agentloc/internal/ids"
+)
+
+func TestRateEstimatorBasic(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	r := NewRateEstimator(clk, time.Second)
+	if got := r.Rate(); got != 0 {
+		t.Errorf("empty Rate() = %v, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record()
+	}
+	if got := r.Rate(); got != 10 {
+		t.Errorf("Rate() = %v, want 10", got)
+	}
+}
+
+func TestRateEstimatorWindowEviction(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	r := NewRateEstimator(clk, time.Second)
+	r.RecordN(6)
+	clk.Advance(500 * time.Millisecond)
+	r.RecordN(4)
+	if got := r.Rate(); got != 10 {
+		t.Errorf("Rate() = %v, want 10", got)
+	}
+	clk.Advance(600 * time.Millisecond) // first burst now outside the window
+	if got := r.Rate(); got != 4 {
+		t.Errorf("Rate() after eviction = %v, want 4", got)
+	}
+	clk.Advance(time.Second)
+	if got := r.Rate(); got != 0 {
+		t.Errorf("Rate() after full window = %v, want 0", got)
+	}
+}
+
+func TestRateEstimatorConvergesToInjectedRate(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	r := NewRateEstimator(clk, 2*time.Second)
+	// Inject 50 events/sec for 5 seconds.
+	for i := 0; i < 250; i++ {
+		r.Record()
+		clk.Advance(20 * time.Millisecond)
+	}
+	got := r.Rate()
+	if got < 45 || got > 55 {
+		t.Errorf("Rate() = %v, want ≈50", got)
+	}
+}
+
+func TestRateEstimatorRingGrowth(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	r := NewRateEstimator(clk, time.Second)
+	r.RecordN(1000) // forces several ring doublings
+	if got := r.Rate(); got != 1000 {
+		t.Errorf("Rate() = %v, want 1000", got)
+	}
+	if got := r.Total(); got != 1000 {
+		t.Errorf("Total() = %v, want 1000", got)
+	}
+}
+
+func TestRateEstimatorRingWrap(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	r := NewRateEstimator(clk, time.Second)
+	// Interleave record/evict cycles so head wraps around the ring.
+	for cycle := 0; cycle < 50; cycle++ {
+		r.RecordN(10)
+		clk.Advance(1100 * time.Millisecond)
+		if got := r.Rate(); got != 0 {
+			t.Fatalf("cycle %d: Rate() = %v, want 0", cycle, got)
+		}
+	}
+	if got := r.Total(); got != 500 {
+		t.Errorf("Total() = %v, want 500", got)
+	}
+}
+
+func TestRateEstimatorReset(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	r := NewRateEstimator(clk, time.Second)
+	r.RecordN(5)
+	r.Reset()
+	if got := r.Rate(); got != 0 {
+		t.Errorf("Rate() after Reset = %v, want 0", got)
+	}
+	if got := r.Total(); got != 5 {
+		t.Errorf("Total() after Reset = %v, want 5 (lifetime preserved)", got)
+	}
+}
+
+func TestRateEstimatorConcurrent(t *testing.T) {
+	r := NewRateEstimator(clock.Real{}, time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Record()
+				_ = r.Rate()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != 8000 {
+		t.Errorf("Total() = %d, want 8000", got)
+	}
+}
+
+func TestRateEstimatorDefaultsWindow(t *testing.T) {
+	r := NewRateEstimator(clock.Real{}, 0)
+	r.Record()
+	if got := r.Rate(); got != 1 {
+		t.Errorf("Rate() with defaulted window = %v, want 1", got)
+	}
+}
+
+func TestLoadAccountBasic(t *testing.T) {
+	a := NewLoadAccount()
+	a.Add("x")
+	a.Add("x")
+	a.Add("y")
+	if got := a.Load("x"); got != 2 {
+		t.Errorf("Load(x) = %d, want 2", got)
+	}
+	if got := a.Load("absent"); got != 0 {
+		t.Errorf("Load(absent) = %d, want 0", got)
+	}
+	if got := a.Total(); got != 3 {
+		t.Errorf("Total() = %d, want 3", got)
+	}
+	if got := len(a.Agents()); got != 2 {
+		t.Errorf("len(Agents()) = %d, want 2", got)
+	}
+	a.Remove("x")
+	if got := a.Total(); got != 1 {
+		t.Errorf("Total() after Remove = %d, want 1", got)
+	}
+}
+
+func TestLoadAccountSnapshotIsCopy(t *testing.T) {
+	a := NewLoadAccount()
+	a.Add("x")
+	snap := a.Snapshot()
+	snap["x"] = 99
+	if got := a.Load("x"); got != 1 {
+		t.Errorf("Snapshot aliases internal state: Load(x) = %d", got)
+	}
+}
+
+func TestLoadAccountSplitEvenness(t *testing.T) {
+	a := NewLoadAccount()
+	for i := 0; i < 10; i++ {
+		a.Add(ids.AgentID("left"))
+	}
+	for i := 0; i < 30; i++ {
+		a.Add(ids.AgentID("right"))
+	}
+	fa, fb := a.SplitEvenness(func(id ids.AgentID) bool { return id == "left" })
+	if fa != 0.25 || fb != 0.75 {
+		t.Errorf("SplitEvenness = %v, %v, want 0.25, 0.75", fa, fb)
+	}
+}
+
+func TestLoadAccountSplitEvennessEmpty(t *testing.T) {
+	a := NewLoadAccount()
+	fa, fb := a.SplitEvenness(func(ids.AgentID) bool { return true })
+	if fa != 0.5 || fb != 0.5 {
+		t.Errorf("empty SplitEvenness = %v, %v, want 0.5, 0.5", fa, fb)
+	}
+}
+
+func TestLoadAccountZeroLoadCountsAsPresence(t *testing.T) {
+	a := NewLoadAccount()
+	a.Add("x")
+	a.Remove("x")
+	// Re-add with zero accumulated requests via Snapshot trickery is not
+	// possible through the public API, so exercise the w==0 branch with a
+	// direct map entry.
+	a.load["silent"] = 0
+	fa, fb := a.SplitEvenness(func(id ids.AgentID) bool { return id == "silent" })
+	if fa != 1 || fb != 0 {
+		t.Errorf("SplitEvenness = %v, %v, want 1, 0", fa, fb)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{42 * time.Millisecond})
+	if s.Count != 1 || s.Mean != 42*time.Millisecond || s.Median != 42*time.Millisecond {
+		t.Errorf("Summarize single = %+v", s)
+	}
+	if s.Min != s.Max || s.Min != 42*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	sample := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 5 * time.Millisecond,
+	}
+	s := Summarize(sample)
+	if s.Mean != 3*time.Millisecond {
+		t.Errorf("Mean = %v, want 3ms", s.Mean)
+	}
+	if s.Median != 3*time.Millisecond {
+		t.Errorf("Median = %v, want 3ms", s.Median)
+	}
+	if s.Min != time.Millisecond || s.Max != 5*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	sample := []time.Duration{5, 1, 3}
+	Summarize(sample)
+	if sample[0] != 5 || sample[1] != 1 || sample[2] != 3 {
+		t.Errorf("Summarize mutated input: %v", sample)
+	}
+}
+
+func TestTrimmedMeanDropsOutliers(t *testing.T) {
+	sample := make([]time.Duration, 0, 20)
+	for i := 0; i < 18; i++ {
+		sample = append(sample, 10*time.Millisecond)
+	}
+	sample = append(sample, time.Second, time.Second) // two gross outliers
+	s := Summarize(sample)
+	if s.Trimmed > 12*time.Millisecond {
+		t.Errorf("Trimmed = %v, want ≈10ms (outliers dropped)", s.Trimmed)
+	}
+	if s.Mean < 50*time.Millisecond {
+		t.Errorf("Mean = %v, expected to be dragged up by outliers", s.Mean)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []time.Duration{0, 100}
+	if got := percentile(sorted, 0.5); got != 50 {
+		t.Errorf("percentile(0.5) = %v, want 50", got)
+	}
+	if got := percentile(sorted, 0); got != 0 {
+		t.Errorf("percentile(0) = %v, want 0", got)
+	}
+	if got := percentile(sorted, 1); got != 100 {
+		t.Errorf("percentile(1) = %v, want 100", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]time.Duration{time.Millisecond})
+	if str := s.String(); str == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary aggregates a sample of durations (location times) into the figures
+// the paper reports. The paper's "statistically normalized averages" are
+// implemented as a 10% two-sided trimmed mean, which discards measurement
+// outliers (GC pauses, scheduler hiccups) without biasing the center.
+type Summary struct {
+	Count   int
+	Mean    time.Duration
+	Trimmed time.Duration // 10% two-sided trimmed mean ("normalized average")
+	Median  time.Duration
+	P95     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Stddev  time.Duration
+}
+
+// Summarize computes a Summary from a sample. It returns the zero Summary
+// for an empty sample.
+func Summarize(sample []time.Duration) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	s := Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+	}
+
+	var sum float64
+	for _, d := range sorted {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(sorted))
+	s.Mean = time.Duration(mean)
+
+	var sq float64
+	for _, d := range sorted {
+		diff := float64(d) - mean
+		sq += diff * diff
+	}
+	s.Stddev = time.Duration(math.Sqrt(sq / float64(len(sorted))))
+
+	s.Median = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.Trimmed = trimmedMean(sorted, 0.10)
+	return s
+}
+
+// percentile returns the p-quantile (0 ≤ p ≤ 1) of a sorted sample using
+// nearest-rank interpolation.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// trimmedMean drops fraction f from each tail of a sorted sample and
+// averages the rest. With samples too small to trim it degrades to the
+// plain mean.
+func trimmedMean(sorted []time.Duration, f float64) time.Duration {
+	n := len(sorted)
+	drop := int(float64(n) * f)
+	if 2*drop >= n {
+		drop = 0
+	}
+	kept := sorted[drop : n-drop]
+	var sum float64
+	for _, d := range kept {
+		sum += float64(d)
+	}
+	return time.Duration(sum / float64(len(kept)))
+}
+
+// String renders the summary on one line for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v trimmed=%v median=%v p95=%v min=%v max=%v stddev=%v",
+		s.Count, s.Mean, s.Trimmed, s.Median, s.P95, s.Min, s.Max, s.Stddev)
+}

@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// RequestHandler processes one inbound request and returns the response
+// body (any gob-encodable value, or nil for an empty response).
+type RequestHandler func(from Addr, kind string, payload []byte) (any, error)
+
+// Peer is a request/response endpoint over a Link. One Peer serves one
+// address; it matches replies to outstanding calls by correlation id and
+// surfaces remote handler failures as *RemoteError.
+type Peer struct {
+	link Link
+	addr Addr
+	h    RequestHandler
+
+	mu       sync.Mutex
+	nextCorr uint64
+	pending  map[uint64]chan Envelope
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewPeer binds a Peer to addr on the link. The handler serves inbound
+// requests; it may be nil for call-only peers.
+func NewPeer(link Link, addr Addr, h RequestHandler) (*Peer, error) {
+	p := &Peer{
+		link:    link,
+		addr:    addr,
+		h:       h,
+		pending: make(map[uint64]chan Envelope),
+	}
+	if err := link.Listen(addr, p.dispatch); err != nil {
+		return nil, fmt.Errorf("peer %s: %w", addr, err)
+	}
+	return p, nil
+}
+
+// Addr returns the peer's own address.
+func (p *Peer) Addr() Addr { return p.addr }
+
+// Call sends a request and waits for the reply or ctx cancellation. req and
+// resp are gob-encoded/decoded; either may be nil. A remote handler error
+// is returned as *RemoteError.
+func (p *Peer) Call(ctx context.Context, to Addr, kind string, req, resp any) error {
+	payload, err := Encode(req)
+	if err != nil {
+		return fmt.Errorf("call %s %s: encode: %w", to, kind, err)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.nextCorr++
+	corr := p.nextCorr
+	ch := make(chan Envelope, 1)
+	p.pending[corr] = ch
+	p.mu.Unlock()
+
+	defer func() {
+		p.mu.Lock()
+		delete(p.pending, corr)
+		p.mu.Unlock()
+	}()
+
+	env := Envelope{From: p.addr, To: to, Kind: kind, Corr: corr, Payload: payload}
+	if err := p.link.Send(env); err != nil {
+		return fmt.Errorf("call %s %s: %w", to, kind, err)
+	}
+
+	select {
+	case reply := <-ch:
+		if reply.ErrMsg != "" {
+			return &RemoteError{Kind: kind, To: to, Msg: reply.ErrMsg}
+		}
+		if resp != nil {
+			if err := Decode(reply.Payload, resp); err != nil {
+				return fmt.Errorf("call %s %s: decode: %w", to, kind, err)
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("call %s %s: %w", to, kind, ctx.Err())
+	}
+}
+
+// Notify sends a one-way request without waiting for a reply.
+func (p *Peer) Notify(to Addr, kind string, req any) error {
+	payload, err := Encode(req)
+	if err != nil {
+		return fmt.Errorf("notify %s %s: encode: %w", to, kind, err)
+	}
+	env := Envelope{From: p.addr, To: to, Kind: kind, Payload: payload}
+	if err := p.link.Send(env); err != nil {
+		return fmt.Errorf("notify %s %s: %w", to, kind, err)
+	}
+	return nil
+}
+
+// Close unbinds the peer and waits for in-flight handler invocations to
+// finish. Outstanding Calls fail when their context expires.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.link.Unlisten(p.addr)
+	p.wg.Wait()
+}
+
+// dispatch routes an inbound envelope: replies to waiting calls, requests
+// to the handler.
+func (p *Peer) dispatch(env Envelope) {
+	if env.Reply {
+		p.mu.Lock()
+		ch := p.pending[env.Corr]
+		p.mu.Unlock()
+		if ch != nil {
+			// Buffered with capacity 1 and at most one reply per id.
+			ch <- env
+		}
+		return
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+
+	// Handlers may issue their own Calls, so each request runs on its own
+	// goroutine; serialization, where needed, is the receiver's concern
+	// (agent mailboxes provide it).
+	go func() {
+		defer p.wg.Done()
+		p.serve(env)
+	}()
+}
+
+// serve runs the handler for one request and sends the reply, if the
+// request carried a correlation id.
+func (p *Peer) serve(env Envelope) {
+	var (
+		body any
+		err  error
+	)
+	if p.h != nil {
+		body, err = p.h(env.From, env.Kind, env.Payload)
+	} else {
+		err = fmt.Errorf("no handler at %s", p.addr)
+	}
+	if env.Corr == 0 {
+		return // one-way notify
+	}
+	reply := Envelope{From: p.addr, To: env.From, Kind: env.Kind, Corr: env.Corr, Reply: true}
+	if err != nil {
+		reply.ErrMsg = err.Error()
+	} else {
+		payload, encErr := Encode(body)
+		if encErr != nil {
+			reply.ErrMsg = fmt.Sprintf("encode response: %v", encErr)
+		} else {
+			reply.Payload = payload
+		}
+	}
+	// A failed reply send means the requester is unreachable; it will time
+	// out, which is the correct observable behaviour.
+	_ = p.link.Send(reply)
+}
+
+// Encode gob-encodes a value; nil encodes to an empty payload.
+func Encode(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes a payload into v; an empty payload leaves v untouched.
+func Decode(data []byte, v any) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

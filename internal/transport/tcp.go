@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPConfig configures a TCP link.
+type TCPConfig struct {
+	// ListenOn is the local "host:port" to accept envelopes on. Use
+	// ":0" to pick a free port (see TCP.ListenAddr).
+	ListenOn string
+	// Directory maps endpoint addresses to "host:port" dial targets.
+	// Local addresses need no entry. Entries may be added later with
+	// AddRoute.
+	Directory map[Addr]string
+}
+
+// TCP carries gob-encoded envelopes over TCP connections, implementing
+// Link. One TCP instance serves all local endpoints of a process;
+// connections to remote processes are dialed on demand and cached.
+type TCP struct {
+	mu        sync.Mutex
+	listener  net.Listener
+	directory map[Addr]string
+	handlers  map[Addr]Handler
+	conns     map[string]*tcpConn
+	inbound   map[net.Conn]struct{}
+	// learned maps sender addresses to the inbound connection they last
+	// spoke on, so replies reach peers that have no directory entry
+	// (ephemeral clients).
+	learned map[Addr]*tcpConn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+var _ Link = (*TCP)(nil)
+
+// NewTCP starts accepting connections on cfg.ListenOn.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	ln, err := net.Listen("tcp", cfg.ListenOn)
+	if err != nil {
+		return nil, fmt.Errorf("tcp listen %s: %w", cfg.ListenOn, err)
+	}
+	dir := make(map[Addr]string, len(cfg.Directory))
+	for a, hp := range cfg.Directory {
+		dir[a] = hp
+	}
+	t := &TCP{
+		listener:  ln,
+		directory: dir,
+		handlers:  make(map[Addr]Handler),
+		conns:     make(map[string]*tcpConn),
+		inbound:   make(map[net.Conn]struct{}),
+		learned:   make(map[Addr]*tcpConn),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// ListenAddr returns the actual local listen address (useful with ":0").
+func (t *TCP) ListenAddr() string { return t.listener.Addr().String() }
+
+// AddRoute registers or replaces the dial target for a remote address.
+func (t *TCP) AddRoute(addr Addr, hostport string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.directory[addr] = hostport
+}
+
+// Listen implements Link.
+func (t *TCP) Listen(addr Addr, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.handlers[addr]; ok {
+		return ErrAddrInUse
+	}
+	t.handlers[addr] = h
+	return nil
+}
+
+// Unlisten implements Link.
+func (t *TCP) Unlisten(addr Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.handlers, addr)
+}
+
+// Send implements Link. Envelopes to locally bound addresses loop back
+// without touching the network.
+func (t *TCP) Send(env Envelope) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if h, ok := t.handlers[env.To]; ok {
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go func() {
+			defer t.wg.Done()
+			h(env)
+		}()
+		return nil
+	}
+	target, ok := t.directory[env.To]
+	if !ok {
+		// No directory entry: reply over the connection the peer spoke
+		// on, if it did.
+		lc := t.learned[env.To]
+		t.mu.Unlock()
+		if lc == nil {
+			return fmt.Errorf("%w: %s", ErrUnknownAddr, env.To)
+		}
+		lc.mu.Lock()
+		defer lc.mu.Unlock()
+		if err := lc.enc.Encode(env); err != nil {
+			return fmt.Errorf("tcp send to %s (learned route): %w", env.To, err)
+		}
+		return nil
+	}
+	t.mu.Unlock()
+	c, err := t.connTo(target)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(env); err != nil {
+		// The connection is broken; drop it so the next send redials.
+		t.dropConn(target, c)
+		return fmt.Errorf("tcp send to %s (%s): %w", env.To, target, err)
+	}
+	return nil
+}
+
+// Close implements Link.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[string]*tcpConn)
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+// connTo returns a cached connection to the target, dialing if needed.
+func (t *TCP) connTo(target string) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[target]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return nil, fmt.Errorf("tcp dial %s: %w", target, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[target]; ok {
+		// Another goroutine won the dial race.
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[target] = c
+	// Outgoing connections are full duplex: replies (and any traffic the
+	// peer chooses to send us) come back on the same socket.
+	t.inbound[conn] = struct{}{}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.readLoop(conn, c)
+	return c, nil
+}
+
+// readLoop decodes envelopes arriving on a connection, learning reply
+// routes and dispatching to local handlers, until the connection closes.
+func (t *TCP) readLoop(conn net.Conn, back *tcpConn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		for addr, lc := range t.learned {
+			if lc == back {
+				delete(t.learned, addr)
+			}
+		}
+		for target, oc := range t.conns {
+			if oc == back {
+				delete(t.conns, target)
+			}
+		}
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return // connection closed or corrupt stream
+		}
+		t.mu.Lock()
+		if env.From != "" {
+			t.learned[env.From] = back
+		}
+		h, ok := t.handlers[env.To]
+		t.mu.Unlock()
+		if ok {
+			h(env)
+		}
+	}
+}
+
+// dropConn discards a broken cached connection.
+func (t *TCP) dropConn(target string, c *tcpConn) {
+	c.conn.Close()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[target] == c {
+		delete(t.conns, target)
+	}
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per
+// connection.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		back := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+		go t.readLoop(conn, back)
+	}
+}

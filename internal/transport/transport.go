@@ -1,0 +1,79 @@
+// Package transport is the network substrate beneath the mobile-agent
+// platform. It offers one abstraction — Link, an asynchronous envelope
+// carrier between named endpoints — with two implementations:
+//
+//   - Network: an in-process simulated LAN with configurable latency,
+//     jitter, message loss and partitions. Experiments and tests run on it.
+//   - TCP: gob-encoded envelopes over real TCP connections, demonstrating
+//     multi-process deployment of the same binaries.
+//
+// Package transport also provides Peer, a request/response (RPC) layer over
+// any Link, with correlation ids, deadlines and remote error propagation.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr names an endpoint. In-memory networks use free-form names ("node-3");
+// the TCP transport resolves Addrs to host:port pairs through a directory.
+type Addr string
+
+// Envelope is the unit of transfer between endpoints.
+type Envelope struct {
+	// From and To identify the sending and receiving endpoints.
+	From, To Addr
+	// Kind names the request type (e.g. "locate", "agent-transfer").
+	Kind string
+	// Corr correlates a reply with its request.
+	Corr uint64
+	// Reply marks response envelopes.
+	Reply bool
+	// ErrMsg carries a remote error on a reply.
+	ErrMsg string
+	// Payload is the gob-encoded message body.
+	Payload []byte
+}
+
+// Handler consumes inbound envelopes for an endpoint. Handlers may be
+// invoked concurrently and must not block for long.
+type Handler func(Envelope)
+
+// Link is an asynchronous envelope carrier.
+type Link interface {
+	// Listen binds an address to a handler. Binding an already-bound
+	// address fails.
+	Listen(addr Addr, h Handler) error
+	// Unlisten releases an address binding. Unknown addresses are ignored.
+	Unlisten(addr Addr)
+	// Send queues an envelope for delivery. Send returns once the envelope
+	// is accepted; delivery is asynchronous and not guaranteed (the
+	// simulated network can drop, and TCP peers can fail).
+	Send(env Envelope) error
+	// Close releases the link. In-flight envelopes may be dropped.
+	Close() error
+}
+
+// Common transport errors.
+var (
+	// ErrClosed is returned by operations on a closed link.
+	ErrClosed = errors.New("transport: link closed")
+	// ErrUnknownAddr is returned when a destination cannot be resolved.
+	ErrUnknownAddr = errors.New("transport: unknown address")
+	// ErrAddrInUse is returned when binding an already-bound address.
+	ErrAddrInUse = errors.New("transport: address already bound")
+)
+
+// RemoteError is the error type returned by Peer.Call when the remote
+// handler failed; Msg is the remote error text.
+type RemoteError struct {
+	Kind string
+	To   Addr
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote %s at %s: %s", e.Kind, e.To, e.Msg)
+}

@@ -1,0 +1,587 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"agentloc/internal/clock"
+)
+
+func TestNetworkDeliver(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+
+	got := make(chan Envelope, 1)
+	if err := n.Listen("b", func(env Envelope) { got <- env }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Envelope{From: "a", To: "b", Kind: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-got:
+		if env.Kind != "ping" || env.From != "a" {
+			t.Errorf("got %+v", env)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestNetworkUnknownAddr(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	if err := n.Send(Envelope{From: "a", To: "nope"}); !errors.Is(err, ErrUnknownAddr) {
+		t.Errorf("error = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestNetworkDoubleListen(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	if err := n.Listen("a", func(Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Listen("a", func(Envelope) {}); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("error = %v, want ErrAddrInUse", err)
+	}
+	n.Unlisten("a")
+	if err := n.Listen("a", func(Envelope) {}); err != nil {
+		t.Errorf("Listen after Unlisten: %v", err)
+	}
+}
+
+func TestNetworkClosed(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := n.Listen("a", func(Envelope) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Listen on closed = %v, want ErrClosed", err)
+	}
+	if err := n.Send(Envelope{To: "a"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send on closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestNetworkLatency(t *testing.T) {
+	n := NewNetwork(NetworkConfig{Latency: FixedLatency(30 * time.Millisecond)})
+	defer n.Close()
+	got := make(chan time.Time, 1)
+	if err := n.Listen("b", func(Envelope) { got <- time.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := n.Send(Envelope{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case at := <-got:
+		if d := at.Sub(start); d < 25*time.Millisecond {
+			t.Errorf("delivered after %v, want ≥ ~30ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestNetworkDropAll(t *testing.T) {
+	n := NewNetwork(NetworkConfig{DropProb: 1.0})
+	defer n.Close()
+	var count atomic.Int32
+	if err := n.Listen("b", func(Envelope) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := n.Send(Envelope{From: "a", To: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := count.Load(); got != 0 {
+		t.Errorf("delivered %d messages with DropProb=1", got)
+	}
+}
+
+func TestNetworkPartitionAndHeal(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	var count atomic.Int32
+	if err := n.Listen("b", func(Envelope) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("a", "b")
+	if err := n.Send(Envelope{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := count.Load(); got != 0 {
+		t.Fatalf("partition leaked %d messages", got)
+	}
+	n.Heal("a", "b")
+	if err := n.Send(Envelope{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for count.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if count.Load() != 1 {
+		t.Errorf("after heal: %d deliveries, want 1", count.Load())
+	}
+}
+
+func TestNetworkHealAll(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	n.Partition("a", "b")
+	n.Partition("a", "c")
+	n.HealAll()
+	var count atomic.Int32
+	if err := n.Listen("b", func(Envelope) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Envelope{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for count.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if count.Load() != 1 {
+		t.Error("HealAll did not restore connectivity")
+	}
+}
+
+func TestNetworkFakeClockLatency(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	n := NewNetwork(NetworkConfig{Clock: fc, Latency: FixedLatency(10 * time.Second)})
+	defer n.Close()
+	var count atomic.Int32
+	if err := n.Listen("b", func(Envelope) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Envelope{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	for fc.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if count.Load() != 0 {
+		t.Fatal("delivered before fake time advanced")
+	}
+	fc.Advance(10 * time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for count.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if count.Load() != 1 {
+		t.Error("not delivered after fake time advanced")
+	}
+}
+
+type echoReq struct{ Text string }
+type echoResp struct{ Text string }
+
+func newPeerPair(t *testing.T, h RequestHandler) (*Peer, *Peer, *Network) {
+	t.Helper()
+	n := NewNetwork(NetworkConfig{})
+	t.Cleanup(func() { n.Close() })
+	server, err := NewPeer(n, "server", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Close)
+	client, err := NewPeer(n, "client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	return client, server, n
+}
+
+func TestPeerCall(t *testing.T) {
+	client, _, _ := newPeerPair(t, func(from Addr, kind string, payload []byte) (any, error) {
+		var req echoReq
+		if err := Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if from != "client" || kind != "echo" {
+			return nil, fmt.Errorf("unexpected from=%s kind=%s", from, kind)
+		}
+		return echoResp{Text: "echo:" + req.Text}, nil
+	})
+	var resp echoResp
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := client.Call(ctx, "server", "echo", echoReq{Text: "hi"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "echo:hi" {
+		t.Errorf("resp = %q", resp.Text)
+	}
+}
+
+func TestPeerCallRemoteError(t *testing.T) {
+	client, _, _ := newPeerPair(t, func(Addr, string, []byte) (any, error) {
+		return nil, errors.New("boom")
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := client.Call(ctx, "server", "x", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %v, want *RemoteError", err)
+	}
+	if re.Msg != "boom" {
+		t.Errorf("Msg = %q, want boom", re.Msg)
+	}
+	if re.Error() == "" {
+		t.Error("empty Error()")
+	}
+}
+
+func TestPeerCallTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	client, _, _ := newPeerPair(t, func(Addr, string, []byte) (any, error) {
+		<-block
+		return nil, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := client.Call(ctx, "server", "x", nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want deadline exceeded", err)
+	}
+}
+
+func TestPeerCallToUnknownAddr(t *testing.T) {
+	client, _, _ := newPeerPair(t, nil)
+	ctx := context.Background()
+	if err := client.Call(ctx, "ghost", "x", nil, nil); !errors.Is(err, ErrUnknownAddr) {
+		t.Errorf("error = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestPeerCallNilHandler(t *testing.T) {
+	// The client peer has no handler; calling *it* must return a remote
+	// error rather than hang.
+	_, server, _ := newPeerPair(t, func(Addr, string, []byte) (any, error) { return nil, nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := server.Call(ctx, "client", "x", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Errorf("error = %v, want *RemoteError", err)
+	}
+}
+
+func TestPeerNotify(t *testing.T) {
+	got := make(chan string, 1)
+	client, _, _ := newPeerPair(t, func(_ Addr, kind string, _ []byte) (any, error) {
+		got <- kind
+		return nil, nil
+	})
+	if err := client.Notify("server", "fire-and-forget", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case k := <-got:
+		if k != "fire-and-forget" {
+			t.Errorf("kind = %q", k)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("notify not delivered")
+	}
+}
+
+func TestPeerConcurrentCalls(t *testing.T) {
+	client, _, _ := newPeerPair(t, func(_ Addr, _ string, payload []byte) (any, error) {
+		var req echoReq
+		if err := Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return echoResp{Text: req.Text}, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			want := fmt.Sprintf("msg-%d", i)
+			var resp echoResp
+			if err := client.Call(ctx, "server", "echo", echoReq{Text: want}, &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp.Text != want {
+				errs <- fmt.Errorf("cross-talk: got %q want %q", resp.Text, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPeerClosedCall(t *testing.T) {
+	client, _, _ := newPeerPair(t, nil)
+	client.Close()
+	if err := client.Call(context.Background(), "server", "x", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("error = %v, want ErrClosed", err)
+	}
+}
+
+func TestEncodeDecodeNil(t *testing.T) {
+	data, err := Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		t.Errorf("Encode(nil) = %v, want nil", data)
+	}
+	var v echoReq
+	if err := Decode(nil, &v); err != nil {
+		t.Errorf("Decode(nil): %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	serverLink, err := NewTCP(TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverLink.Close()
+
+	clientLink, err := NewTCP(TCPConfig{
+		ListenOn:  "127.0.0.1:0",
+		Directory: map[Addr]string{"server": serverLink.ListenAddr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientLink.Close()
+	serverLink.AddRoute("client", clientLink.ListenAddr())
+
+	server, err := NewPeer(serverLink, "server", func(_ Addr, _ string, payload []byte) (any, error) {
+		var req echoReq
+		if err := Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return echoResp{Text: "tcp:" + req.Text}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	client, err := NewPeer(clientLink, "client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp echoResp
+	if err := client.Call(ctx, "server", "echo", echoReq{Text: "over-the-wire"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "tcp:over-the-wire" {
+		t.Errorf("resp = %q", resp.Text)
+	}
+}
+
+func TestTCPLoopback(t *testing.T) {
+	link, err := NewTCP(TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	server, err := NewPeer(link, "s", func(Addr, string, []byte) (any, error) {
+		return echoResp{Text: "local"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := NewPeer(link, "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp echoResp
+	if err := client.Call(ctx, "s", "x", nil, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "local" {
+		t.Errorf("resp = %q", resp.Text)
+	}
+}
+
+func TestTCPUnknownAddr(t *testing.T) {
+	link, err := NewTCP(TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	if err := link.Send(Envelope{To: "ghost"}); !errors.Is(err, ErrUnknownAddr) {
+		t.Errorf("error = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestTCPClosed(t *testing.T) {
+	link, err := NewTCP(TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Send(Envelope{To: "x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after Close = %v, want ErrClosed", err)
+	}
+	if err := link.Listen("x", func(Envelope) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Listen after Close = %v, want ErrClosed", err)
+	}
+	if err := link.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestTCPLearnedRouteReply(t *testing.T) {
+	// The server has NO directory entry for the client; its replies must
+	// flow back over the connection the request arrived on.
+	serverLink, err := NewTCP(TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverLink.Close()
+
+	clientLink, err := NewTCP(TCPConfig{
+		ListenOn:  "127.0.0.1:0",
+		Directory: map[Addr]string{"server": serverLink.ListenAddr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientLink.Close()
+
+	server, err := NewPeer(serverLink, "server", func(_ Addr, _ string, payload []byte) (any, error) {
+		var req echoReq
+		if err := Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return echoResp{Text: "learned:" + req.Text}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	client, err := NewPeer(clientLink, "ephemeral-client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp echoResp
+	if err := client.Call(ctx, "server", "echo", echoReq{Text: "hi"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "learned:hi" {
+		t.Errorf("resp = %q", resp.Text)
+	}
+}
+
+func TestLANLatencyLoopbackIsFree(t *testing.T) {
+	f := LANLatency(10 * time.Millisecond)
+	if got := f("a", "a"); got != 0 {
+		t.Errorf("loopback latency = %v, want 0", got)
+	}
+	if got := f("a", "b"); got != 10*time.Millisecond {
+		t.Errorf("cross latency = %v, want 10ms", got)
+	}
+}
+
+func TestTCPRedialAfterPeerRestart(t *testing.T) {
+	// A cached outgoing connection goes stale when the peer restarts; the
+	// next send must fail once at most and a redial must succeed.
+	serverLink, err := NewTCP(TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := serverLink.ListenAddr()
+
+	clientLink, err := NewTCP(TCPConfig{
+		ListenOn:  "127.0.0.1:0",
+		Directory: map[Addr]string{"server": addr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientLink.Close()
+
+	got := make(chan string, 8)
+	handler := func(env Envelope) { got <- env.Kind }
+	if err := serverLink.Listen("server", handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientLink.Send(Envelope{From: "c", To: "server", Kind: "one"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first send not delivered")
+	}
+
+	// Restart the server on the same port.
+	if err := serverLink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	serverLink2, err := NewTCP(TCPConfig{ListenOn: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverLink2.Close()
+	if err := serverLink2.Listen("server", handler); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale cached connection may eat one send; within a couple of
+	// attempts the redial path must deliver again.
+	deadline := time.Now().Add(10 * time.Second)
+	delivered := false
+	for time.Now().Before(deadline) && !delivered {
+		_ = clientLink.Send(Envelope{From: "c", To: "server", Kind: "two"})
+		select {
+		case <-got:
+			delivered = true
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	if !delivered {
+		t.Fatal("sends never recovered after peer restart")
+	}
+}

@@ -1,0 +1,368 @@
+// Package workload reproduces the paper's experimental workloads: TAgents —
+// mobile agents that roam the nodes with a configurable residence time,
+// informing their location service on every move (paper §5) — and queriers
+// that measure the location time of randomly chosen TAgents.
+//
+// The same workload drives either location mechanism: a MechanismRef
+// selects the hash-based scheme or the centralized baseline, and the
+// package builds the matching protocol client.
+package workload
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"agentloc/internal/centralized"
+	"agentloc/internal/core"
+	"agentloc/internal/forwarding"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+)
+
+// LocationClient is the client surface shared by both schemes
+// (core.Client and centralized.Client).
+type LocationClient interface {
+	// Register announces a newly created agent at the caller's node.
+	Register(ctx context.Context, self ids.AgentID) (core.Assignment, error)
+	// MoveNotify reports the agent's new location.
+	MoveNotify(ctx context.Context, self ids.AgentID, cached core.Assignment) (core.Assignment, error)
+	// Deregister removes a disposed agent.
+	Deregister(ctx context.Context, self ids.AgentID, cached core.Assignment) error
+	// Locate returns the target agent's current node.
+	Locate(ctx context.Context, target ids.AgentID) (platform.NodeID, error)
+}
+
+var (
+	_ LocationClient = (*core.Client)(nil)
+	_ LocationClient = (*centralized.Client)(nil)
+	_ LocationClient = (*forwarding.Client)(nil)
+)
+
+// Scheme selects a location mechanism.
+type Scheme int
+
+const (
+	// SchemeHashed is the paper's hash-based mechanism.
+	SchemeHashed Scheme = iota + 1
+	// SchemeCentralized is the baseline of §5.
+	SchemeCentralized
+	// SchemeForwarding is the Voyager-style forwarding-pointer scheme of
+	// §6's related work.
+	SchemeForwarding
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeHashed:
+		return "hashed"
+	case SchemeCentralized:
+		return "centralized"
+	case SchemeForwarding:
+		return "forwarding"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// MechanismRef is a serializable handle to a deployed location mechanism;
+// TAgents carry it in their migrating state and rebuild the client at every
+// node.
+type MechanismRef struct {
+	Scheme Scheme
+	// Hashed holds the mechanism config when Scheme is SchemeHashed.
+	Hashed core.Config
+	// Central holds the baseline config when Scheme is SchemeCentralized.
+	Central centralized.Config
+	// Forwarding holds the pointer-scheme config when Scheme is
+	// SchemeForwarding.
+	Forwarding forwarding.Config
+}
+
+// ClientFor builds the protocol client for the referenced mechanism.
+func (m MechanismRef) ClientFor(caller core.Caller) (LocationClient, error) {
+	switch m.Scheme {
+	case SchemeHashed:
+		return core.NewClient(caller, m.Hashed), nil
+	case SchemeCentralized:
+		return centralized.NewClient(caller, m.Central), nil
+	case SchemeForwarding:
+		return forwarding.NewClient(caller, m.Forwarding), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown scheme %v", m.Scheme)
+	}
+}
+
+// TAgent is the paper's roaming target agent: it registers on creation,
+// stays Residence at each node, notifies its location service, and moves to
+// a random next node. All exported fields migrate with it.
+type TAgent struct {
+	// Mech selects and configures the location mechanism to report to.
+	Mech MechanismRef
+	// Nodes is the itinerary universe.
+	Nodes []platform.NodeID
+	// Residence is how long the agent stays at each node (paper §5:
+	// "each TAgent stays at each node for ...").
+	Residence time.Duration
+	// MaxHops bounds the journey; 0 means roam until killed.
+	MaxHops int
+	// UseCheckIn makes the agent collect deposited messages atomically
+	// with each location update (the guaranteed-delivery extension;
+	// hashed scheme only).
+	UseCheckIn bool
+
+	// Assign caches the agent's IAgent assignment across moves.
+	Assign core.Assignment
+	// Registered records whether the initial registration happened.
+	Registered bool
+	// Hops counts completed moves.
+	Hops int
+	// Seed derandomizes the itinerary.
+	Seed int64
+	// Mail accumulates messages collected at check-ins (UseCheckIn).
+	Mail []core.Deposited
+
+	// mu guards Hops and Mail, which the Run goroutine writes while the
+	// mailbox goroutine reads them. It is unexported, so gob skips it and
+	// migration resets it — exactly right for a mutex.
+	mu sync.Mutex
+}
+
+var (
+	_ platform.Behavior = (*TAgent)(nil)
+	_ platform.Runner   = (*TAgent)(nil)
+)
+
+func init() {
+	gob.Register(&TAgent{})
+}
+
+// HandleRequest implements platform.Behavior: TAgents answer a ping so
+// examples can verify a located agent is really there.
+func (t *TAgent) HandleRequest(ctx *platform.Context, kind string, payload []byte) (any, error) {
+	switch kind {
+	case "tagent.ping":
+		t.mu.Lock()
+		hops := t.Hops
+		t.mu.Unlock()
+		return PingResp{Node: ctx.Node(), Hops: hops}, nil
+	case "tagent.mail":
+		t.mu.Lock()
+		mail := make([]core.Deposited, len(t.Mail))
+		copy(mail, t.Mail)
+		t.mu.Unlock()
+		return MailResp{Mail: mail}, nil
+	default:
+		return nil, fmt.Errorf("tagent %s: unknown request kind %q", ctx.Self(), kind)
+	}
+}
+
+// PingResp answers a TAgent ping.
+type PingResp struct {
+	Node platform.NodeID
+	Hops int
+}
+
+// MailResp lists the messages a check-in-enabled TAgent has collected.
+type MailResp struct {
+	Mail []core.Deposited
+}
+
+// Run implements platform.Runner: one residence period per node, then a
+// move. Registration and move notifications go through the location
+// mechanism, exactly as in the paper's workload.
+func (t *TAgent) Run(ctx *platform.Context) error {
+	client, err := t.Mech.ClientFor(core.CtxCaller{Ctx: ctx})
+	if err != nil {
+		return err
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), t.callTimeout())
+	defer cancel()
+	switch {
+	case !t.Registered:
+		assign, err := client.Register(cctx, ctx.Self())
+		if err != nil {
+			return fmt.Errorf("tagent %s: register: %w", ctx.Self(), err)
+		}
+		t.Assign = assign
+		t.Registered = true
+	case t.UseCheckIn && t.Mech.Scheme == SchemeHashed:
+		hc := core.NewClient(core.CtxCaller{Ctx: ctx}, t.Mech.Hashed)
+		assign, pending, err := hc.CheckIn(cctx, ctx.Self(), t.Assign)
+		if err != nil {
+			return fmt.Errorf("tagent %s: check-in: %w", ctx.Self(), err)
+		}
+		t.Assign = assign
+		if len(pending) > 0 {
+			t.mu.Lock()
+			t.Mail = append(t.Mail, pending...)
+			t.mu.Unlock()
+		}
+	default:
+		assign, err := client.MoveNotify(cctx, ctx.Self(), t.Assign)
+		if err != nil {
+			return fmt.Errorf("tagent %s: move notify: %w", ctx.Self(), err)
+		}
+		t.Assign = assign
+	}
+
+	t.mu.Lock()
+	hops := t.Hops
+	t.mu.Unlock()
+	if t.MaxHops > 0 && hops >= t.MaxHops {
+		return nil // journey complete; stay reachable here
+	}
+	if !ctx.Sleep(t.Residence) {
+		return nil // killed while residing
+	}
+	next := t.nextNode(ctx.Node())
+	if next == ctx.Node() {
+		return nil
+	}
+	t.mu.Lock()
+	t.Hops++
+	t.mu.Unlock()
+	mctx, mcancel := context.WithTimeout(context.Background(), t.callTimeout())
+	defer mcancel()
+	return ctx.Move(mctx, next)
+}
+
+// nextNode picks a pseudo-random different node, deterministic in
+// (Seed, Hops).
+func (t *TAgent) nextNode(current platform.NodeID) platform.NodeID {
+	if len(t.Nodes) <= 1 {
+		return current
+	}
+	r := rand.New(rand.NewSource(t.Seed + int64(t.Hops)*7919))
+	for {
+		n := t.Nodes[r.Intn(len(t.Nodes))]
+		if n != current {
+			return n
+		}
+	}
+}
+
+// callTimeout bounds one protocol interaction.
+func (t *TAgent) callTimeout() time.Duration {
+	if t.Mech.Scheme == SchemeHashed && t.Mech.Hashed.CallTimeout > 0 {
+		return t.Mech.Hashed.CallTimeout
+	}
+	return 30 * time.Second
+}
+
+// Population launches a fleet of TAgents spread round-robin over the nodes.
+type Population struct {
+	// Agents lists the launched TAgent ids.
+	Agents []ids.AgentID
+}
+
+// LaunchTAgents creates count TAgents named <prefix>-i, round-robin over
+// the nodes, each roaming with the given residence time. It waits for all
+// of them to register before returning, so locates issued afterwards find
+// every agent.
+func LaunchTAgents(ctx context.Context, mech MechanismRef, nodes []*platform.Node, prefix string, count int, residence time.Duration) (*Population, error) {
+	nodeIDs := make([]platform.NodeID, len(nodes))
+	for i, n := range nodes {
+		nodeIDs[i] = n.ID()
+	}
+	pop := &Population{Agents: make([]ids.AgentID, 0, count)}
+	for i := 0; i < count; i++ {
+		home := nodes[i%len(nodes)]
+		id := ids.AgentID(fmt.Sprintf("%s-%d", prefix, i))
+		agent := &TAgent{
+			Mech:      mech,
+			Nodes:     nodeIDs,
+			Residence: residence,
+			Seed:      int64(i + 1),
+		}
+		if err := home.Launch(id, agent); err != nil {
+			return nil, fmt.Errorf("workload: launch %s: %w", id, err)
+		}
+		pop.Agents = append(pop.Agents, id)
+	}
+	// Wait until every TAgent is registered: locate each once.
+	client, err := mech.ClientFor(core.NodeCaller{N: nodes[0]})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range pop.Agents {
+		if err := waitRegistered(ctx, client, id); err != nil {
+			return nil, err
+		}
+	}
+	return pop, nil
+}
+
+// waitRegistered polls until the agent is locatable or ctx expires.
+func waitRegistered(ctx context.Context, client LocationClient, id ids.AgentID) error {
+	for {
+		_, err := client.Locate(ctx, id)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("workload: %s never registered: %w", id, err)
+		}
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+			return fmt.Errorf("workload: %s never registered: %w", id, err)
+		}
+	}
+}
+
+// Querier measures location times: the paper's metric is "the average
+// response time of a query for the location of a TAgent selected randomly
+// from all the mobile agents in the system".
+type Querier struct {
+	client LocationClient
+	agents []ids.AgentID
+	rng    *rand.Rand
+}
+
+// NewQuerier builds a querier over the given population.
+func NewQuerier(client LocationClient, agents []ids.AgentID, seed int64) *Querier {
+	return &Querier{client: client, agents: agents, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Measure issues count sequential location queries, pacing them by
+// interval, and returns the individual location times. Each query is
+// bounded by perQuery (0 means unbounded); failed queries (timeouts under
+// extreme overload) are skipped but counted.
+func (q *Querier) Measure(ctx context.Context, count int, interval, perQuery time.Duration) ([]time.Duration, int, error) {
+	if len(q.agents) == 0 {
+		return nil, 0, fmt.Errorf("workload: querier has no agents to query")
+	}
+	samples := make([]time.Duration, 0, count)
+	failures := 0
+	for i := 0; i < count; i++ {
+		if ctx.Err() != nil {
+			return samples, failures, ctx.Err()
+		}
+		target := q.agents[q.rng.Intn(len(q.agents))]
+		qctx, cancel := ctx, context.CancelFunc(func() {})
+		if perQuery > 0 {
+			qctx, cancel = context.WithTimeout(ctx, perQuery)
+		}
+		start := time.Now()
+		_, err := q.client.Locate(qctx, target)
+		cancel()
+		if err != nil {
+			failures++
+		} else {
+			samples = append(samples, time.Since(start))
+		}
+		if interval > 0 {
+			select {
+			case <-time.After(interval):
+			case <-ctx.Done():
+				return samples, failures, ctx.Err()
+			}
+		}
+	}
+	return samples, failures, nil
+}
