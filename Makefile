@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test short race vet bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Full suite: unit, integration, property, fuzz seeds, experiment sweeps.
+test:
+	$(GO) test ./...
+
+# Skip the experiment sweeps for a fast signal.
+short:
+	$(GO) test -short ./...
+
+# The packages with the most lock-free machinery, under the race detector.
+race:
+	$(GO) test -race ./internal/metrics ./internal/trace ./internal/core ./internal/transport
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+ci: build vet short race
+
+clean:
+	$(GO) clean ./...
+	rm -f locnode locctl locsim

@@ -8,19 +8,29 @@
 //	locctl -peers ... -hagent-node node-0 register my-agent
 //	locctl -peers ... -hagent-node node-0 deposit tagent-3 "report in"
 //	locctl -peers ... -hagent-node node-0 tree
+//
+// The metrics subcommand needs no cluster membership — it scrapes a
+// locnode's -metrics-addr endpoint over HTTP and pretty-prints it:
+//
+//	locctl metrics 127.0.0.1:9100
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"agentloc/internal/core"
 	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
 	"agentloc/internal/transport"
 	"agentloc/internal/workload"
@@ -42,12 +52,16 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *peers == "" || *hagentNode == "" {
-		return fmt.Errorf("need -peers and -hagent-node")
-	}
 	cmd := fs.Args()
 	if len(cmd) == 0 {
-		return fmt.Errorf("missing command (stats | tree | locate <agent> | register <agent> | deposit <agent> <text> | spawn <count> <residence>)")
+		return fmt.Errorf("missing command (stats | tree | locate <agent> | register <agent> | deposit <agent> <text> | spawn <count> <residence> | metrics <host:port>)")
+	}
+	// metrics scrapes over plain HTTP; it needs no cluster membership.
+	if cmd[0] == "metrics" {
+		return metricsCmd(cmd[1:], *timeout, os.Stdout)
+	}
+	if *peers == "" || *hagentNode == "" {
+		return fmt.Errorf("need -peers and -hagent-node")
 	}
 
 	directory := make(map[transport.Addr]string)
@@ -167,4 +181,227 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd[0])
 	}
+}
+
+// metricsCmd fetches a node's Prometheus exposition and renders it for
+// humans: scalars as-is, histograms reduced to count/mean/quantiles.
+func metricsCmd(args []string, timeout time.Duration, w io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: metrics <host:port | url>")
+	}
+	url := args[0]
+	if !strings.Contains(url, "://") {
+		url = "http://" + url + "/metrics"
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch %s: %s", url, resp.Status)
+	}
+	return prettyMetrics(resp.Body, w)
+}
+
+// histAgg accumulates one histogram series while scanning the exposition.
+type histAgg struct {
+	display string // name{labels} without the le label
+	bounds  []float64
+	cum     []uint64 // cumulative counts, finite buckets in le order
+	sum     float64
+	count   uint64
+}
+
+// prettyMetrics parses Prometheus text format and prints a compact
+// human-readable summary, histograms folded to count/mean/p50/p90/p99.
+func prettyMetrics(r io.Reader, w io.Writer) error {
+	var scalars []string
+	hists := make(map[string]*histAgg)
+	var histOrder []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			continue // tolerate lines we do not understand
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base := strings.TrimSuffix(name, "_bucket")
+			le, rest := extractLE(labels)
+			h := histFor(hists, &histOrder, base, rest)
+			if le == "+Inf" {
+				break // total arrives via _count
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				break
+			}
+			h.bounds = append(h.bounds, bound)
+			h.cum = append(h.cum, uint64(value))
+		case strings.HasSuffix(name, "_sum"):
+			histFor(hists, &histOrder, strings.TrimSuffix(name, "_sum"), labels).sum = value
+		case strings.HasSuffix(name, "_count"):
+			histFor(hists, &histOrder, strings.TrimSuffix(name, "_count"), labels).count = uint64(value)
+		default:
+			scalars = append(scalars, fmt.Sprintf("%-64s %s", name+labels, formatValue(name, value)))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	sort.Strings(scalars)
+	for _, line := range scalars {
+		fmt.Fprintln(w, line)
+	}
+	sort.Strings(histOrder)
+	for _, key := range histOrder {
+		h := hists[key]
+		snap := h.snapshot()
+		fmt.Fprintf(w, "%-64s count=%d mean=%s p50=%s p90=%s p99=%s\n",
+			h.display, snap.Count,
+			formatValue(h.display, snap.Mean()),
+			formatValue(h.display, snap.Quantile(0.50)),
+			formatValue(h.display, snap.Quantile(0.90)),
+			formatValue(h.display, snap.Quantile(0.99)))
+	}
+	return nil
+}
+
+// histFor returns (creating on first sight) the aggregate for a histogram
+// series identified by base name plus non-le labels.
+func histFor(hists map[string]*histAgg, order *[]string, base, labels string) *histAgg {
+	key := base + labels
+	h, ok := hists[key]
+	if !ok {
+		h = &histAgg{display: base + labels}
+		hists[key] = h
+		*order = append(*order, key)
+	}
+	return h
+}
+
+// snapshot converts the cumulative scrape into a metrics.HistogramSnapshot
+// so the CLI reuses the library's mean/quantile math.
+func (h *histAgg) snapshot() metrics.HistogramSnapshot {
+	counts := make([]uint64, len(h.bounds)+1)
+	var prev uint64
+	for i, c := range h.cum {
+		counts[i] = c - prev
+		prev = c
+	}
+	counts[len(h.bounds)] = h.count - prev // +Inf overflow
+	return metrics.HistogramSnapshot{Bounds: h.bounds, Counts: counts, Count: h.count, Sum: h.sum}
+}
+
+// parseSample splits one exposition sample into name, raw label block
+// (including braces, empty if none) and value.
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := closingBrace(line, i)
+		if j < 0 {
+			return "", "", 0, false
+		}
+		name, labels, rest = line[:i], line[i:j+1], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", 0, false
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	return name, labels, v, true
+}
+
+// closingBrace finds the index of the '}' matching the '{' at open,
+// honouring quoted label values with escapes.
+func closingBrace(s string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// extractLE removes the le label from a label block, returning its value
+// and the remaining block ("" when no other labels are left).
+func extractLE(labels string) (le, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		if v, ok := strings.CutPrefix(pair, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) == 0 {
+		return le, ""
+	}
+	return le, "{" + strings.Join(kept, ",") + "}"
+}
+
+// splitLabelPairs splits `a="1",b="2"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// formatValue renders seconds-unit metrics as durations and everything else
+// as plain numbers.
+func formatValue(name string, v float64) string {
+	if strings.Contains(name, "_seconds") {
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP agentloc_core_requests_total Requests served.
+# TYPE agentloc_core_requests_total counter
+agentloc_core_requests_total{op="locate"} 42
+agentloc_core_requests_total{op="update"} 7
+# TYPE agentloc_core_hashtree_leaves gauge
+agentloc_core_hashtree_leaves 3
+# TYPE agentloc_core_locate_latency_seconds histogram
+agentloc_core_locate_latency_seconds_bucket{le="0.25"} 1
+agentloc_core_locate_latency_seconds_bucket{le="0.5"} 3
+agentloc_core_locate_latency_seconds_bucket{le="1"} 4
+agentloc_core_locate_latency_seconds_bucket{le="+Inf"} 5
+agentloc_core_locate_latency_seconds_sum 5.625
+agentloc_core_locate_latency_seconds_count 5
+# TYPE agentloc_transport_rpc_latency_seconds histogram
+agentloc_transport_rpc_latency_seconds_bucket{kind="loc.locate",le="0.001"} 2
+agentloc_transport_rpc_latency_seconds_bucket{kind="loc.locate",le="+Inf"} 2
+agentloc_transport_rpc_latency_seconds_sum{kind="loc.locate"} 0.0005
+agentloc_transport_rpc_latency_seconds_count{kind="loc.locate"} 2
+`
+
+func TestPrettyMetrics(t *testing.T) {
+	var b strings.Builder
+	if err := prettyMetrics(strings.NewReader(sampleExposition), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`agentloc_core_requests_total{op="locate"}`,
+		"agentloc_core_hashtree_leaves",
+		"agentloc_core_locate_latency_seconds",
+		"count=5",
+		`agentloc_transport_rpc_latency_seconds{kind="loc.locate"}`,
+		"count=2",
+		"mean=1.125s", // 5.625 / 5, rendered as a duration
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Histograms must be folded, not echoed raw.
+	if strings.Contains(out, "_bucket") || strings.Contains(out, "le=") {
+		t.Errorf("raw bucket lines leaked into output:\n%s", out)
+	}
+}
+
+func TestParseSample(t *testing.T) {
+	name, labels, v, ok := parseSample(`agentloc_x_total{kind="a,b",node="n"} 12`)
+	if !ok || name != "agentloc_x_total" || labels != `{kind="a,b",node="n"}` || v != 12 {
+		t.Errorf("parseSample = %q %q %v %v", name, labels, v, ok)
+	}
+	name, labels, v, ok = parseSample("agentloc_plain 1.5")
+	if !ok || name != "agentloc_plain" || labels != "" || v != 1.5 {
+		t.Errorf("parseSample plain = %q %q %v %v", name, labels, v, ok)
+	}
+	if _, _, _, ok := parseSample("garbage line with words"); ok {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestExtractLE(t *testing.T) {
+	le, rest := extractLE(`{kind="x",le="0.5"}`)
+	if le != "0.5" || rest != `{kind="x"}` {
+		t.Errorf("extractLE = %q %q", le, rest)
+	}
+	le, rest = extractLE(`{le="+Inf"}`)
+	if le != "+Inf" || rest != "" {
+		t.Errorf("extractLE inf = %q %q", le, rest)
+	}
+}
+
+func TestMetricsCmdUsage(t *testing.T) {
+	if err := metricsCmd(nil, 0, nil); err == nil {
+		t.Error("missing target accepted")
+	}
+}

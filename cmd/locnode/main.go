@@ -13,11 +13,19 @@
 //	        -peers node-0=127.0.0.1:7100,node-1=127.0.0.1:7101 -hagent-node node-0 &
 //
 // Then drive it with locctl.
+//
+// With -metrics-addr the node additionally serves its observability
+// endpoints over HTTP: /metrics (Prometheus text format), /varz (the full
+// snapshot as JSON) and /healthz.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,7 +35,9 @@ import (
 	"agentloc/internal/core"
 	"agentloc/internal/hashtree"
 	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 
 	// Registers workload behaviours (TAgent) with gob so locctl-spawned
@@ -36,13 +46,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sigs
+		close(stop)
+	}()
+	if err := run(os.Args[1:], stop, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "locnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run is the whole node lifecycle; main only wires signals to the stop
+// channel so tests can drive a full node in-process.
+func run(args []string, stop <-chan struct{}, w io.Writer) error {
 	fs := flag.NewFlagSet("locnode", flag.ContinueOnError)
 	id := fs.String("id", "", "node id (required)")
 	listen := fs.String("listen", "127.0.0.1:0", "host:port to listen on")
@@ -52,6 +71,7 @@ func run(args []string) error {
 	tmax := fs.Float64("tmax", 50, "split threshold, messages/second")
 	tmin := fs.Float64("tmin", 5, "merge threshold, messages/second")
 	service := fs.Duration("service", time.Millisecond, "IAgent per-request service time")
+	metricsAddr := fs.String("metrics-addr", "", "host:port for the /metrics, /varz and /healthz HTTP endpoints (off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,14 +84,23 @@ func run(args []string) error {
 		return err
 	}
 
+	reg := metrics.New()
+	log := trace.NewLog(256)
+	metrics.BridgeTrace(log, reg)
+
 	link, err := transport.NewTCP(transport.TCPConfig{ListenOn: *listen, Directory: directory})
 	if err != nil {
 		return err
 	}
 	defer link.Close()
-	fmt.Printf("locnode %s listening on %s\n", *id, link.ListenAddr())
+	fmt.Fprintf(w, "locnode %s listening on %s\n", *id, link.ListenAddr())
 
-	node, err := platform.NewNode(platform.Config{ID: platform.NodeID(*id), Link: link})
+	node, err := platform.NewNode(platform.Config{
+		ID:      platform.NodeID(*id),
+		Link:    transport.Instrument(link, reg),
+		Trace:   log,
+		Metrics: reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -114,13 +143,41 @@ func run(args []string) error {
 		if err := node.Launch(firstIAgent, iagent, platform.WithServiceTime(cfg.IAgentServiceTime)); err != nil {
 			return err
 		}
-		fmt.Printf("locnode %s bootstrapped the location mechanism (HAgent + iagent-1)\n", *id)
+		fmt.Fprintf(w, "locnode %s bootstrapped the location mechanism (HAgent + iagent-1)\n", *id)
 	}
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var httpSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		httpSrv = &http.Server{Handler: metrics.Handler(reg, func() any {
+			return map[string]any{
+				"status": "ok",
+				"node":   string(node.ID()),
+				"agents": len(node.Agents()),
+			}
+		})}
+		go func() {
+			// Server shutdown is reported through Shutdown below;
+			// ErrServerClosed here is the normal exit.
+			_ = httpSrv.Serve(ln)
+		}()
+		fmt.Fprintf(w, "locnode %s metrics on http://%s/metrics\n", *id, ln.Addr())
+	}
+
 	<-stop
-	fmt.Printf("locnode %s shutting down\n", *id)
+	fmt.Fprintf(w, "locnode %s shutting down\n", *id)
+	if httpSrv != nil {
+		// Drain in-flight scrapes before tearing the node down, bounded so
+		// a stuck client cannot wedge shutdown.
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(w, "locnode %s: metrics shutdown: %v\n", *id, err)
+		}
+	}
 	return nil
 }
 

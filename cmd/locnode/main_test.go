@@ -1,8 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"agentloc/internal/metrics/metricstest"
 	"agentloc/internal/platform"
 	"agentloc/internal/transport"
 )
@@ -40,15 +48,122 @@ func TestPlacementNodes(t *testing.T) {
 	}
 }
 
+// syncBuffer lets the test read run's output while run is still writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestMetricsEndpoint boots a full single-node deployment with
+// -metrics-addr, scrapes the HTTP endpoints it announces, and shuts it
+// down via the stop channel.
+func TestMetricsEndpoint(t *testing.T) {
+	stop := make(chan struct{})
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-id", "node-0",
+			"-listen", "127.0.0.1:0",
+			"-bootstrap",
+			"-metrics-addr", "127.0.0.1:0",
+		}, stop, &out)
+	}()
+
+	// The node prints its metrics URL once the listener is up.
+	urlRe := regexp.MustCompile(`metrics on (http://[^\s]+)/metrics`)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := urlRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if base == "" {
+		t.Fatalf("metrics URL never announced:\n%s", out.String())
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		if _, err := io.Copy(&b, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d\n%s", path, resp.StatusCode, b.String())
+		}
+		return b.String()
+	}
+
+	text := get("/metrics")
+	if n := metricstest.ValidateText(t, text); n == 0 {
+		t.Fatalf("empty exposition:\n%s", text)
+	}
+	// Bootstrap hosts LHAgent + HAgent + iagent-1.
+	if !strings.Contains(text, `agentloc_platform_agents_hosted{node="node-0"} 3`) {
+		t.Errorf("hosted gauge wrong or missing:\n%s", text)
+	}
+
+	var health struct {
+		Status string `json:"status"`
+		Node   string `json:"node"`
+		Agents int    `json:"agents"`
+	}
+	if err := json.Unmarshal([]byte(get("/healthz")), &health); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.Node != "node-0" || health.Agents != 3 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("node did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown notice:\n%s", out.String())
+	}
+}
+
 func TestRunValidatesFlags(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{}, stop, io.Discard); err == nil {
 		t.Error("missing -id accepted")
 	}
-	if err := run([]string{"-id", "x", "-peers", "broken"}); err == nil {
+	if err := run([]string{"-id", "x", "-peers", "broken"}, stop, io.Discard); err == nil {
 		t.Error("broken peers accepted")
 	}
 	// Neither -bootstrap nor -hagent-node.
-	if err := run([]string{"-id", "x", "-listen", "127.0.0.1:0"}); err == nil {
+	if err := run([]string{"-id", "x", "-listen", "127.0.0.1:0"}, stop, io.Discard); err == nil {
 		t.Error("missing hagent designation accepted")
 	}
 }

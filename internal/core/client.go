@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
 )
 
@@ -65,6 +66,10 @@ func (c NodeCaller) Call(ctx context.Context, at platform.NodeID, agent ids.Agen
 // LocalNode implements Caller.
 func (c NodeCaller) LocalNode() platform.NodeID { return c.N.ID() }
 
+// Metrics exposes the node's registry so clients built on this caller are
+// instrumented automatically.
+func (c NodeCaller) Metrics() *metrics.Registry { return c.N.Metrics() }
+
 // CtxCaller adapts an agent's platform.Context to Caller.
 type CtxCaller struct {
 	Ctx *platform.Context
@@ -79,6 +84,21 @@ func (c CtxCaller) Call(ctx context.Context, at platform.NodeID, agent ids.Agent
 
 // LocalNode implements Caller.
 func (c CtxCaller) LocalNode() platform.NodeID { return c.Ctx.Node() }
+
+// Metrics exposes the hosting node's registry so clients built on this
+// caller are instrumented automatically.
+func (c CtxCaller) Metrics() *metrics.Registry { return c.Ctx.Metrics() }
+
+// CallerRegistry extracts the metrics registry behind a Caller, when it
+// offers one. Callers advertise it through an optional Metrics method so the
+// Caller interface itself stays minimal. Returns nil (a valid no-op
+// registry) otherwise.
+func CallerRegistry(c Caller) *metrics.Registry {
+	if p, ok := c.(interface{ Metrics() *metrics.Registry }); ok {
+		return p.Metrics()
+	}
+	return nil
+}
 
 // Assignment caches which IAgent serves an agent and where that IAgent is.
 // Mobile agents keep their own Assignment in their migrating state so they
@@ -99,11 +119,40 @@ func (a Assignment) Zero() bool { return a.IAgent == "" }
 type Client struct {
 	caller Caller
 	cfg    Config
+
+	// Handles keyed by protocol kind; nil maps (caller without metrics)
+	// yield nil handles on lookup, which are valid no-ops.
+	lat     map[string]*metrics.Histogram
+	retries map[string]*metrics.Counter
 }
 
-// NewClient builds a Client for the given caller.
+// NewClient builds a Client for the given caller. When the caller exposes a
+// metrics registry (NodeCaller and CtxCaller do), every operation observes
+// its end-to-end latency — whois, stale-refresh rounds and retries included
+// — and each extra protocol round counts into
+// agentloc_core_client_retries_total{op}.
 func NewClient(caller Caller, cfg Config) *Client {
-	return &Client{caller: caller, cfg: cfg}
+	c := &Client{caller: caller, cfg: cfg}
+	if reg := CallerRegistry(caller); reg != nil {
+		reg.Describe("agentloc_core_locate_latency_seconds", "End-to-end latency of successful Locate operations.")
+		reg.Describe("agentloc_core_update_latency_seconds", "End-to-end latency of successful MoveNotify operations.")
+		reg.Describe("agentloc_core_register_latency_seconds", "End-to-end latency of successful Register operations.")
+		reg.Describe("agentloc_core_deregister_latency_seconds", "End-to-end latency of successful Deregister operations.")
+		reg.Describe("agentloc_core_client_retries_total", "Extra protocol rounds of the §4.3 refresh-and-retry loop, by operation.")
+		c.lat = map[string]*metrics.Histogram{
+			KindLocate:     reg.Histogram("agentloc_core_locate_latency_seconds", metrics.DefLatencyBuckets),
+			KindUpdate:     reg.Histogram("agentloc_core_update_latency_seconds", metrics.DefLatencyBuckets),
+			KindRegister:   reg.Histogram("agentloc_core_register_latency_seconds", metrics.DefLatencyBuckets),
+			KindDeregister: reg.Histogram("agentloc_core_deregister_latency_seconds", metrics.DefLatencyBuckets),
+		}
+		c.retries = map[string]*metrics.Counter{
+			KindLocate:     reg.Counter("agentloc_core_client_retries_total", "op", "locate"),
+			KindUpdate:     reg.Counter("agentloc_core_client_retries_total", "op", "update"),
+			KindRegister:   reg.Counter("agentloc_core_client_retries_total", "op", "register"),
+			KindDeregister: reg.Counter("agentloc_core_client_retries_total", "op", "deregister"),
+		}
+	}
+	return c
 }
 
 // Whois asks the local LHAgent which IAgent serves the target.
@@ -144,7 +193,11 @@ func (c *Client) MoveNotify(ctx context.Context, self ids.AgentID, cached Assign
 func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assignment) error {
 	assign := cached
 	var err error
+	start := time.Now()
 	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
+		if attempt > 0 {
+			c.retries[KindDeregister].Inc()
+		}
 		if err := backoff(ctx, attempt); err != nil {
 			return err
 		}
@@ -161,6 +214,7 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assign
 			return err
 		}
 		if !assign.Zero() {
+			c.lat[KindDeregister].ObserveDuration(time.Since(start))
 			return nil
 		}
 	}
@@ -173,7 +227,11 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assign
 func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeID, error) {
 	var assign Assignment
 	var err error
+	start := time.Now()
 	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
+		if attempt > 0 {
+			c.retries[KindLocate].Inc()
+		}
 		if err := backoff(ctx, attempt); err != nil {
 			return "", err
 		}
@@ -193,6 +251,7 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 			return "", err
 		}
 		if !assign.Zero() {
+			c.lat[KindLocate].ObserveDuration(time.Since(start))
 			return resp.Node, nil
 		}
 	}
@@ -204,7 +263,11 @@ func (c *Client) reportLocation(ctx context.Context, kind string, self ids.Agent
 	node := c.caller.LocalNode()
 	assign := cached
 	var err error
+	start := time.Now()
 	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
+		if attempt > 0 {
+			c.retries[kind].Inc()
+		}
 		if err := backoff(ctx, attempt); err != nil {
 			return Assignment{}, err
 		}
@@ -221,6 +284,7 @@ func (c *Client) reportLocation(ctx context.Context, kind string, self ids.Agent
 			return Assignment{}, err
 		}
 		if !assign.Zero() {
+			c.lat[kind].ObserveDuration(time.Since(start))
 			return assign, nil
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"agentloc/internal/hashtree"
 	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
 	"agentloc/internal/stats"
 	"agentloc/internal/transport"
@@ -53,6 +54,9 @@ type HAgentBehavior struct {
 	splits      uint64
 	merges      uint64
 	relocations uint64
+
+	reg     *metrics.Registry
+	metInit bool
 }
 
 var _ platform.Behavior = (*HAgentBehavior)(nil)
@@ -79,6 +83,7 @@ func (b *HAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 	if err := b.ensureRuntime(); err != nil {
 		return nil, err
 	}
+	b.ensureMetrics(ctx)
 	if resp, handled, err := b.handleReplication(kind, payload); handled {
 		return resp, err
 	}
@@ -131,6 +136,34 @@ func (b *HAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 	}
 }
 
+// ensureMetrics adopts the hosting node's registry on first request. The
+// HAgent's serial mailbox makes the lazy initialisation safe, and nil-safe
+// handles mean a node without metrics costs nothing here.
+func (b *HAgentBehavior) ensureMetrics(ctx *platform.Context) {
+	if b.metInit {
+		return
+	}
+	b.metInit = true
+	b.reg = ctx.Metrics()
+	b.reg.Describe("agentloc_core_rehash_total", "Completed rehash operations, by operation and split/merge kind.")
+	b.reg.Describe("agentloc_core_relocations_total", "IAgent directory relocations accepted by the HAgent.")
+	b.reg.Describe("agentloc_core_hashtree_leaves", "Leaves (live IAgents) in the primary hash tree.")
+	b.reg.Describe("agentloc_core_hashtree_depth", "Height of the primary hash tree.")
+	b.reg.Describe("agentloc_core_hash_version", "Version of the primary hash state.")
+	b.updateTreeGauges()
+}
+
+// updateTreeGauges mirrors the primary hash state's shape into gauges after
+// every state change.
+func (b *HAgentBehavior) updateTreeGauges() {
+	if b.reg == nil {
+		return
+	}
+	b.reg.Gauge("agentloc_core_hashtree_leaves").Set(int64(b.state.Tree.NumLeaves()))
+	b.reg.Gauge("agentloc_core_hashtree_depth").Set(int64(b.state.Tree.Height()))
+	b.reg.Gauge("agentloc_core_hash_version").Set(int64(b.state.Version()))
+}
+
 // split serves an overloaded IAgent's split request (paper §4.1): pick the
 // candidate that divides the reported load most evenly — complex splits
 // first, then simple splits with growing m — create the new IAgent, install
@@ -173,6 +206,8 @@ func (b *HAgentBehavior) split(ctx *platform.Context, req RequestSplitReq) (Reha
 	oldState := b.state
 	b.state = newState
 	b.splits++
+	b.reg.Counter("agentloc_core_rehash_total", "op", "split", "kind", cand.Kind.String()).Inc()
+	b.updateTreeGauges()
 	ctx.Emit("rehash.split", fmt.Sprintf("%s (%v rate %.0f/s) → new %s at %s, v%d",
 		req.IAgent, cand.Kind, req.Rate, newID, newNode, newState.Ver))
 
@@ -192,7 +227,7 @@ func (b *HAgentBehavior) merge(ctx *platform.Context, req RequestMergeReq) (Reha
 	if b.state.Tree.NumLeaves() <= 1 {
 		return RehashResp{Status: StatusIgnored, HashVersion: b.state.Version()}, nil
 	}
-	newTree, _, err := b.state.Tree.Merge(string(req.IAgent))
+	newTree, res, err := b.state.Tree.Merge(string(req.IAgent))
 	if err != nil {
 		return RehashResp{}, fmt.Errorf("HAgent: merge %s: %w", req.IAgent, err)
 	}
@@ -202,6 +237,8 @@ func (b *HAgentBehavior) merge(ctx *platform.Context, req RequestMergeReq) (Reha
 	oldState := b.state
 	b.state = newState
 	b.merges++
+	b.reg.Counter("agentloc_core_rehash_total", "op", "merge", "kind", res.Kind.String()).Inc()
+	b.updateTreeGauges()
 	ctx.Emit("rehash.merge", fmt.Sprintf("%s (rate %.1f/s) absorbed, v%d", req.IAgent, req.Rate, newState.Ver))
 
 	// The merged IAgent is notified like every other affected IAgent; on

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
 	"agentloc/internal/stats"
 	"agentloc/internal/transport"
@@ -45,6 +46,12 @@ type IAgentBehavior struct {
 
 	est   *stats.RateEstimator
 	loads *stats.LoadAccount
+
+	// Metric handles, rebuilt with the runtime at each hosting node. All
+	// are nil-safe no-ops when the node has no registry.
+	metReq   map[string]*metrics.Counter // request kind → counter
+	metStale *metrics.Counter
+	metTable *metrics.Gauge
 }
 
 var (
@@ -76,6 +83,21 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 			}
 		}
 		b.LoadSnapshot = nil
+
+		reg := ctx.Metrics()
+		reg.Describe("agentloc_core_iagent_requests_total", "Location-protocol requests served, by IAgent and operation.")
+		reg.Describe("agentloc_core_iagent_stale_total", "Requests answered not-responsible (stale client mapping), by IAgent.")
+		reg.Describe("agentloc_core_iagent_table_entries", "Location-table entries held, by IAgent.")
+		self := string(ctx.Self())
+		b.metReq = map[string]*metrics.Counter{
+			KindRegister:   reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "register"),
+			KindUpdate:     reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "update"),
+			KindDeregister: reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "deregister"),
+			KindLocate:     reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "locate"),
+		}
+		b.metStale = reg.Counter("agentloc_core_iagent_stale_total", "iagent", self)
+		b.metTable = reg.Gauge("agentloc_core_iagent_table_entries", "iagent", self)
+		b.metTable.Set(int64(len(b.Table)))
 	})
 	return b.initErr
 }
@@ -88,6 +110,7 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 	if err := b.ensureRuntime(ctx); err != nil {
 		return nil, err
 	}
+	b.metReq[kind].Inc() // unmatched kinds yield a nil (no-op) handle
 	if resp, handled, err := b.decodeDiscovery(ctx, kind, payload); handled {
 		return resp, err
 	}
@@ -151,11 +174,13 @@ func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID
 	b.est.Record()
 	ok, version := b.responsible(ctx, agent)
 	if !ok {
+		b.metStale.Inc()
 		return Ack{Status: StatusNotResponsible, HashVersion: version}
 	}
 	b.loads.Add(agent)
 	b.mu.Lock()
 	b.Table[agent] = node
+	b.metTable.Set(int64(len(b.Table)))
 	b.mu.Unlock()
 	return Ack{Status: StatusOK, HashVersion: version}
 }
@@ -165,10 +190,12 @@ func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) Ac
 	b.est.Record()
 	ok, version := b.responsible(ctx, agent)
 	if !ok {
+		b.metStale.Inc()
 		return Ack{Status: StatusNotResponsible, HashVersion: version}
 	}
 	b.mu.Lock()
 	delete(b.Table, agent)
+	b.metTable.Set(int64(len(b.Table)))
 	b.mu.Unlock()
 	b.loads.Remove(agent)
 	return Ack{Status: StatusOK, HashVersion: version}
@@ -180,6 +207,7 @@ func (b *IAgentBehavior) locate(ctx *platform.Context, agent ids.AgentID) Locate
 	b.est.Record()
 	ok, version := b.responsible(ctx, agent)
 	if !ok {
+		b.metStale.Inc()
 		return LocateResp{Status: StatusNotResponsible, HashVersion: version}
 	}
 	b.loads.Add(agent)
@@ -254,6 +282,7 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 			delete(b.Table, agent)
 			delete(b.Pending, agent)
 		}
+		b.metTable.Set(int64(len(b.Table)))
 		b.mu.Unlock()
 		for agent := range h.Entries {
 			b.loads.Remove(agent)
@@ -280,6 +309,7 @@ func (b *IAgentBehavior) handoff(req HandoffReq) Ack {
 	for agent, node := range req.Entries {
 		b.Table[agent] = node
 	}
+	b.metTable.Set(int64(len(b.Table)))
 	if len(req.Pending) > 0 && b.Pending == nil {
 		b.Pending = make(map[ids.AgentID][]Deposited)
 	}

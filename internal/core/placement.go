@@ -51,6 +51,8 @@ func (b *HAgentBehavior) relocate(ctx *platform.Context, req RequestRelocateReq)
 	newState.Locations[req.IAgent] = req.To
 	b.state = newState
 	b.relocations++
+	b.reg.Counter("agentloc_core_relocations_total").Inc()
+	b.updateTreeGauges()
 	ctx.Emit("rehash.relocate", fmt.Sprintf("%s: %s → %s, v%d", req.IAgent, req.From, req.To, newState.Ver))
 	b.propagate(ctx)
 	return RehashResp{Status: StatusOK, HashVersion: b.state.Ver}, nil

@@ -67,6 +67,7 @@ func (b *HAgentBehavior) handleReplication(kind string, payload []byte) (any, bo
 		}
 		if st.Ver > b.state.Ver {
 			b.state = st
+			b.updateTreeGauges()
 		}
 		return Ack{Status: StatusOK, HashVersion: b.state.Ver}, true, nil
 	case KindPromote:

@@ -8,6 +8,7 @@ import (
 
 	"agentloc/internal/centralized"
 	"agentloc/internal/core"
+	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
 	"agentloc/internal/stats"
 	"agentloc/internal/transport"
@@ -40,6 +41,27 @@ type RunResult struct {
 	NumIAgents int
 	Splits     uint64
 	Merges     uint64
+	// Metrics is the run's full metrics snapshot — one registry shared by
+	// the simulated network and every node, captured after measurement.
+	Metrics metrics.Snapshot
+}
+
+// MetricsLine renders a one-line digest of the run's metrics snapshot for
+// the sweep tables: locate latency quantiles as the instrumentation sees
+// them, protocol retries, and raw transport volume.
+func (r RunResult) MetricsLine() string {
+	s := r.Metrics
+	loc := s.HistogramSnap("agentloc_core_locate_latency_seconds")
+	secs := func(v float64) time.Duration {
+		return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond)
+	}
+	return fmt.Sprintf("metrics: locates=%d p50=%v p99=%v retries=%d stale=%d envelopes=%d dropped=%d rehashes=%d",
+		loc.Count, secs(loc.Quantile(0.5)), secs(loc.Quantile(0.99)),
+		s.Counter("agentloc_core_client_retries_total"),
+		s.Counter("agentloc_core_iagent_stale_total"),
+		s.Counter("agentloc_transport_envelopes_sent_total"),
+		s.Counter("agentloc_transport_network_dropped_total"),
+		s.Counter("agentloc_core_rehash_total"))
 }
 
 // Run executes one measurement end to end: build a simulated LAN, deploy
@@ -49,15 +71,21 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 	if spec.NumNodes < 1 {
 		return RunResult{}, fmt.Errorf("experiment: NumNodes = %d", spec.NumNodes)
 	}
+	// One registry spans the whole deployment: per-node series are told
+	// apart by labels, and the snapshot lands in RunResult.Metrics.
+	reg := metrics.New()
 	net := transport.NewNetwork(transport.NetworkConfig{
 		Latency: transport.LANLatency(spec.NetLatency),
 		Seed:    spec.Seed,
+		Metrics: reg,
 	})
+	link := transport.Instrument(net, reg)
 	nodes := make([]*platform.Node, spec.NumNodes)
 	for i := range nodes {
 		n, err := platform.NewNode(platform.Config{
-			ID:   platform.NodeID(fmt.Sprintf("node-%d", i)),
-			Link: net,
+			ID:      platform.NodeID(fmt.Sprintf("node-%d", i)),
+			Link:    link,
+			Metrics: reg,
 		})
 		if err != nil {
 			return RunResult{}, fmt.Errorf("experiment: node %d: %w", i, err)
@@ -127,6 +155,7 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 		Spec:     spec,
 		Location: stats.Summarize(samples),
 		Failures: failures,
+		Metrics:  reg.Snapshot(),
 	}
 	if hashed != nil {
 		sctx, cancel := context.WithTimeout(ctx, 10*time.Second)

@@ -48,6 +48,7 @@ func ExperimentI(ctx context.Context, p Params, w io.Writer) ([]PointI, error) {
 			n, central.Location.Trimmed.Round(10*time.Microsecond),
 			hashed.Location.Trimmed.Round(10*time.Microsecond),
 			hashed.NumIAgents, hashed.Splits)
+		fmt.Fprintf(w, "          %s\n", hashed.MetricsLine())
 	}
 	return points, nil
 }
@@ -76,6 +77,7 @@ func ExperimentII(ctx context.Context, p Params, w io.Writer) ([]PointII, error)
 			p.scaled(res), central.Location.Trimmed.Round(10*time.Microsecond),
 			hashed.Location.Trimmed.Round(10*time.Microsecond),
 			hashed.NumIAgents, hashed.Splits)
+		fmt.Fprintf(w, "             %s\n", hashed.MetricsLine())
 	}
 	return points, nil
 }

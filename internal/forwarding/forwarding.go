@@ -22,6 +22,7 @@ import (
 
 	"agentloc/internal/core"
 	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
 	"agentloc/internal/transport"
 )
@@ -261,11 +262,21 @@ func (s *Service) ClientFor(n *platform.Node) *Client {
 type Client struct {
 	caller core.Caller
 	cfg    Config
+
+	chainLen *metrics.Histogram
 }
 
-// NewClient builds a Client for the given caller.
+// NewClient builds a Client for the given caller. When the caller exposes a
+// metrics registry, every successful locate observes the length of the
+// pointer chain it chased into agentloc_forwarding_chain_length — the
+// quantity the scheme trades against cheap moves.
 func NewClient(caller core.Caller, cfg Config) *Client {
-	return &Client{caller: caller, cfg: cfg}
+	c := &Client{caller: caller, cfg: cfg}
+	if reg := core.CallerRegistry(caller); reg != nil {
+		reg.Describe("agentloc_forwarding_chain_length", "Forwarding-pointer hops chased per successful locate.")
+		c.chainLen = reg.Histogram("agentloc_forwarding_chain_length", metrics.CountBuckets)
+	}
+	return c
 }
 
 var _ interface {
@@ -340,6 +351,7 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 			return "", fmt.Errorf("forwarding chase %s at %s: %w", target, at, err)
 		}
 		if resp.Here {
+			c.chainLen.Observe(float64(hop))
 			if at != looked.Node {
 				var ack core.Ack
 				// Compression is an optimization; its failure must not

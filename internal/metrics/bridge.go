@@ -1,0 +1,19 @@
+package metrics
+
+import (
+	"agentloc/internal/trace"
+)
+
+// BridgeTrace subscribes to a trace log's emit hook so that every traced
+// decision also increments agentloc_trace_events_total{kind} in the
+// registry. The event log stays the narrative record; the counters make the
+// same decisions aggregatable. Nil log or nil registry is a no-op.
+func BridgeTrace(l *trace.Log, r *Registry) {
+	if l == nil || r == nil {
+		return
+	}
+	r.Describe("agentloc_trace_events_total", "Trace events emitted, by event kind.")
+	l.SetOnEmit(func(e trace.Event) {
+		r.Counter("agentloc_trace_events_total", "kind", e.Kind).Inc()
+	})
+}

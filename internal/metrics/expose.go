@@ -1,0 +1,306 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families and series in deterministic
+// (sorted) order. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, fs := range r.Snapshot().Families {
+		if fs.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fs.Name, escapeHelp(fs.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fs.Name, fs.Kind); err != nil {
+			return err
+		}
+		for _, s := range fs.Series {
+			if err := writeSeries(w, fs, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series: a single sample for counters and gauges,
+// the bucket/sum/count triplet for histograms.
+func writeSeries(w io.Writer, fs FamilySnapshot, s SeriesSnapshot) error {
+	switch fs.Kind {
+	case "histogram":
+		h := s.Histogram
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := formatFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fs.Name, labelString(s.Labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fs.Name, labelString(s.Labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fs.Name, labelString(s.Labels), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fs.Name, labelString(s.Labels), h.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fs.Name, labelString(s.Labels), formatFloat(s.Value))
+		return err
+	}
+}
+
+// labelString renders a sorted label set, with optional extra pairs
+// appended (used for the histogram le label). Empty sets render to "".
+func labelString(labels []Label, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extra[i], escapeLabel(extra[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format. %q handles
+// backslash and quote; newlines must become \n explicitly.
+func escapeLabel(v string) string {
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes a help string.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float compactly ("42", "0.001", "1.5e-05").
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is a point-in-time, JSON-serializable copy of a registry,
+// deterministic in order and mergeable across registries (e.g. per-node
+// registries of one simulated deployment).
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Kind   string           `json:"kind"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one label set's data within a family.
+type SeriesSnapshot struct {
+	Labels    []Label            `json:"labels,omitempty"`
+	Value     float64            `json:"value"` // counter and gauge families
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot captures every family and series. Nil registries snapshot empty.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: help[f.name]}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{Labels: append([]Label(nil), s.labels...)}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(s.counter.Value())
+			case KindGauge:
+				ss.Value = float64(s.gauge.Value())
+			case KindHistogram:
+				h := s.hist.Snapshot()
+				ss.Histogram = &h
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.RUnlock()
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}
+
+// Counter sums the counter series of name whose labels include every given
+// (key, value) pair; no pairs sums the whole family. Zero when absent.
+func (s Snapshot) Counter(name string, labels ...string) uint64 {
+	var total uint64
+	s.each(name, labels, func(ss SeriesSnapshot) { total += uint64(ss.Value) })
+	return total
+}
+
+// Gauge sums the gauge series of name matching the label pairs.
+func (s Snapshot) Gauge(name string, labels ...string) int64 {
+	var total int64
+	s.each(name, labels, func(ss SeriesSnapshot) { total += int64(ss.Value) })
+	return total
+}
+
+// HistogramSnap merges the histogram series of name matching the label
+// pairs into a single snapshot.
+func (s Snapshot) HistogramSnap(name string, labels ...string) HistogramSnapshot {
+	var out HistogramSnapshot
+	s.each(name, labels, func(ss SeriesSnapshot) {
+		if ss.Histogram != nil {
+			out = out.Merge(*ss.Histogram)
+		}
+	})
+	return out
+}
+
+// each visits the series of name whose labels include every given pair.
+func (s Snapshot) each(name string, labels []string, visit func(SeriesSnapshot)) {
+	want := sortedLabels(labels)
+	for _, f := range s.Families {
+		if f.Name != name {
+			continue
+		}
+		for _, ss := range f.Series {
+			if labelsInclude(ss.Labels, want) {
+				visit(ss)
+			}
+		}
+	}
+}
+
+// labelsInclude reports whether have contains every label of want.
+func labelsInclude(have, want []Label) bool {
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if h.Key == w.Key && h.Value == w.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge combines two snapshots: counters and gauges add, histograms merge
+// bucket-wise (see HistogramSnapshot.Merge), families and series union.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	type famAcc struct {
+		kind, help string
+		series     map[string]*SeriesSnapshot
+	}
+	fams := make(map[string]*famAcc)
+	add := func(src Snapshot) {
+		for _, f := range src.Families {
+			fa := fams[f.Name]
+			if fa == nil {
+				fa = &famAcc{kind: f.Kind, help: f.Help, series: make(map[string]*SeriesSnapshot)}
+				fams[f.Name] = fa
+			}
+			for _, ss := range f.Series {
+				key := flatLabels(ss.Labels)
+				tgt := fa.series[key]
+				if tgt == nil {
+					tgt = &SeriesSnapshot{Labels: append([]Label(nil), ss.Labels...)}
+					fa.series[key] = tgt
+				}
+				tgt.Value += ss.Value
+				if ss.Histogram != nil {
+					if tgt.Histogram == nil {
+						tgt.Histogram = &HistogramSnapshot{}
+					}
+					merged := tgt.Histogram.Merge(*ss.Histogram)
+					*tgt.Histogram = merged
+				}
+			}
+		}
+	}
+	add(s)
+	add(o)
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(names))}
+	for _, name := range names {
+		fa := fams[name]
+		fs := FamilySnapshot{Name: name, Kind: fa.kind, Help: fa.help}
+		keys := make([]string, 0, len(fa.series))
+		for k := range fa.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fs.Series = append(fs.Series, *fa.series[k])
+		}
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}
+
+// flatLabels renders labels canonically for map keys.
+func flatLabels(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(0x1f)
+		b.WriteString(l.Value)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"agentloc/internal/metrics/metricstest"
+)
+
+// TestWritePrometheusGolden pins the exact exposition output: family and
+// series order, label rendering, histogram bucket cumulation, TYPE and HELP
+// lines.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	r.Describe("agentloc_core_requests_total", "Requests served, by op.")
+	r.Counter("agentloc_core_requests_total", "op", "locate").Add(41)
+	r.Counter("agentloc_core_requests_total", "op", "locate").Inc()
+	r.Counter("agentloc_core_requests_total", "op", "update").Add(7)
+	r.Gauge("agentloc_core_hashtree_leaves").Set(3)
+	// Binary-exact observations keep the _sum line free of float noise.
+	h := r.Histogram("agentloc_core_locate_latency_seconds", []float64{0.25, 0.5, 1})
+	h.Observe(0.125)
+	h.Observe(0.375)
+	h.Observe(0.375)
+	h.Observe(0.75)
+	h.Observe(4)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE agentloc_core_hashtree_leaves gauge
+agentloc_core_hashtree_leaves 3
+# TYPE agentloc_core_locate_latency_seconds histogram
+agentloc_core_locate_latency_seconds_bucket{le="0.25"} 1
+agentloc_core_locate_latency_seconds_bucket{le="0.5"} 3
+agentloc_core_locate_latency_seconds_bucket{le="1"} 4
+agentloc_core_locate_latency_seconds_bucket{le="+Inf"} 5
+agentloc_core_locate_latency_seconds_sum 5.625
+agentloc_core_locate_latency_seconds_count 5
+# HELP agentloc_core_requests_total Requests served, by op.
+# TYPE agentloc_core_requests_total counter
+agentloc_core_requests_total{op="locate"} 42
+agentloc_core_requests_total{op="update"} 7
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// validatePrometheusText asserts every line of the exposition parses; the
+// validator itself lives in metricstest so end-to-end tests in other
+// packages share it. Returns the number of sample lines seen.
+func validatePrometheusText(t *testing.T, text string) int {
+	t.Helper()
+	return metricstest.ValidateText(t, text)
+}
+
+func TestExpositionValidates(t *testing.T) {
+	r := New()
+	r.Counter("agentloc_a_total", "kind", `odd"value`).Inc()
+	r.Counter("agentloc_a_total", "kind", "line\nbreak").Inc()
+	r.Gauge("agentloc_b").Set(-4)
+	r.Histogram("agentloc_c_seconds", nil).Observe(0.2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := validatePrometheusText(t, b.String()); n == 0 {
+		t.Error("no samples rendered")
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("agentloc_x_total").Add(9)
+	r.Histogram("agentloc_y_seconds", []float64{1}).Observe(0.5)
+	srv := httptest.NewServer(Handler(r, func() any {
+		return map[string]any{"status": "ok", "node": "node-0"}
+	}))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "agentloc_x_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	validatePrometheusText(t, body)
+
+	body, ctype = get("/varz")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/varz content type = %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/varz not JSON: %v\n%s", err, body)
+	}
+	if snap.Counter("agentloc_x_total") != 9 {
+		t.Errorf("/varz counter = %v", snap.Counter("agentloc_x_total"))
+	}
+
+	body, _ = get("/healthz")
+	if !strings.Contains(body, `"status": "ok"`) || !strings.Contains(body, `"node": "node-0"`) {
+		t.Errorf("/healthz = %s", body)
+	}
+}

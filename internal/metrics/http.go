@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves a registry over HTTP:
+//
+//	GET /metrics  Prometheus text exposition (version 0.0.4)
+//	GET /varz     the full Snapshot as JSON
+//	GET /healthz  JSON from the health callback (nil callback reports
+//	              {"status":"ok"})
+//
+// It is what cmd/locnode mounts behind -metrics-addr.
+func Handler(r *Registry, health func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var body any = map[string]string{"status": "ok"}
+		if health != nil {
+			body = health()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+	return mux
+}

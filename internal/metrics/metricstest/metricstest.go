@@ -1,0 +1,34 @@
+// Package metricstest holds test helpers shared by every package that
+// asserts on the exposition output of internal/metrics. It lives in its
+// own package (rather than an _test.go file) so end-to-end tests in core,
+// transport and the commands can validate scraped text the same way the
+// metrics package validates its own.
+package metricstest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches a valid Prometheus text-format sample.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[-+]?(Inf|[0-9.eE+-]+))$`)
+
+// ValidateText asserts that every non-comment line of a Prometheus text
+// exposition parses as a sample, and returns the number of sample lines
+// seen. Errors are reported through t.
+func ValidateText(t testing.TB, text string) int {
+	t.Helper()
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+			continue
+		}
+		samples++
+	}
+	return samples
+}

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a metric family.
+type Kind uint8
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in Prometheus TYPE terms.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Registry collects named metric families, each holding one series per
+// distinct label set. A nil *Registry hands out nil handles, so unwired
+// code pays one nil check per metric operation and nothing else.
+//
+// Looking up a metric takes a short lock; callers on hot paths should cache
+// the returned handle.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	help     map[string]string
+}
+
+type family struct {
+	name   string
+	kind   Kind
+	bounds []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		help:     make(map[string]string),
+	}
+}
+
+// Describe sets the help text shown for a family in the exposition.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Counter returns the counter series for name and the given label pairs
+// (key, value, key, value, ...), creating it on first use. Nil registries
+// return a nil (no-op) handle. Registering the same name with a different
+// kind panics: that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, KindCounter, nil, labels).counter
+}
+
+// Gauge returns the gauge series for name and labels, creating it on first
+// use. Nil registries return a nil (no-op) handle.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, KindGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram series for name and labels, creating it
+// with the given bucket bounds on first use (later calls reuse the family's
+// bounds). Nil registries return a nil (no-op) handle.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	return r.series(name, KindHistogram, bounds, labels).hist
+}
+
+// series finds or creates the series, enforcing kind consistency.
+func (r *Registry) series(name string, kind Kind, bounds []float64, labels []string) *series {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list %q", name, labels))
+	}
+	fam := r.family(name, kind, bounds)
+	key := labelKey(labels)
+
+	fam.mu.RLock()
+	s, ok := fam.series[key]
+	fam.mu.RUnlock()
+	if ok {
+		return s
+	}
+
+	fam.mu.Lock()
+	defer fam.mu.Unlock()
+	if s, ok := fam.series[key]; ok {
+		return s
+	}
+	s = &series{labels: sortedLabels(labels)}
+	switch kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = newHistogram(fam.bounds)
+	}
+	fam.series[key] = s
+	return s
+}
+
+// family finds or creates the named family.
+func (r *Registry) family(name string, kind Kind, bounds []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, kind))
+		}
+		return f
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, kind))
+		}
+		return f
+	}
+	f = &family{name: name, kind: kind, series: make(map[string]*series)}
+	if kind == KindHistogram {
+		f.bounds = make([]float64, len(bounds))
+		copy(f.bounds, bounds)
+		sort.Float64s(f.bounds)
+	}
+	r.families[name] = f
+	return f
+}
+
+// labelKey canonicalizes a flat label list into a map key.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := sortedLabels(labels)
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte(0x1f)
+		b.WriteString(l.Value)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// sortedLabels converts a flat (key, value, ...) list into Labels sorted by
+// key.
+func sortedLabels(labels []string) []Label {
+	out := make([]Label, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		out = append(out, Label{Key: labels[i], Value: labels[i+1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -9,6 +9,7 @@ import (
 
 	"agentloc/internal/clock"
 	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
 )
 
 // hosted is an agent instance resident at a node.
@@ -166,6 +167,10 @@ func (c *Context) Emit(kind, detail string) {
 	c.host.node.trace.Emit(string(c.host.id), kind, detail)
 }
 
+// Metrics returns the hosting node's metrics registry; nil (still safe to
+// use) when the node has none.
+func (c *Context) Metrics() *metrics.Registry { return c.host.node.reg }
+
 // Done returns a channel closed when the agent is being stopped or is
 // about to move; Run loops select on it.
 func (c *Context) Done() <-chan struct{} { return c.host.stop }
@@ -216,6 +221,7 @@ func (c *Context) Move(ctx context.Context, target NodeID) error {
 	n.mu.Lock()
 	delete(n.agents, h.id)
 	n.mu.Unlock()
+	n.hostedGauge.Dec()
 
 	xfer := agentTransfer{Agent: h.id, ServiceTimeNS: int64(h.serviceTime), Behavior: behaviorBox{B: h.behavior}}
 	if err := n.peer.Call(ctx, target.Addr(), kindAgentTransfer, xfer, nil); err != nil {
@@ -227,6 +233,7 @@ func (c *Context) Move(ctx context.Context, target NodeID) error {
 		}
 		return fmt.Errorf("move %s to %s: %w", h.id, target, err)
 	}
+	n.migrations.Inc()
 	return nil
 }
 
@@ -237,8 +244,12 @@ func (c *Context) Dispose() {
 	h := c.host
 	n := h.node
 	n.mu.Lock()
+	_, present := n.agents[h.id]
 	delete(n.agents, h.id)
 	n.mu.Unlock()
+	if present {
+		n.hostedGauge.Dec()
+	}
 	h.detachForMove()
 }
 

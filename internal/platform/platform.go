@@ -26,6 +26,7 @@ import (
 
 	"agentloc/internal/clock"
 	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
 	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 )
@@ -130,6 +131,10 @@ type Config struct {
 	// Trace receives high-level events emitted by hosted agents through
 	// Context.Emit. Nil disables tracing (the default).
 	Trace *trace.Log
+	// Metrics receives the node's operational counters and gauges —
+	// hosted-agent population, migrations, transfers — and instruments the
+	// node's RPC peer. Nil disables metrics (the default).
+	Metrics *metrics.Registry
 }
 
 // Node hosts agents and serves the platform's wire protocol.
@@ -138,6 +143,14 @@ type Node struct {
 	clk   clock.Clock
 	peer  *transport.Peer
 	trace *trace.Log
+	reg   *metrics.Registry
+
+	// Handles cached off the hot paths; all are nil-safe no-ops when the
+	// node has no registry.
+	hostedGauge   *metrics.Gauge
+	migrations    *metrics.Counter
+	transfersIn   *metrics.Counter
+	agentRequests *metrics.Counter
 
 	mu     sync.Mutex
 	agents map[ids.AgentID]*hosted
@@ -160,9 +173,21 @@ func NewNode(cfg Config) (*Node, error) {
 		id:     cfg.ID,
 		clk:    cfg.Clock,
 		trace:  cfg.Trace,
+		reg:    cfg.Metrics,
 		agents: make(map[ids.AgentID]*hosted),
 	}
-	peer, err := transport.NewPeer(cfg.Link, cfg.ID.Addr(), n.handle)
+	if r := cfg.Metrics; r != nil {
+		r.Describe("agentloc_platform_agents_hosted", "Agents currently hosted, by node.")
+		r.Describe("agentloc_platform_migrations_total", "Successful outbound agent migrations, by node.")
+		r.Describe("agentloc_platform_transfers_in_total", "Agents received via transfer, by node.")
+		r.Describe("agentloc_platform_agent_requests_total", "Requests delivered into agent mailboxes, by node.")
+	}
+	node := string(cfg.ID)
+	n.hostedGauge = cfg.Metrics.Gauge("agentloc_platform_agents_hosted", "node", node)
+	n.migrations = cfg.Metrics.Counter("agentloc_platform_migrations_total", "node", node)
+	n.transfersIn = cfg.Metrics.Counter("agentloc_platform_transfers_in_total", "node", node)
+	n.agentRequests = cfg.Metrics.Counter("agentloc_platform_agent_requests_total", "node", node)
+	peer, err := transport.NewPeerWithMetrics(cfg.Link, cfg.ID.Addr(), n.handle, cfg.Metrics)
 	if err != nil {
 		return nil, fmt.Errorf("node %s: %w", cfg.ID, err)
 	}
@@ -178,6 +203,11 @@ func (n *Node) Clock() clock.Clock { return n.clk }
 
 // Trace returns the node's event log; nil when tracing is disabled.
 func (n *Node) Trace() *trace.Log { return n.trace }
+
+// Metrics returns the node's metrics registry; nil when metrics are
+// disabled. A nil registry still hands out usable no-op handles, so callers
+// never need to guard.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
 
 // LaunchOption tunes an agent launch.
 type LaunchOption func(*hosted)
@@ -214,6 +244,7 @@ func (n *Node) Launch(id ids.AgentID, b Behavior, opts ...LaunchOption) error {
 		return fmt.Errorf("%w: %s at %s", ErrAgentExists, id, n.id)
 	}
 	n.agents[id] = h
+	n.hostedGauge.Inc()
 	h.start(&n.wg)
 	return nil
 }
@@ -230,6 +261,7 @@ func (n *Node) Kill(id ids.AgentID) error {
 	if !ok {
 		return fmt.Errorf("%w: %s at %s", ErrAgentNotFound, id, n.id)
 	}
+	n.hostedGauge.Dec()
 	h.stopAndWait()
 	return nil
 }
@@ -313,6 +345,7 @@ func (n *Node) Close() error {
 	}
 	n.agents = make(map[ids.AgentID]*hosted)
 	n.mu.Unlock()
+	n.hostedGauge.Add(-int64(len(agents)))
 
 	for _, h := range agents {
 		h.stopAndWait()
@@ -342,6 +375,9 @@ func (n *Node) handle(from transport.Addr, kind string, payload []byte) (any, er
 			return nil, fmt.Errorf("node %s: transfer of %s carried no behavior", n.id, xfer.Agent)
 		}
 		err := n.Launch(xfer.Agent, xfer.Behavior.B, WithServiceTime(time.Duration(xfer.ServiceTimeNS)))
+		if err == nil {
+			n.transfersIn.Inc()
+		}
 		return nil, err
 	default:
 		return nil, fmt.Errorf("node %s: unknown message kind %q", n.id, kind)
@@ -357,6 +393,7 @@ func (n *Node) deliver(req agentRequest) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("%s%s not at %s", agentNotFoundPrefix, req.Agent, n.id)
 	}
+	n.agentRequests.Inc()
 	result, err := h.submit(req)
 	if err != nil {
 		return nil, err

@@ -38,6 +38,7 @@ type Log struct {
 	start  int
 	count  int
 	total  uint64
+	onEmit func(Event)
 }
 
 // NewLog returns a Log retaining the most recent capacity events.
@@ -66,16 +67,37 @@ func (l *Log) EmitAt(at time.Time, actor, kind, detail string) {
 }
 
 func (l *Log) emitAt(at time.Time, actor, kind, detail string) {
+	e := Event{At: at, Actor: actor, Kind: kind, Detail: detail}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	idx := (l.start + l.count) % len(l.events)
-	l.events[idx] = Event{At: at, Actor: actor, Kind: kind, Detail: detail}
+	l.events[idx] = e
 	if l.count < len(l.events) {
 		l.count++
 	} else {
 		l.start = (l.start + 1) % len(l.events)
 	}
 	l.total++
+	hook := l.onEmit
+	l.mu.Unlock()
+	// The hook runs outside the lock so it may inspect the log (or emit —
+	// though that recurses) without deadlocking.
+	if hook != nil {
+		hook(e)
+	}
+}
+
+// SetOnEmit registers a hook observing every subsequently emitted event —
+// push-based subscription for metrics bridges and tests, replacing
+// Snapshot polling. Pass nil to remove the hook. The hook is invoked
+// synchronously on the emitter's goroutine (possibly concurrently from
+// several emitters) and must be fast. A nil log ignores the call.
+func (l *Log) SetOnEmit(hook func(Event)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.onEmit = hook
+	l.mu.Unlock()
 }
 
 // Snapshot returns the retained events, oldest first. A nil log returns

@@ -91,6 +91,40 @@ func TestRenderAndString(t *testing.T) {
 	}
 }
 
+func TestSetOnEmit(t *testing.T) {
+	l := NewLog(4)
+	var mu sync.Mutex
+	var seen []Event
+	l.SetOnEmit(func(e Event) {
+		mu.Lock()
+		seen = append(seen, e)
+		mu.Unlock()
+	})
+	l.Emit("hagent", "rehash.split", "one")
+	l.Emit("iagent-1", "iagent.adopt", "two")
+	mu.Lock()
+	if len(seen) != 2 || seen[0].Kind != "rehash.split" || seen[1].Detail != "two" {
+		t.Errorf("hook saw %+v", seen)
+	}
+	mu.Unlock()
+
+	// The hook may inspect the log without deadlocking (it runs outside
+	// the lock).
+	l.SetOnEmit(func(Event) { _ = l.Snapshot() })
+	l.Emit("x", "k", "d")
+
+	// Clearing the hook stops delivery; a nil log ignores the call.
+	l.SetOnEmit(nil)
+	l.Emit("x", "k", "d")
+	mu.Lock()
+	if len(seen) != 2 {
+		t.Errorf("hook fired after removal: %d events", len(seen))
+	}
+	mu.Unlock()
+	var nl *Log
+	nl.SetOnEmit(func(Event) {}) // must not panic
+}
+
 func TestConcurrentEmit(t *testing.T) {
 	l := NewLog(64)
 	var wg sync.WaitGroup

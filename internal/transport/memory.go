@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"agentloc/internal/clock"
+	"agentloc/internal/metrics"
 )
 
 // LatencyFunc computes the one-way delivery latency of an envelope.
@@ -43,6 +44,10 @@ type NetworkConfig struct {
 	// Seed seeds the loss/jitter random source; 0 selects a fixed default
 	// so simulations are reproducible.
 	Seed int64
+	// Metrics, when set, counts dropped envelopes into
+	// agentloc_transport_network_dropped_total{reason} (reason is "loss"
+	// or "partition"). Nil disables drop accounting.
+	Metrics *metrics.Registry
 }
 
 // Network is an in-process simulated LAN implementing Link. Every message
@@ -68,6 +73,7 @@ func NewNetwork(cfg NetworkConfig) *Network {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
+	describeTransportMetrics(cfg.Metrics)
 	if cfg.Latency == nil {
 		cfg.Latency = FixedLatency(0)
 	}
@@ -120,10 +126,13 @@ func (n *Network) Send(env Envelope) error {
 	}
 	if n.blocked[pairKey(env.From, env.To)] {
 		n.mu.Unlock()
-		return nil // partitioned: silently dropped, like a real network
+		// Partitioned: silently dropped, like a real network.
+		n.cfg.Metrics.Counter(metricDropped, "reason", "partition").Inc()
+		return nil
 	}
 	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
 		n.mu.Unlock()
+		n.cfg.Metrics.Counter(metricDropped, "reason", "loss").Inc()
 		return nil
 	}
 	delay := n.cfg.Latency(env.From, env.To)
@@ -152,7 +161,13 @@ func (n *Network) Send(env Envelope) error {
 		h, ok := n.endpoints[env.To]
 		partitioned := n.blocked[pairKey(env.From, env.To)]
 		n.mu.Unlock()
-		if ok && !partitioned {
+		if partitioned {
+			// A partition raised while the envelope was in flight still
+			// swallows it.
+			n.cfg.Metrics.Counter(metricDropped, "reason", "partition").Inc()
+			return
+		}
+		if ok {
 			h(env)
 		}
 	}()

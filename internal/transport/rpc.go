@@ -6,6 +6,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"time"
+
+	"agentloc/internal/metrics"
 )
 
 // RequestHandler processes one inbound request and returns the response
@@ -19,6 +22,7 @@ type Peer struct {
 	link Link
 	addr Addr
 	h    RequestHandler
+	reg  *metrics.Registry
 
 	mu       sync.Mutex
 	nextCorr uint64
@@ -31,10 +35,20 @@ type Peer struct {
 // NewPeer binds a Peer to addr on the link. The handler serves inbound
 // requests; it may be nil for call-only peers.
 func NewPeer(link Link, addr Addr, h RequestHandler) (*Peer, error) {
+	return NewPeerWithMetrics(link, addr, h, nil)
+}
+
+// NewPeerWithMetrics is NewPeer with RPC instrumentation: completed calls
+// observe agentloc_transport_rpc_latency_seconds{kind} and calls abandoned
+// on context expiry count into agentloc_transport_rpc_timeouts_total{kind}.
+// A nil registry yields an uninstrumented peer.
+func NewPeerWithMetrics(link Link, addr Addr, h RequestHandler, reg *metrics.Registry) (*Peer, error) {
+	describeTransportMetrics(reg)
 	p := &Peer{
 		link:    link,
 		addr:    addr,
 		h:       h,
+		reg:     reg,
 		pending: make(map[uint64]chan Envelope),
 	}
 	if err := link.Listen(addr, p.dispatch); err != nil {
@@ -73,12 +87,17 @@ func (p *Peer) Call(ctx context.Context, to Addr, kind string, req, resp any) er
 	}()
 
 	env := Envelope{From: p.addr, To: to, Kind: kind, Corr: corr, Payload: payload}
+	start := time.Now()
 	if err := p.link.Send(env); err != nil {
 		return fmt.Errorf("call %s %s: %w", to, kind, err)
 	}
 
 	select {
 	case reply := <-ch:
+		// Remote errors still complete the round trip, so they count
+		// toward latency; only abandoned calls are excluded.
+		p.reg.Histogram(metricRPCLat, metrics.DefLatencyBuckets, "kind", kind).
+			ObserveDuration(time.Since(start))
 		if reply.ErrMsg != "" {
 			return &RemoteError{Kind: kind, To: to, Msg: reply.ErrMsg}
 		}
@@ -89,6 +108,7 @@ func (p *Peer) Call(ctx context.Context, to Addr, kind string, req, resp any) er
 		}
 		return nil
 	case <-ctx.Done():
+		p.reg.Counter(metricRPCTmo, "kind", kind).Inc()
 		return fmt.Errorf("call %s %s: %w", to, kind, ctx.Err())
 	}
 }
