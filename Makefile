@@ -15,9 +15,10 @@ test:
 short:
 	$(GO) test -short ./...
 
-# The packages with the most lock-free machinery, under the race detector.
+# Everything under the race detector; -short keeps the fault-injection and
+# chaos suites (and the experiment sweeps) out of the hot CI path.
 race:
-	$(GO) test -race ./internal/metrics ./internal/trace ./internal/core ./internal/transport
+	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...

@@ -70,6 +70,10 @@ type (
 	TCPConfig = transport.TCPConfig
 	// TCP carries envelopes over real TCP connections.
 	TCP = transport.TCP
+	// Faults injects connection-level failures into a TCP link (stalled
+	// writes, resets, slow accept, corrupt streams) for tests and chaos
+	// runs; wire one through TCPConfig.Faults.
+	Faults = transport.Faults
 )
 
 // NewNetwork creates an in-process simulated network.
@@ -77,6 +81,9 @@ func NewNetwork(cfg NetworkConfig) *Network { return transport.NewNetwork(cfg) }
 
 // NewTCP creates a TCP transport listening on cfg.ListenOn.
 func NewTCP(cfg TCPConfig) (*TCP, error) { return transport.NewTCP(cfg) }
+
+// NewFaults returns a disarmed fault injector for TCPConfig.Faults.
+func NewFaults() *Faults { return transport.NewFaults() }
 
 // FixedLatency returns a constant-latency function for NetworkConfig.
 func FixedLatency(d time.Duration) transport.LatencyFunc { return transport.FixedLatency(d) }

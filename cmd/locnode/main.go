@@ -88,7 +88,12 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 	log := trace.NewLog(256)
 	metrics.BridgeTrace(log, reg)
 
-	link, err := transport.NewTCP(transport.TCPConfig{ListenOn: *listen, Directory: directory})
+	link, err := transport.NewTCP(transport.TCPConfig{
+		ListenOn:  *listen,
+		Directory: directory,
+		Metrics:   reg,
+		Trace:     log,
+	})
 	if err != nil {
 		return err
 	}

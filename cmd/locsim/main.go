@@ -105,8 +105,13 @@ func parseRunFlags(args []string) (experiment.Params, bool, error) {
 	nodes := fs.Int("nodes", 0, "LAN size (0 = preset)")
 	seed := fs.Int64("seed", 0, "workload seed (0 = preset)")
 	csv := fs.Bool("csv", false, "append machine-readable CSV rows after each table")
+	chaosDrop := fs.Float64("chaos-drop", 0, "inject random message loss with this probability [0,1)")
+	chaosJitter := fs.Duration("chaos-jitter", 0, "inject uniform random per-message delay in [0,d)")
 	if err := fs.Parse(args); err != nil {
 		return experiment.Params{}, false, err
+	}
+	if *chaosDrop < 0 || *chaosDrop >= 1 {
+		return experiment.Params{}, false, fmt.Errorf("-chaos-drop %v outside [0,1)", *chaosDrop)
 	}
 	p := experiment.PaperParams()
 	if *quick {
@@ -124,6 +129,8 @@ func parseRunFlags(args []string) (experiment.Params, bool, error) {
 	if *seed != 0 {
 		p.Seed = *seed
 	}
+	p.DropProb = *chaosDrop
+	p.NetJitter = *chaosJitter
 	return p, *csv, nil
 }
 
@@ -197,5 +204,6 @@ func usage(w io.Writer) {
   adapt  adaptation timeline: burst of agents into an idle system
   tree   render the hash tree and the rehashing operations (Figures 1, 3-6)
          (tree -dot emits graphviz)
-flags: -quick -scale f -queries n -nodes n -seed n -csv`)
+flags: -quick -scale f -queries n -nodes n -seed n -csv
+chaos: -chaos-drop p (random message loss) -chaos-jitter d (random extra delay)`)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunUsage(t *testing.T) {
@@ -57,6 +58,30 @@ func TestParseParams(t *testing.T) {
 	}
 	if p.Scale != 1.0 || p.Queries != 200 {
 		t.Errorf("default params = %+v", p)
+	}
+}
+
+func TestParseChaosFlags(t *testing.T) {
+	p, err := parseParams([]string{"-quick", "-chaos-drop", "0.1", "-chaos-jitter", "5ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropProb != 0.1 || p.NetJitter != 5*time.Millisecond {
+		t.Errorf("chaos params = %+v", p)
+	}
+	// Defaults: chaos disarmed.
+	p, err = parseParams(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropProb != 0 || p.NetJitter != 0 {
+		t.Errorf("default chaos params = %+v", p)
+	}
+	// A drop probability of 1 would drop everything forever; reject it.
+	for _, bad := range []string{"1", "1.5", "-0.1"} {
+		if _, err := parseParams([]string{"-chaos-drop", bad}); err == nil {
+			t.Errorf("-chaos-drop %s accepted, want error", bad)
+		}
 	}
 }
 

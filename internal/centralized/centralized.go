@@ -76,11 +76,16 @@ type Config struct {
 	Agent ids.AgentID
 	// Node is the node hosting it.
 	Node platform.NodeID
+	// CallTimeout bounds each RPC to the central agent on top of the
+	// caller's context, so a lost reply costs a timeout instead of hanging
+	// a deadline-less caller. Zero leaves calls bounded only by the
+	// caller's context.
+	CallTimeout time.Duration
 }
 
 // DefaultConfig returns the conventional central agent identity.
 func DefaultConfig() Config {
-	return Config{Agent: "central"}
+	return Config{Agent: "central", CallTimeout: 10 * time.Second}
 }
 
 // Service deploys and fronts the centralized scheme.
@@ -139,11 +144,22 @@ func (c *Client) assignment() core.Assignment {
 	return core.Assignment{IAgent: c.cfg.Agent, Node: c.cfg.Node}
 }
 
+// call issues one RPC to the central agent, bounded by cfg.CallTimeout on
+// top of the caller's context (mirroring core.Client).
+func (c *Client) call(ctx context.Context, kind string, req, resp any) error {
+	if c.cfg.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
+		defer cancel()
+	}
+	return c.caller.Call(ctx, c.cfg.Node, c.cfg.Agent, kind, req, resp)
+}
+
 // Register announces a newly created agent's location.
 func (c *Client) Register(ctx context.Context, self ids.AgentID) (core.Assignment, error) {
 	var ack core.Ack
 	req := core.UpdateReq{Agent: self, Node: c.caller.LocalNode()}
-	if err := c.caller.Call(ctx, c.cfg.Node, c.cfg.Agent, core.KindRegister, req, &ack); err != nil {
+	if err := c.call(ctx, core.KindRegister, req, &ack); err != nil {
 		return core.Assignment{}, fmt.Errorf("centralized register %s: %w", self, err)
 	}
 	return c.assignment(), nil
@@ -153,7 +169,7 @@ func (c *Client) Register(ctx context.Context, self ids.AgentID) (core.Assignmen
 func (c *Client) MoveNotify(ctx context.Context, self ids.AgentID, _ core.Assignment) (core.Assignment, error) {
 	var ack core.Ack
 	req := core.UpdateReq{Agent: self, Node: c.caller.LocalNode()}
-	if err := c.caller.Call(ctx, c.cfg.Node, c.cfg.Agent, core.KindUpdate, req, &ack); err != nil {
+	if err := c.call(ctx, core.KindUpdate, req, &ack); err != nil {
 		return core.Assignment{}, fmt.Errorf("centralized update %s: %w", self, err)
 	}
 	return c.assignment(), nil
@@ -163,7 +179,7 @@ func (c *Client) MoveNotify(ctx context.Context, self ids.AgentID, _ core.Assign
 func (c *Client) Deregister(ctx context.Context, self ids.AgentID, _ core.Assignment) error {
 	var ack core.Ack
 	req := core.DeregisterReq{Agent: self}
-	if err := c.caller.Call(ctx, c.cfg.Node, c.cfg.Agent, core.KindDeregister, req, &ack); err != nil {
+	if err := c.call(ctx, core.KindDeregister, req, &ack); err != nil {
 		return fmt.Errorf("centralized deregister %s: %w", self, err)
 	}
 	return nil
@@ -173,7 +189,7 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, _ core.Assign
 func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeID, error) {
 	var resp core.LocateResp
 	req := core.LocateReq{Agent: target}
-	if err := c.caller.Call(ctx, c.cfg.Node, c.cfg.Agent, core.KindLocate, req, &resp); err != nil {
+	if err := c.call(ctx, core.KindLocate, req, &resp); err != nil {
 		return "", fmt.Errorf("centralized locate %s: %w", target, err)
 	}
 	if resp.Status == core.StatusUnknownAgent {

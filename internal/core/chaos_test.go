@@ -223,6 +223,113 @@ func TestChaosChurn(t *testing.T) {
 	}
 }
 
+// TestChaosTCPFaults tortures the mechanism over real TCP links while the
+// fault injector resets connections and stalls writes at random. The
+// contract under test is the PR's deadline work end to end: no operation
+// outlives its per-op deadline by more than the transport's write timeout,
+// and once the faults stop, every acknowledged registration is locatable
+// again.
+func TestChaosTCPFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP fault chaos in -short mode")
+	}
+
+	faults := []*transport.Faults{transport.NewFaults(), transport.NewFaults()}
+	c, links := newTCPCluster(t, quietConfig(), 2, func(i int, tc *transport.TCPConfig) {
+		tc.Faults = faults[i]
+		tc.WriteTimeout = 500 * time.Millisecond
+		tc.RedialBackoff = 5 * time.Millisecond
+	})
+	clients := []*Client{c.service.ClientFor(c.nodes[0]), c.service.ClientFor(c.nodes[1])}
+
+	r := rand.New(rand.NewSource(11))
+	registered := make(map[ids.AgentID]platform.NodeID) // acknowledged only
+	ops, failures := 0, 0
+	nextID := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ops++
+		octx, ocancel := context.WithTimeout(context.Background(), 1500*time.Millisecond)
+		opStart := time.Now()
+		switch k := r.Intn(100); {
+		case k < 30: // register on a random node
+			ni := r.Intn(len(clients))
+			id := ids.AgentID(fmt.Sprintf("tcp-chaos-%d", nextID))
+			nextID++
+			if _, err := clients[ni].Register(octx, id); err == nil {
+				registered[id] = c.nodes[ni].ID()
+			} else {
+				failures++
+			}
+		case k < 80: // locate from a random vantage point
+			id, ok := randomNode(r, registered)
+			if !ok {
+				break
+			}
+			got, err := clients[r.Intn(len(clients))].Locate(octx, id)
+			if err != nil {
+				failures++
+			} else if got != registered[id] {
+				t.Fatalf("locate %s = %s, registered at %s", id, got, registered[id])
+			}
+		case k < 90: // reset every live connection
+			faults[r.Intn(len(faults))].ResetAll()
+		default: // briefly stall a link's writes, then release
+			f := faults[r.Intn(len(faults))]
+			f.StallWrites(true)
+			time.Sleep(time.Duration(r.Intn(100)) * time.Millisecond)
+			f.StallWrites(false)
+		}
+		ocancel()
+		// Deadline discipline: the op may fail, but it must not hang past
+		// its context plus one transport write timeout of slack.
+		if took := time.Since(opStart); took > 3*time.Second {
+			t.Fatalf("operation %d took %v under faults, deadlines are leaking", ops, took)
+		}
+	}
+
+	// Quiesce and converge: every acknowledged registration locatable.
+	for _, f := range faults {
+		f.StallWrites(false)
+	}
+	if len(registered) == 0 {
+		t.Fatal("chaos acknowledged no registrations to verify")
+	}
+	if failures > ops*3/4 {
+		t.Fatalf("too chaotic to be meaningful: %d/%d operations failed", failures, ops)
+	}
+	for id, want := range registered {
+		id, want := id, want
+		eventually(t, 20*time.Second, func(ctx context.Context) error {
+			got, err := clients[0].Locate(ctx, id)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("locate %s = %s, want %s", id, got, want)
+			}
+			return nil
+		})
+	}
+	t.Logf("tcp fault chaos survived: %d ops (%d failed under faults), %d registrations verified over %d links",
+		ops, failures, len(registered), len(links))
+}
+
+// randomNode picks a random key from the acknowledged-registration map.
+func randomNode(r *rand.Rand, m map[ids.AgentID]platform.NodeID) (ids.AgentID, bool) {
+	if len(m) == 0 {
+		return "", false
+	}
+	k := r.Intn(len(m))
+	for id := range m {
+		if k == 0 {
+			return id, true
+		}
+		k--
+	}
+	return "", false
+}
+
 // chaosAgentState is the chaos test's ground truth for one agent. When an
 // operation times out under a partition its effect is unknown, so the state
 // records the ambiguity instead of guessing.

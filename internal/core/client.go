@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
+	"agentloc/internal/clock"
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
@@ -26,15 +29,50 @@ var (
 // not staleness.
 const maxProtocolRetries = 8
 
-// backoff pauses briefly between protocol retries: transient windows (an
-// IAgent in transit during relocation, a rehash mid-handoff) need real time
-// to close, not just another immediate attempt.
-func backoff(ctx context.Context, attempt int) error {
-	if attempt == 0 {
+// backoffDelay computes the pause before retry attempt n: a full-jitter
+// draw from [1, base·2^(n-1)], capped at the configured maximum. Transient
+// windows (an IAgent in transit during relocation, a rehash mid-handoff)
+// need real time to close, not just another immediate attempt — and a
+// rehash stales every cached copy at once, so without jitter the whole
+// client population would retry in lockstep and re-overload the very
+// IAgent whose overload triggered the rehash.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	if attempt <= 0 {
+		return 0
+	}
+	base := c.cfg.RetryBackoffBase
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	max := c.cfg.RetryBackoffMax
+	if max <= 0 {
+		max = 50 * base
+	}
+	if max < base {
+		max = base
+	}
+	window := base
+	for i := 1; i < attempt && window < max; i++ {
+		window *= 2
+	}
+	if window > max {
+		window = max
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	// Never zero: a zero draw would degenerate into an immediate retry.
+	return 1 + time.Duration(c.rng.Int63n(int64(window)))
+}
+
+// backoff pauses before retry attempt n (attempt 0 is free), through the
+// injected clock so fake-clock tests drive retries deterministically.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.backoffDelay(attempt)
+	if d <= 0 {
 		return nil
 	}
 	select {
-	case <-time.After(time.Duration(attempt) * 5 * time.Millisecond):
+	case <-c.clk.After(d):
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -119,6 +157,12 @@ func (a Assignment) Zero() bool { return a.IAgent == "" }
 type Client struct {
 	caller Caller
 	cfg    Config
+	clk    clock.Clock
+
+	// rng draws the retry jitter; guarded because one Client serves
+	// concurrent operations.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// Handles keyed by protocol kind; nil maps (caller without metrics)
 	// yield nil handles on lookup, which are valid no-ops.
@@ -132,7 +176,16 @@ type Client struct {
 // — and each extra protocol round counts into
 // agentloc_core_client_retries_total{op}.
 func NewClient(caller Caller, cfg Config) *Client {
-	c := &Client{caller: caller, cfg: cfg}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	c := &Client{
+		caller: caller,
+		cfg:    cfg,
+		clk:    clk,
+		rng:    rand.New(rand.NewSource(rand.Int63())),
+	}
 	if reg := CallerRegistry(caller); reg != nil {
 		reg.Describe("agentloc_core_locate_latency_seconds", "End-to-end latency of successful Locate operations.")
 		reg.Describe("agentloc_core_update_latency_seconds", "End-to-end latency of successful MoveNotify operations.")
@@ -155,11 +208,24 @@ func NewClient(caller Caller, cfg Config) *Client {
 	return c
 }
 
+// call issues one protocol RPC, bounded by cfg.CallTimeout on top of the
+// caller's context — a lost reply costs one timeout and a retry instead of
+// hanging a deadline-less caller forever. The mechanism's agents bound
+// their internal calls the same way.
+func (c *Client) call(ctx context.Context, at platform.NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	if c.cfg.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
+		defer cancel()
+	}
+	return c.caller.Call(ctx, at, agent, kind, req, resp)
+}
+
 // Whois asks the local LHAgent which IAgent serves the target.
 func (c *Client) Whois(ctx context.Context, target ids.AgentID) (Assignment, error) {
 	local := c.caller.LocalNode()
 	var resp WhoisResp
-	if err := c.caller.Call(ctx, local, LHAgentID(local), KindWhois, WhoisReq{Target: target}, &resp); err != nil {
+	if err := c.call(ctx, local, LHAgentID(local), KindWhois, WhoisReq{Target: target}, &resp); err != nil {
 		return Assignment{}, fmt.Errorf("whois %s: %w", target, err)
 	}
 	return Assignment{IAgent: resp.IAgent, Node: resp.Node, HashVersion: resp.HashVersion}, nil
@@ -169,7 +235,7 @@ func (c *Client) Whois(ctx context.Context, target ids.AgentID) (Assignment, err
 func (c *Client) refreshLocal(ctx context.Context, minVersion uint64) error {
 	local := c.caller.LocalNode()
 	var resp RefreshResp
-	err := c.caller.Call(ctx, local, LHAgentID(local), KindRefresh, RefreshReq{MinVersion: minVersion}, &resp)
+	err := c.call(ctx, local, LHAgentID(local), KindRefresh, RefreshReq{MinVersion: minVersion}, &resp)
 	if err != nil {
 		return fmt.Errorf("refresh hash copy: %w", err)
 	}
@@ -198,7 +264,7 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assign
 		if attempt > 0 {
 			c.retries[KindDeregister].Inc()
 		}
-		if err := backoff(ctx, attempt); err != nil {
+		if err := c.backoff(ctx, attempt); err != nil {
 			return err
 		}
 		if assign.Zero() {
@@ -208,7 +274,7 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assign
 			}
 		}
 		var ack Ack
-		err = c.caller.Call(ctx, assign.Node, assign.IAgent, KindDeregister, DeregisterReq{Agent: self}, &ack)
+		err = c.call(ctx, assign.Node, assign.IAgent, KindDeregister, DeregisterReq{Agent: self}, &ack)
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
 		if err != nil {
 			return err
@@ -232,7 +298,7 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 		if attempt > 0 {
 			c.retries[KindLocate].Inc()
 		}
-		if err := backoff(ctx, attempt); err != nil {
+		if err := c.backoff(ctx, attempt); err != nil {
 			return "", err
 		}
 		if assign.Zero() {
@@ -242,7 +308,7 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 			}
 		}
 		var resp LocateResp
-		err = c.caller.Call(ctx, assign.Node, assign.IAgent, KindLocate, LocateReq{Agent: target}, &resp)
+		err = c.call(ctx, assign.Node, assign.IAgent, KindLocate, LocateReq{Agent: target}, &resp)
 		if err == nil && resp.Status == StatusUnknownAgent {
 			return "", fmt.Errorf("locate %s: %w", target, ErrNotRegistered)
 		}
@@ -268,7 +334,7 @@ func (c *Client) reportLocation(ctx context.Context, kind string, self ids.Agent
 		if attempt > 0 {
 			c.retries[kind].Inc()
 		}
-		if err := backoff(ctx, attempt); err != nil {
+		if err := c.backoff(ctx, attempt); err != nil {
 			return Assignment{}, err
 		}
 		if assign.Zero() {
@@ -278,7 +344,7 @@ func (c *Client) reportLocation(ctx context.Context, kind string, self ids.Agent
 			}
 		}
 		var ack Ack
-		err = c.caller.Call(ctx, assign.Node, assign.IAgent, kind, UpdateReq{Agent: self, Node: node}, &ack)
+		err = c.call(ctx, assign.Node, assign.IAgent, kind, UpdateReq{Agent: self, Node: node}, &ack)
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
 		if err != nil {
 			return Assignment{}, err

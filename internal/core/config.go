@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"agentloc/internal/clock"
 	"agentloc/internal/ids"
 	"agentloc/internal/platform"
 )
@@ -53,6 +54,21 @@ type Config struct {
 	IAgentServiceTime time.Duration
 	// CallTimeout bounds each protocol RPC.
 	CallTimeout time.Duration
+
+	// RetryBackoffBase sizes the pause between §4.3 refresh-and-retry
+	// rounds: attempt n draws a full-jitter delay from an exponentially
+	// growing window base·2^(n-1), capped at RetryBackoffMax. Jitter
+	// desynchronizes clients that went stale together (a rehash staled
+	// every cached copy at once), so the retries spread out instead of
+	// storming the IAgent in lockstep. Zero selects 5ms. Experiment runs
+	// scale it with their time scale (see experiment.Params).
+	RetryBackoffBase time.Duration
+	// RetryBackoffMax caps the backoff window. Zero selects 50× the base.
+	RetryBackoffMax time.Duration
+	// Clock supplies the timers behind the retry backoff. Nil selects the
+	// wall clock; tests inject a fake clock to control retries
+	// deterministically.
+	Clock clock.Clock
 
 	// PlacementNodes are the nodes eligible to host newly created
 	// IAgents, used round-robin. Deploy fills it with all nodes when
@@ -103,6 +119,8 @@ func DefaultConfig() Config {
 		MaxSimpleBits:     8,
 		IAgentServiceTime: time.Millisecond,
 		CallTimeout:       10 * time.Second,
+		RetryBackoffBase:  5 * time.Millisecond,
+		RetryBackoffMax:   250 * time.Millisecond,
 
 		PlacementInterval:  2 * time.Second,
 		PlacementMajority:  0.6,
@@ -129,6 +147,12 @@ func (c Config) Validate() error {
 		return errors.New("core: config: MaxSimpleBits must be ≥ 1")
 	case c.CallTimeout <= 0:
 		return errors.New("core: config: CallTimeout must be positive")
+	case c.RetryBackoffBase < 0:
+		return errors.New("core: config: RetryBackoffBase must be non-negative")
+	case c.RetryBackoffMax < 0:
+		return errors.New("core: config: RetryBackoffMax must be non-negative")
+	case c.RetryBackoffBase > 0 && c.RetryBackoffMax > 0 && c.RetryBackoffMax < c.RetryBackoffBase:
+		return fmt.Errorf("core: config: RetryBackoffMax %v must be ≥ RetryBackoffBase %v", c.RetryBackoffMax, c.RetryBackoffBase)
 	case c.PlacementEnabled && c.PlacementInterval <= 0:
 		return errors.New("core: config: PlacementInterval must be positive when placement is enabled")
 	case c.PlacementEnabled && (c.PlacementMajority <= 0 || c.PlacementMajority > 1):

@@ -103,7 +103,7 @@ func (c *Client) Deposit(ctx context.Context, from, target ids.AgentID, kind str
 	var assign Assignment
 	var err error
 	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
-		if err := backoff(ctx, attempt); err != nil {
+		if err := c.backoff(ctx, attempt); err != nil {
 			return err
 		}
 		if assign.Zero() {
@@ -113,7 +113,7 @@ func (c *Client) Deposit(ctx context.Context, from, target ids.AgentID, kind str
 			}
 		}
 		var ack Ack
-		err = c.caller.Call(ctx, assign.Node, assign.IAgent, KindDeposit, DepositReq{Target: target, Message: msg}, &ack)
+		err = c.call(ctx, assign.Node, assign.IAgent, KindDeposit, DepositReq{Target: target, Message: msg}, &ack)
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
 		if err != nil {
 			return err
@@ -132,7 +132,7 @@ func (c *Client) CheckIn(ctx context.Context, self ids.AgentID, cached Assignmen
 	assign := cached
 	var err error
 	for attempt := 0; attempt < maxProtocolRetries; attempt++ {
-		if err := backoff(ctx, attempt); err != nil {
+		if err := c.backoff(ctx, attempt); err != nil {
 			return Assignment{}, nil, err
 		}
 		if assign.Zero() {
@@ -142,7 +142,7 @@ func (c *Client) CheckIn(ctx context.Context, self ids.AgentID, cached Assignmen
 			}
 		}
 		var resp CheckInResp
-		err = c.caller.Call(ctx, assign.Node, assign.IAgent, KindCheckIn, CheckInReq{Agent: self, Node: node}, &resp)
+		err = c.call(ctx, assign.Node, assign.IAgent, KindCheckIn, CheckInReq{Agent: self, Node: node}, &resp)
 		assign, err = c.interpret(ctx, assign, resp.Ack.Status, resp.Ack.HashVersion, err)
 		if err != nil {
 			return Assignment{}, nil, err

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// newTCPCluster deploys the mechanism over real TCP links, one per node,
+// fully meshed. mut (optional) adjusts each link's TCPConfig before dialing
+// — the hook through which tests attach fault injectors and tighten
+// timeouts.
+func newTCPCluster(t *testing.T, cfg Config, numNodes int, mut func(i int, tc *transport.TCPConfig)) (*testCluster, []*transport.TCP) {
+	t.Helper()
+	links := make([]*transport.TCP, numNodes)
+	for i := range links {
+		tc := transport.TCPConfig{ListenOn: "127.0.0.1:0"}
+		if mut != nil {
+			mut(i, &tc)
+		}
+		l, err := transport.NewTCP(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		links[i] = l
+	}
+	nodes := make([]*platform.Node, numNodes)
+	for i := range nodes {
+		id := platform.NodeID(fmt.Sprintf("node-%d", i))
+		for j, l := range links {
+			if j != i {
+				links[i].AddRoute(platform.NodeID(fmt.Sprintf("node-%d", j)).Addr(), l.ListenAddr())
+			}
+		}
+		n, err := platform.NewNode(platform.Config{ID: id, Link: links[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	svc, err := Deploy(context.Background(), cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testCluster{nodes: nodes, service: svc}, links
+}
+
+func TestLocateStalledPeerHonorsContextDeadline(t *testing.T) {
+	// The ISSUE's acceptance scenario: a peer that accepts connections but
+	// never reads must cost a Locate its context deadline, not the OS
+	// connect/write stall (~2 minutes) — and traffic to healthy peers on
+	// the same link must keep flowing while the stalled call waits.
+	f := transport.NewFaults()
+	c, links := newTCPCluster(t, quietConfig(), 2, func(i int, tc *transport.TCPConfig) {
+		if i == 1 {
+			tc.Faults = f
+			tc.WriteTimeout = time.Second
+		}
+	})
+
+	// The HAgent and the initial IAgent live on node-0, so every protocol
+	// call from node-1 (past its loopback LHAgent) crosses the faulted
+	// link.
+	ctx := testCtx(t)
+	if _, err := c.service.ClientFor(c.nodes[0]).Register(ctx, "stall-target"); err != nil {
+		t.Fatal(err)
+	}
+	remote := c.service.ClientFor(c.nodes[1])
+	if _, err := remote.Locate(ctx, "stall-target"); err != nil {
+		t.Fatalf("locate before the stall: %v", err)
+	}
+
+	// A healthy bystander reachable over the same (faulted) link.
+	healthy, err := transport.NewTCP(transport.TCPConfig{ListenOn: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	healthyGot := make(chan transport.Envelope, 1)
+	if err := healthy.Listen("healthy", func(env transport.Envelope) { healthyGot <- env }); err != nil {
+		t.Fatal(err)
+	}
+	links[1].AddRoute("healthy", healthy.ListenAddr())
+
+	f.StallWritesTo(links[0].ListenAddr(), true)
+
+	lctx, lcancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer lcancel()
+	locateDone := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := remote.Locate(lctx, "stall-target")
+		locateDone <- err
+	}()
+
+	// While the Locate is wedged against the stalled peer, the same link
+	// delivers to the healthy one promptly.
+	time.Sleep(50 * time.Millisecond)
+	if err := links[1].Send(transport.Envelope{From: "node-1", To: "healthy", Kind: "ping"}); err != nil {
+		t.Fatalf("send to healthy peer during stall: %v", err)
+	}
+	select {
+	case <-healthyGot:
+	case <-time.After(2 * time.Second):
+		t.Fatal("healthy peer starved while another peer stalled")
+	}
+
+	select {
+	case err := <-locateDone:
+		if err == nil {
+			t.Fatal("locate through a stalled peer succeeded")
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("locate returned after %v, want ~its 300ms context deadline", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("locate through a stalled peer never returned")
+	}
+
+	// Once the peer recovers, the dropped connection is redialed and the
+	// same client converges again.
+	f.StallWritesTo(links[0].ListenAddr(), false)
+	eventually(t, 20*time.Second, func(ctx context.Context) error {
+		_, err := remote.Locate(ctx, "stall-target")
+		return err
+	})
+}
+
+func TestLocateSurvivesConnectionReset(t *testing.T) {
+	// Connections torn down mid-run (peer crash, RST) must be absorbed by
+	// the transport's redial/resend path plus the §4.3 retry loop — the
+	// client keeps its answer without manual intervention.
+	f := transport.NewFaults()
+	c, _ := newTCPCluster(t, quietConfig(), 2, func(i int, tc *transport.TCPConfig) {
+		if i == 1 {
+			tc.Faults = f
+			tc.RedialBackoff = time.Millisecond
+		}
+	})
+
+	ctx := testCtx(t)
+	if _, err := c.service.ClientFor(c.nodes[0]).Register(ctx, "reset-target"); err != nil {
+		t.Fatal(err)
+	}
+	remote := c.service.ClientFor(c.nodes[1])
+	where, err := remote.Locate(ctx, "reset-target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != c.nodes[0].ID() {
+		t.Fatalf("located at %s, want %s", where, c.nodes[0].ID())
+	}
+
+	f.ResetAll()
+	eventually(t, 20*time.Second, func(ctx context.Context) error {
+		got, err := remote.Locate(ctx, "reset-target")
+		if err != nil {
+			return err
+		}
+		if got != c.nodes[0].ID() {
+			return fmt.Errorf("located at %s after reset, want %s", got, c.nodes[0].ID())
+		}
+		return nil
+	})
+}
+
+func TestClientCallTimeoutBoundsLostReplies(t *testing.T) {
+	// Regression: a client driven with a deadline-less context (workload
+	// launchers do this) used to hang forever when a reply was dropped.
+	// Config.CallTimeout must bound each protocol RPC on its own.
+	cfg := quietConfig()
+	cfg.CallTimeout = 300 * time.Millisecond
+	c, net := newLossyCluster(t, cfg, 2, 0)
+
+	ctx := testCtx(t)
+	if _, err := c.service.ClientFor(c.nodes[0]).Register(ctx, "lost-reply"); err != nil {
+		t.Fatal(err)
+	}
+	remote := c.service.ClientFor(c.nodes[1])
+	if _, err := remote.Locate(ctx, "lost-reply"); err != nil {
+		t.Fatal(err)
+	}
+
+	net.SetDropProb(1.0)
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := remote.Locate(context.Background(), "lost-reply")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("locate succeeded with every message dropped")
+		}
+		if elapsed := time.Since(start); elapsed > 20*time.Second {
+			t.Fatalf("deadline-less locate took %v, want bounded by CallTimeout and the retry budget", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadline-less locate hung despite CallTimeout")
+	}
+
+	net.SetDropProb(0)
+	eventually(t, 20*time.Second, func(ctx context.Context) error {
+		_, err := remote.Locate(ctx, "lost-reply")
+		return err
+	})
+}
+
+func TestLocateConvergesAfterDropHeal(t *testing.T) {
+	// Total loss, then heal: during the outage operations fail within their
+	// deadlines; after it, a single Locate (whose internal §4.3 loop allows
+	// maxProtocolRetries rounds) converges without external retries.
+	c, net := newLossyCluster(t, quietConfig(), 3, 0)
+
+	ctx := testCtx(t)
+	client0 := c.service.ClientFor(c.nodes[0])
+	if _, err := client0.Register(ctx, "heal-target"); err != nil {
+		t.Fatal(err)
+	}
+	remote := c.service.ClientFor(c.nodes[2])
+	if _, err := remote.Locate(ctx, "heal-target"); err != nil {
+		t.Fatal(err)
+	}
+
+	net.SetDropProb(1.0)
+	octx, ocancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	start := time.Now()
+	_, err := remote.Locate(octx, "heal-target")
+	ocancel()
+	if err == nil {
+		t.Fatal("locate succeeded with every message dropped")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("locate under total loss returned after %v, want ~its 400ms deadline", elapsed)
+	}
+
+	net.SetDropProb(0)
+	hctx, hcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer hcancel()
+	where, err := remote.Locate(hctx, "heal-target")
+	if err != nil {
+		t.Fatalf("locate after heal: %v", err)
+	}
+	if where != c.nodes[0].ID() {
+		t.Fatalf("located at %s after heal, want %s", where, c.nodes[0].ID())
+	}
+}

@@ -45,6 +45,8 @@ type AdaptationSpec struct {
 	ProbeQueries   int
 	ServiceTime    time.Duration
 	NetLatency     time.Duration
+	DropProb       float64       // chaos: random message loss probability
+	NetJitter      time.Duration // chaos: uniform extra delay in [0, NetJitter)
 	Cfg            core.Config
 	Seed           int64
 }
@@ -56,8 +58,10 @@ func AdaptationTimeline(ctx context.Context, spec AdaptationSpec, w io.Writer) (
 		return nil, fmt.Errorf("experiment: NumNodes = %d", spec.NumNodes)
 	}
 	net := transport.NewNetwork(transport.NetworkConfig{
-		Latency: transport.LANLatency(spec.NetLatency),
-		Seed:    spec.Seed,
+		Latency:  transport.LANLatency(spec.NetLatency),
+		Jitter:   spec.NetJitter,
+		DropProb: spec.DropProb,
+		Seed:     spec.Seed,
 	})
 	nodes := make([]*platform.Node, spec.NumNodes)
 	for i := range nodes {
@@ -179,6 +183,8 @@ func DefaultAdaptationSpec(p Params) AdaptationSpec {
 		ProbeQueries:   10,
 		ServiceTime:    p.ServiceTime,
 		NetLatency:     p.NetLatency,
+		DropProb:       p.DropProb,
+		NetJitter:      p.scaled(p.NetJitter),
 		Cfg:            p.coreConfig(),
 		Seed:           p.Seed,
 	}

@@ -49,6 +49,13 @@ type Params struct {
 	ServiceTime time.Duration
 	// NetLatency is the one-way LAN message latency.
 	NetLatency time.Duration
+	// DropProb injects random message loss into the simulated LAN — the
+	// chaos knob for measuring how the mechanism degrades under an
+	// unreliable network. 0 (the paper's setting) disables loss.
+	DropProb float64
+	// NetJitter adds a uniform random delay in [0, NetJitter) to every
+	// message, desynchronizing the otherwise metronomic simulated LAN.
+	NetJitter time.Duration
 	// TMax and TMin are the rehashing thresholds in messages/second.
 	// They are scaled inversely with Scale so the thresholds keep the
 	// same relationship to the (scaled) workload rates.
@@ -130,6 +137,13 @@ func (p Params) coreConfig() core.Config {
 	cfg.CheckInterval = p.scaled(200 * time.Millisecond)
 	cfg.MergeGrace = p.scaled(2 * time.Second)
 	cfg.IAgentServiceTime = p.ServiceTime
-	cfg.CallTimeout = 30 * time.Second
+	// Scaled like the rest of the time base: a lost reply under chaos
+	// costs one (scaled) timeout, not a disproportionate wall-clock stall.
+	cfg.CallTimeout = p.scaled(30 * time.Second)
+	// The retry backoff shares the workload's time base: halving every
+	// duration halves the transient windows retries wait out, so the
+	// backoff shrinks with them (and its cap keeps the same headroom).
+	cfg.RetryBackoffBase = p.scaled(cfg.RetryBackoffBase)
+	cfg.RetryBackoffMax = p.scaled(cfg.RetryBackoffMax)
 	return cfg
 }

@@ -28,7 +28,9 @@ type RunSpec struct {
 	Warmup        time.Duration
 	ServiceTime   time.Duration
 	NetLatency    time.Duration
-	Cfg           core.Config // hash-based mechanism configuration
+	DropProb      float64       // chaos: random message loss probability
+	NetJitter     time.Duration // chaos: uniform extra delay in [0, NetJitter)
+	Cfg           core.Config   // hash-based mechanism configuration
 	Seed          int64
 }
 
@@ -75,9 +77,11 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 	// apart by labels, and the snapshot lands in RunResult.Metrics.
 	reg := metrics.New()
 	net := transport.NewNetwork(transport.NetworkConfig{
-		Latency: transport.LANLatency(spec.NetLatency),
-		Seed:    spec.Seed,
-		Metrics: reg,
+		Latency:  transport.LANLatency(spec.NetLatency),
+		Jitter:   spec.NetJitter,
+		DropProb: spec.DropProb,
+		Seed:     spec.Seed,
+		Metrics:  reg,
 	})
 	link := transport.Instrument(net, reg)
 	nodes := make([]*platform.Node, spec.NumNodes)
@@ -124,7 +128,11 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 		mech = workload.MechanismRef{Scheme: workload.SchemeHashed, Hashed: svc.Config()}
 		querier = svc.ClientFor(nodes[len(nodes)-1])
 	case workload.SchemeCentralized:
-		svc, err := centralized.Deploy(ctx, centralized.DefaultConfig(), nodes, spec.ServiceTime)
+		ccfg := centralized.DefaultConfig()
+		// Same (scaled) per-RPC bound as the hashed scheme's clients, so
+		// the baseline degrades comparably under injected loss.
+		ccfg.CallTimeout = spec.Cfg.CallTimeout
+		svc, err := centralized.Deploy(ctx, ccfg, nodes, spec.ServiceTime)
 		if err != nil {
 			return RunResult{}, err
 		}

@@ -95,6 +95,8 @@ func (p Params) spec(scheme workload.Scheme, tagents int, residence time.Duratio
 		Warmup:        p.scaled(p.Warmup),
 		ServiceTime:   p.ServiceTime,
 		NetLatency:    p.NetLatency,
+		DropProb:      p.DropProb,
+		NetJitter:     p.scaled(p.NetJitter),
 		Cfg:           p.coreConfig(),
 		Seed:          p.Seed,
 	}

@@ -12,6 +12,7 @@ const (
 	metricDropped  = "agentloc_transport_network_dropped_total"
 	metricRPCLat   = "agentloc_transport_rpc_latency_seconds"
 	metricRPCTmo   = "agentloc_transport_rpc_timeouts_total"
+	metricConnErrs = "agentloc_transport_conn_errors_total"
 )
 
 // describeTransportMetrics registers HELP text once per registry; Describe
@@ -26,6 +27,7 @@ func describeTransportMetrics(r *metrics.Registry) {
 	r.Describe(metricDropped, "Envelopes dropped inside the simulated network, by reason.")
 	r.Describe(metricRPCLat, "Round-trip latency of completed RPC calls, by request kind.")
 	r.Describe(metricRPCTmo, "RPC calls abandoned on context expiry, by request kind.")
+	r.Describe(metricConnErrs, "TCP connection-level failures, by reason (dial, write, decode, torn, reset).")
 }
 
 // instrumentedLink wraps a Link, counting envelopes as they cross it.

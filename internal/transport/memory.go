@@ -174,6 +174,15 @@ func (n *Network) Send(env Envelope) error {
 	return nil
 }
 
+// SetDropProb changes the loss probability at runtime — the chaos knob for
+// long-running tests and simulations that degrade and heal the network
+// mid-flight.
+func (n *Network) SetDropProb(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DropProb = p
+}
+
 // Partition blocks traffic between a and b in both directions.
 func (n *Network) Partition(a, b Addr) {
 	n.mu.Lock()

@@ -88,8 +88,20 @@ func (p *Peer) Call(ctx context.Context, to Addr, kind string, req, resp any) er
 
 	env := Envelope{From: p.addr, To: to, Kind: kind, Corr: corr, Payload: payload}
 	start := time.Now()
-	if err := p.link.Send(env); err != nil {
-		return fmt.Errorf("call %s %s: %w", to, kind, err)
+	// Send on its own goroutine so the call honours ctx even while the
+	// link blocks (a TCP write to a stalled peer holds Send until its
+	// write deadline). An abandoned send finishes — and its goroutine
+	// exits — when the link's own deadline fires.
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- p.link.Send(env) }()
+	select {
+	case err := <-sendErr:
+		if err != nil {
+			return fmt.Errorf("call %s %s: %w", to, kind, err)
+		}
+	case <-ctx.Done():
+		p.reg.Counter(metricRPCTmo, "kind", kind).Inc()
+		return fmt.Errorf("call %s %s: %w", to, kind, ctx.Err())
 	}
 
 	select {

@@ -1,10 +1,34 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"syscall"
+	"time"
+
+	"agentloc/internal/metrics"
+	"agentloc/internal/trace"
+)
+
+// Default deadline knobs for TCPConfig. Zero values in the config select
+// these; negative values disable the bound entirely.
+const (
+	// DefaultDialTimeout bounds connection establishment. A few seconds is
+	// enough on any LAN; without it a dial to a black-holed peer blocks for
+	// the OS connect timeout (minutes).
+	DefaultDialTimeout = 3 * time.Second
+	// DefaultWriteTimeout bounds each envelope write. A peer that accepts
+	// but never reads eventually fills its receive window; the deadline
+	// turns that silent stall into an error that drops the connection.
+	DefaultWriteTimeout = 10 * time.Second
+	// DefaultRedialBackoff is the pause before the automatic redial after a
+	// send hit a broken cached connection.
+	DefaultRedialBackoff = 50 * time.Millisecond
 )
 
 // TCPConfig configures a TCP link.
@@ -16,12 +40,43 @@ type TCPConfig struct {
 	// Local addresses need no entry. Entries may be added later with
 	// AddRoute.
 	Directory map[Addr]string
+
+	// DialTimeout bounds each outgoing connection attempt. Zero selects
+	// DefaultDialTimeout; negative disables the bound.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each envelope write, so one stalled peer cannot
+	// wedge every sender to it. Zero selects DefaultWriteTimeout; negative
+	// disables the bound.
+	WriteTimeout time.Duration
+	// RedialBackoff is the pause before redialing after a send found its
+	// cached connection broken. Zero selects DefaultRedialBackoff;
+	// negative disables the pause.
+	RedialBackoff time.Duration
+
+	// Metrics, when set, counts connection-level failures into
+	// agentloc_transport_conn_errors_total{reason} (reason is "dial",
+	// "write", "decode", "torn" or "reset"). Nil disables accounting.
+	Metrics *metrics.Registry
+	// Trace, when set, records connection-level events (dial failures,
+	// write timeouts, corrupt streams) as transport.conn_error entries.
+	Trace *trace.Log
+	// Faults, when set, injects connection-level failures for tests and
+	// chaos runs (see Faults). Nil — the production value — injects
+	// nothing.
+	Faults *Faults
 }
 
 // TCP carries gob-encoded envelopes over TCP connections, implementing
 // Link. One TCP instance serves all local endpoints of a process;
 // connections to remote processes are dialed on demand and cached.
 type TCP struct {
+	dialTimeout   time.Duration
+	writeTimeout  time.Duration
+	redialBackoff time.Duration
+	reg           *metrics.Registry
+	trc           *trace.Log
+	faults        *Faults
+
 	mu        sync.Mutex
 	listener  net.Listener
 	directory map[Addr]string
@@ -44,6 +99,18 @@ type tcpConn struct {
 
 var _ Link = (*TCP)(nil)
 
+// pickTimeout resolves a config knob against its default: zero selects the
+// default, negative disables (returns 0).
+func pickTimeout(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 // NewTCP starts accepting connections on cfg.ListenOn.
 func NewTCP(cfg TCPConfig) (*TCP, error) {
 	ln, err := net.Listen("tcp", cfg.ListenOn)
@@ -54,13 +121,26 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	for a, hp := range cfg.Directory {
 		dir[a] = hp
 	}
+	describeTransportMetrics(cfg.Metrics)
+	// Pre-create the failure series so the family shows up (at zero) in
+	// scrapes of a healthy node — absence means "not instrumented", not
+	// "no errors".
+	for _, reason := range []string{"dial", "write", "decode", "torn", "reset"} {
+		cfg.Metrics.Counter(metricConnErrs, "reason", reason)
+	}
 	t := &TCP{
-		listener:  ln,
-		directory: dir,
-		handlers:  make(map[Addr]Handler),
-		conns:     make(map[string]*tcpConn),
-		inbound:   make(map[net.Conn]struct{}),
-		learned:   make(map[Addr]*tcpConn),
+		dialTimeout:   pickTimeout(cfg.DialTimeout, DefaultDialTimeout),
+		writeTimeout:  pickTimeout(cfg.WriteTimeout, DefaultWriteTimeout),
+		redialBackoff: pickTimeout(cfg.RedialBackoff, DefaultRedialBackoff),
+		reg:           cfg.Metrics,
+		trc:           cfg.Trace,
+		faults:        cfg.Faults,
+		listener:      ln,
+		directory:     dir,
+		handlers:      make(map[Addr]Handler),
+		conns:         make(map[string]*tcpConn),
+		inbound:       make(map[net.Conn]struct{}),
+		learned:       make(map[Addr]*tcpConn),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -99,7 +179,8 @@ func (t *TCP) Unlisten(addr Addr) {
 }
 
 // Send implements Link. Envelopes to locally bound addresses loop back
-// without touching the network.
+// without touching the network. Envelopes that hit a broken cached
+// connection are transparently resent once over a fresh connection.
 func (t *TCP) Send(env Envelope) error {
 	t.mu.Lock()
 	if t.closed {
@@ -124,26 +205,69 @@ func (t *TCP) Send(env Envelope) error {
 		if lc == nil {
 			return fmt.Errorf("%w: %s", ErrUnknownAddr, env.To)
 		}
-		lc.mu.Lock()
-		defer lc.mu.Unlock()
-		if err := lc.enc.Encode(env); err != nil {
+		if err := t.writeEnv(lc, env); err != nil {
+			// The inbound connection is broken; close it so its readLoop
+			// cleans the learned routes, and surface the error — there is
+			// nowhere to redial an ephemeral peer.
+			lc.conn.Close()
+			t.noteConnError("write", env.To, err)
 			return fmt.Errorf("tcp send to %s (learned route): %w", env.To, err)
 		}
 		return nil
 	}
 	t.mu.Unlock()
-	c, err := t.connTo(target)
+	return t.sendVia(target, env)
+}
+
+// sendVia delivers env over the cached connection to target. When the
+// write fails on a connection that was already cached — broken while idle,
+// typically a peer restart or reset — it redials once after a short pause
+// and resends, so a single stale connection does not surface as a
+// protocol-level failure.
+func (t *TCP) sendVia(target string, env Envelope) error {
+	c, cached, err := t.connTo(target)
 	if err != nil {
+		t.noteConnError("dial", env.To, err)
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(env); err != nil {
-		// The connection is broken; drop it so the next send redials.
-		t.dropConn(target, c)
+	err = t.writeEnv(c, env)
+	if err == nil {
+		return nil
+	}
+	t.dropConn(target, c)
+	t.noteConnError("write", env.To, err)
+	if !cached {
+		// The connection was freshly dialed; a second attempt would
+		// almost certainly fail the same way.
 		return fmt.Errorf("tcp send to %s (%s): %w", env.To, target, err)
 	}
+	if t.redialBackoff > 0 {
+		time.Sleep(t.redialBackoff)
+	}
+	c2, _, err2 := t.connTo(target)
+	if err2 != nil {
+		t.noteConnError("dial", env.To, err2)
+		return fmt.Errorf("tcp send to %s (%s): redial: %w", env.To, target, err2)
+	}
+	if err2 := t.writeEnv(c2, env); err2 != nil {
+		t.dropConn(target, c2)
+		t.noteConnError("write", env.To, err2)
+		return fmt.Errorf("tcp send to %s (%s): resend: %w", env.To, target, err2)
+	}
 	return nil
+}
+
+// writeEnv encodes one envelope onto a connection under the write
+// deadline. The per-connection lock is held for at most the write timeout,
+// so a stalled peer delays — but cannot wedge — other senders to it.
+func (t *TCP) writeEnv(c *tcpConn, env Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.writeTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	return c.enc.Encode(env)
 }
 
 // Close implements Link.
@@ -173,32 +297,36 @@ func (t *TCP) Close() error {
 	return err
 }
 
-// connTo returns a cached connection to the target, dialing if needed.
-func (t *TCP) connTo(target string) (*tcpConn, error) {
+// connTo returns a cached connection to the target, dialing (with the
+// configured timeout) if needed. cached reports whether the returned
+// connection predates this call — i.e. whether its liveness is unproven.
+func (t *TCP) connTo(target string) (c *tcpConn, cached bool, err error) {
 	t.mu.Lock()
 	if c, ok := t.conns[target]; ok {
 		t.mu.Unlock()
-		return c, nil
+		return c, true, nil
 	}
 	t.mu.Unlock()
 
-	conn, err := net.Dial("tcp", target)
+	d := net.Dialer{Timeout: t.dialTimeout}
+	conn, err := d.DialContext(context.Background(), "tcp", target)
 	if err != nil {
-		return nil, fmt.Errorf("tcp dial %s: %w", target, err)
+		return nil, false, fmt.Errorf("tcp dial %s: %w", target, err)
 	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	conn = t.faults.wrap(conn)
+	c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
 
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		conn.Close()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if existing, ok := t.conns[target]; ok {
 		// Another goroutine won the dial race.
 		t.mu.Unlock()
 		conn.Close()
-		return existing, nil
+		return existing, true, nil
 	}
 	t.conns[target] = c
 	// Outgoing connections are full duplex: replies (and any traffic the
@@ -207,7 +335,7 @@ func (t *TCP) connTo(target string) (*tcpConn, error) {
 	t.wg.Add(1)
 	t.mu.Unlock()
 	go t.readLoop(conn, c)
-	return c, nil
+	return c, false, nil
 }
 
 // readLoop decodes envelopes arriving on a connection, learning reply
@@ -234,7 +362,8 @@ func (t *TCP) readLoop(conn net.Conn, back *tcpConn) {
 	for {
 		var env Envelope
 		if err := dec.Decode(&env); err != nil {
-			return // connection closed or corrupt stream
+			t.noteReadError(conn, err)
+			return
 		}
 		t.mu.Lock()
 		if env.From != "" {
@@ -246,6 +375,34 @@ func (t *TCP) readLoop(conn net.Conn, back *tcpConn) {
 			h(env)
 		}
 	}
+}
+
+// noteReadError accounts for a read-side connection failure. Clean
+// shutdowns (EOF, our own Close) are the normal end of a connection and
+// are not counted; resets and mid-message corruption are what operators
+// need to see.
+func (t *TCP) noteReadError(conn net.Conn, err error) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	reason := "decode"
+	switch {
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		reason = "torn"
+	case errors.Is(err, syscall.ECONNRESET):
+		reason = "reset"
+	}
+	t.noteConnError(reason, Addr(conn.RemoteAddr().String()), err)
+}
+
+// noteConnError counts a connection-level failure and records it in the
+// trace log. Both sinks are nil-safe.
+func (t *TCP) noteConnError(reason string, peer Addr, err error) {
+	t.reg.Counter(metricConnErrs, "reason", reason).Inc()
+	t.trc.Emit("tcp", "transport.conn_error", fmt.Sprintf("%s %s: %v", reason, peer, err))
 }
 
 // dropConn discards a broken cached connection.
@@ -267,6 +424,7 @@ func (t *TCP) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		conn = t.faults.wrap(conn)
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
@@ -277,6 +435,9 @@ func (t *TCP) acceptLoop() {
 		t.wg.Add(1)
 		t.mu.Unlock()
 		back := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
-		go t.readLoop(conn, back)
+		go func() {
+			t.faults.delayAccept()
+			t.readLoop(conn, back)
+		}()
 	}
 }

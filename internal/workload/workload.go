@@ -180,34 +180,19 @@ func (t *TAgent) Run(ctx *platform.Context) error {
 	if err != nil {
 		return err
 	}
-	cctx, cancel := context.WithTimeout(context.Background(), t.callTimeout())
-	defer cancel()
-	switch {
-	case !t.Registered:
-		assign, err := client.Register(cctx, ctx.Self())
-		if err != nil {
-			return fmt.Errorf("tagent %s: register: %w", ctx.Self(), err)
+	// Under injected loss a notification can fail even after the client's
+	// own retries. A TAgent that returned the error here would silently
+	// stop roaming — and stay unregistered forever, wedging launchers that
+	// wait for it to become locatable. Keep trying with a fresh timeout per
+	// attempt; the only exit is the platform stopping the agent.
+	for {
+		err := t.notify(ctx, client)
+		if err == nil {
+			break
 		}
-		t.Assign = assign
-		t.Registered = true
-	case t.UseCheckIn && t.Mech.Scheme == SchemeHashed:
-		hc := core.NewClient(core.CtxCaller{Ctx: ctx}, t.Mech.Hashed)
-		assign, pending, err := hc.CheckIn(cctx, ctx.Self(), t.Assign)
-		if err != nil {
-			return fmt.Errorf("tagent %s: check-in: %w", ctx.Self(), err)
+		if !ctx.Sleep(t.retryPause()) {
+			return nil // killed while backing off
 		}
-		t.Assign = assign
-		if len(pending) > 0 {
-			t.mu.Lock()
-			t.Mail = append(t.Mail, pending...)
-			t.mu.Unlock()
-		}
-	default:
-		assign, err := client.MoveNotify(cctx, ctx.Self(), t.Assign)
-		if err != nil {
-			return fmt.Errorf("tagent %s: move notify: %w", ctx.Self(), err)
-		}
-		t.Assign = assign
 	}
 
 	t.mu.Lock()
@@ -244,6 +229,52 @@ func (t *TAgent) nextNode(current platform.NodeID) platform.NodeID {
 			return n
 		}
 	}
+}
+
+// notify performs the agent's current protocol step — initial
+// registration, check-in, or a move notification — bounded by one call
+// timeout.
+func (t *TAgent) notify(ctx *platform.Context, client LocationClient) error {
+	cctx, cancel := context.WithTimeout(context.Background(), t.callTimeout())
+	defer cancel()
+	switch {
+	case !t.Registered:
+		assign, err := client.Register(cctx, ctx.Self())
+		if err != nil {
+			return fmt.Errorf("tagent %s: register: %w", ctx.Self(), err)
+		}
+		t.Assign = assign
+		t.Registered = true
+	case t.UseCheckIn && t.Mech.Scheme == SchemeHashed:
+		hc := core.NewClient(core.CtxCaller{Ctx: ctx}, t.Mech.Hashed)
+		assign, pending, err := hc.CheckIn(cctx, ctx.Self(), t.Assign)
+		if err != nil {
+			return fmt.Errorf("tagent %s: check-in: %w", ctx.Self(), err)
+		}
+		t.Assign = assign
+		if len(pending) > 0 {
+			t.mu.Lock()
+			t.Mail = append(t.Mail, pending...)
+			t.mu.Unlock()
+		}
+	default:
+		assign, err := client.MoveNotify(cctx, ctx.Self(), t.Assign)
+		if err != nil {
+			return fmt.Errorf("tagent %s: move notify: %w", ctx.Self(), err)
+		}
+		t.Assign = assign
+	}
+	return nil
+}
+
+// retryPause paces notify retries: the residence time is the workload's
+// natural (already scale-adjusted) beat; fall back to a short pause when
+// the agent is stationary.
+func (t *TAgent) retryPause() time.Duration {
+	if t.Residence > 0 {
+		return t.Residence
+	}
+	return 20 * time.Millisecond
 }
 
 // callTimeout bounds one protocol interaction.

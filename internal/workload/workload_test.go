@@ -377,3 +377,58 @@ func TestTAgentCheckInCollectsMail(t *testing.T) {
 	}
 	t.Fatal("roaming agent never collected all deposited messages")
 }
+
+func TestTAgentRetriesRegistrationThroughLoss(t *testing.T) {
+	// Regression: a TAgent whose initial registration failed (all messages
+	// dropped) used to return the error from Run and silently stop roaming
+	// — permanently unlocatable, wedging launchers that poll for it. It
+	// must keep retrying until the network heals.
+	net := transport.NewNetwork(transport.NetworkConfig{Seed: 1})
+	t.Cleanup(func() { net.Close() })
+	nodes := make([]*platform.Node, 2)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("wn-%d", i)), Link: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	cfg := core.DefaultConfig()
+	cfg.TMax, cfg.TMin = 1e9, 0
+	cfg.IAgentServiceTime = 0
+	cfg.CallTimeout = 200 * time.Millisecond
+	cfg.RetryBackoffBase = time.Millisecond
+	cfg.RetryBackoffMax = 5 * time.Millisecond
+	svc, err := core.Deploy(context.Background(), cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech := MechanismRef{Scheme: SchemeHashed, Hashed: svc.Config()}
+
+	net.SetDropProb(1.0)
+	agent := &TAgent{
+		Mech:      mech,
+		Nodes:     []platform.NodeID{nodes[0].ID(), nodes[1].ID()},
+		Residence: 20 * time.Millisecond,
+		Seed:      1,
+	}
+	if err := nodes[1].Launch("retry-reg", agent); err != nil {
+		t.Fatal(err)
+	}
+
+	// Long enough for the first registration attempt to fail outright.
+	time.Sleep(500 * time.Millisecond)
+
+	net.SetDropProb(0)
+	ctx := wctx(t)
+	locator := svc.ClientFor(nodes[0])
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := locator.Locate(ctx, "retry-reg"); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("TAgent never registered after the network healed")
+}
