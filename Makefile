@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet bench ci clean
+.PHONY: all build test short race vet bench chaos ci clean
 
 all: build
 
@@ -8,7 +8,8 @@ build:
 	$(GO) build ./...
 
 # Full suite: unit, integration, property, fuzz seeds, experiment sweeps.
-test:
+# vet rides along so the default gate catches what the compiler tolerates.
+test: vet
 	$(GO) test ./...
 
 # Skip the experiment sweeps for a fast signal.
@@ -25,6 +26,11 @@ vet:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Crash-tolerance soak: the failover, chaos and fault-injection suites under
+# the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Crash|Failover|Takeover|Checkpoint|Promot|Fallback' ./...
 
 ci: build vet short race
 

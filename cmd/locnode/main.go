@@ -71,6 +71,8 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 	tmax := fs.Float64("tmax", 50, "split threshold, messages/second")
 	tmin := fs.Float64("tmin", 5, "merge threshold, messages/second")
 	service := fs.Duration("service", time.Millisecond, "IAgent per-request service time")
+	heartbeat := fs.Duration("heartbeat", 0, "IAgent heartbeat interval; enables crash tolerance (0 = off)")
+	suspectMisses := fs.Int("suspect-misses", 0, "missed heartbeats before an IAgent is suspected (0 = default 3)")
 	metricsAddr := fs.String("metrics-addr", "", "host:port for the /metrics, /varz and /healthz HTTP endpoints (off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +117,8 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 	cfg.TMax = *tmax
 	cfg.TMin = *tmin
 	cfg.IAgentServiceTime = *service
+	cfg.HeartbeatInterval = *heartbeat
+	cfg.SuspectAfterMisses = *suspectMisses
 	switch {
 	case *hagentNode != "":
 		cfg.HAgentNode = platform.NodeID(*hagentNode)

@@ -107,11 +107,15 @@ func parseRunFlags(args []string) (experiment.Params, bool, error) {
 	csv := fs.Bool("csv", false, "append machine-readable CSV rows after each table")
 	chaosDrop := fs.Float64("chaos-drop", 0, "inject random message loss with this probability [0,1)")
 	chaosJitter := fs.Duration("chaos-jitter", 0, "inject uniform random per-message delay in [0,d)")
+	chaosKill := fs.Float64("chaos-kill", 0, "crash-restart random nodes at this rate (crashes/second)")
 	if err := fs.Parse(args); err != nil {
 		return experiment.Params{}, false, err
 	}
 	if *chaosDrop < 0 || *chaosDrop >= 1 {
 		return experiment.Params{}, false, fmt.Errorf("-chaos-drop %v outside [0,1)", *chaosDrop)
+	}
+	if *chaosKill < 0 {
+		return experiment.Params{}, false, fmt.Errorf("-chaos-kill %v negative", *chaosKill)
 	}
 	p := experiment.PaperParams()
 	if *quick {
@@ -131,6 +135,7 @@ func parseRunFlags(args []string) (experiment.Params, bool, error) {
 	}
 	p.DropProb = *chaosDrop
 	p.NetJitter = *chaosJitter
+	p.KillRate = *chaosKill
 	return p, *csv, nil
 }
 
@@ -205,5 +210,7 @@ func usage(w io.Writer) {
   tree   render the hash tree and the rehashing operations (Figures 1, 3-6)
          (tree -dot emits graphviz)
 flags: -quick -scale f -queries n -nodes n -seed n -csv
-chaos: -chaos-drop p (random message loss) -chaos-jitter d (random extra delay)`)
+chaos: -chaos-drop p (random message loss) -chaos-jitter d (random extra delay)
+       -chaos-kill r (crash-restart random nodes at r crashes/second; enables
+       the heartbeat failure detector)`)
 }

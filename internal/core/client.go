@@ -370,6 +370,16 @@ func (c *Client) interpret(ctx context.Context, assign Assignment, status Status
 			return Assignment{}, err
 		}
 		return Assignment{}, nil
+	case callErr != nil && ctx.Err() == nil:
+		// The IAgent's node is unreachable (timeout, connection refused) but
+		// our own deadline still stands — possibly a crashed node whose
+		// IAgents have been merged away by the failure detector. Refresh
+		// past our version and re-resolve; if the hash really is unchanged
+		// the refresh is cheap and the retry burns one attempt.
+		if err := c.refreshLocal(ctx, assign.HashVersion+1); err != nil {
+			return Assignment{}, callErr // surface the original failure
+		}
+		return Assignment{}, nil
 	case callErr != nil:
 		return Assignment{}, callErr
 	case status == StatusNotResponsible:

@@ -96,6 +96,20 @@ type Config struct {
 	// HAgentReplicas.
 	HAgentFallbacks []HAgentRef
 
+	// HeartbeatInterval turns on the crash-tolerance subsystem: IAgents
+	// heartbeat the HAgent on this interval, the HAgent sweeps leases on
+	// it, and replicas watch the primary's lease with it. Zero (the
+	// default) disables failure detection, checkpointing and automatic
+	// takeover entirely.
+	HeartbeatInterval time.Duration
+	// SuspectAfterMisses is how many consecutive missed heartbeats expire
+	// an IAgent's lease. The detector probes a suspect directly before
+	// declaring it failed. Zero selects 3.
+	SuspectAfterMisses int
+	// CheckpointInterval is how often an IAgent pushes its location-table
+	// delta to its sibling leaf. Zero selects HeartbeatInterval.
+	CheckpointInterval time.Duration
+
 	// EagerPropagation makes the HAgent push every new hash state to all
 	// LHAgents immediately instead of the paper's on-demand refresh. It
 	// exists for the ablation benchmark: the paper argues on-demand is
@@ -157,6 +171,12 @@ func (c Config) Validate() error {
 		return errors.New("core: config: PlacementInterval must be positive when placement is enabled")
 	case c.PlacementEnabled && (c.PlacementMajority <= 0 || c.PlacementMajority > 1):
 		return errors.New("core: config: PlacementMajority must be in (0, 1]")
+	case c.HeartbeatInterval < 0:
+		return errors.New("core: config: HeartbeatInterval must be non-negative")
+	case c.CheckpointInterval < 0:
+		return errors.New("core: config: CheckpointInterval must be non-negative")
+	case c.SuspectAfterMisses < 0:
+		return errors.New("core: config: SuspectAfterMisses must be non-negative")
 	default:
 		return nil
 	}

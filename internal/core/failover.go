@@ -1,0 +1,614 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// This file implements the IAgent tier of the §7 fault-tolerance extension:
+// lease-based failure detection, sibling-leaf checkpointing, and automatic
+// takeover. The HAgent tier (replica promotion) rides the same detector.
+//
+// The moving parts, all gated on Config.HeartbeatInterval > 0:
+//
+//   - Every IAgent heartbeats the HAgent each HeartbeatInterval
+//     (KindHeartbeat), walking the configured fallbacks so beats land at a
+//     promoted replica after an HAgent failover.
+//   - The HAgent runs a sweep loop (a Runner that mails itself
+//     KindLivenessSweep, keeping all detector state inside the serial
+//     mailbox). An IAgent whose lease — HeartbeatInterval ×
+//     SuspectAfterMisses — expires is marked suspect and probed directly
+//     (KindIAgentPing); if the probe also fails, the HAgent takes over.
+//   - Takeover is a forced merge: the sibling subtree absorbs the failed
+//     leaf, the hash version bumps, and the §4.3 client refresh machinery
+//     re-routes traffic. The absorbers are told which checkpoint to
+//     activate (AdoptStateReq.PromoteCheckpointOf).
+//   - Each IAgent pushes incremental location-table checkpoints to its
+//     first sibling leaf (KindCheckpoint) — the leaf guaranteed to absorb
+//     it on a simple merge — best effort, like HAgent replication. Entries
+//     the checkpoint misses heal lazily: via the forwarding scheme when
+//     combined (forwarding.FallbackClient), or at the agent's next move.
+//   - Standby HAgents watch the primary's lease (renewed by KindHAgentBeat
+//     and by every state replication) and auto-promote under a quorum
+//     guard: the first-configured replica promotes itself only when a
+//     majority of replicas (its own vote included) also see the lease
+//     expired (KindLeaseQuery). A single replica self-votes — documented
+//     as the degenerate quorum. A returning primary is NOT fenced; it must
+//     rejoin as a standby.
+
+// Failover message kinds.
+const (
+	// KindHeartbeat renews an IAgent's lease at the HAgent.
+	KindHeartbeat = "hash.heartbeat"
+	// KindLivenessSweep is the HAgent's self-addressed sweep tick.
+	KindLivenessSweep = "hash.liveness-sweep"
+	// KindIAgentPing probes a suspect IAgent before declaring it failed.
+	KindIAgentPing = "loc.ping"
+	// KindCheckpoint pushes a location-table delta to a sibling leaf.
+	KindCheckpoint = "loc.checkpoint"
+	// KindHAgentBeat renews the primary HAgent's lease at a replica.
+	KindHAgentBeat = "hash.hagent-beat"
+	// KindLeaseQuery asks a replica whether it, too, sees the primary's
+	// lease expired (the quorum guard of automatic promotion).
+	KindLeaseQuery = "hash.lease-query"
+)
+
+// HeartbeatReq renews the sending IAgent's lease.
+type HeartbeatReq struct {
+	IAgent      ids.AgentID
+	HashVersion uint64
+	// TableEntries sizes the sender's location table, informational.
+	TableEntries int
+}
+
+// CheckpointReq carries a location-table delta (or full snapshot) from an
+// IAgent to its sibling leaf.
+type CheckpointReq struct {
+	From        ids.AgentID
+	HashVersion uint64
+	// Seq orders pushes from one sender; duplicates are dropped.
+	Seq uint64
+	// Full marks a complete table snapshot replacing any held state.
+	Full    bool
+	Entries map[ids.AgentID]platform.NodeID
+	Removed []ids.AgentID
+}
+
+// CheckpointResp acknowledges (or rejects) a checkpoint push.
+type CheckpointResp struct {
+	Status      Status
+	HashVersion uint64
+}
+
+// LeaseQueryResp reports a replica's view of the primary's lease.
+type LeaseQueryResp struct {
+	PrimaryExpired bool
+	HashVersion    uint64
+	Standby        bool
+}
+
+// CheckpointState is the durable copy of one sibling's table held by an
+// IAgent, valid only for the hash version it was pushed under.
+type CheckpointState struct {
+	Seq         uint64
+	HashVersion uint64
+	Entries     map[ids.AgentID]platform.NodeID
+}
+
+// failoverEnabled reports whether the crash-tolerance subsystem is on.
+func (c Config) failoverEnabled() bool { return c.HeartbeatInterval > 0 }
+
+// suspectMisses returns the configured missed-beat budget (default 3).
+func (c Config) suspectMisses() int {
+	if c.SuspectAfterMisses <= 0 {
+		return 3
+	}
+	return c.SuspectAfterMisses
+}
+
+// leaseTTL is how long a lease lives without renewal.
+func (c Config) leaseTTL() time.Duration {
+	return time.Duration(c.suspectMisses()) * c.HeartbeatInterval
+}
+
+// checkpointEvery returns the checkpoint cadence (default: the heartbeat
+// interval).
+func (c Config) checkpointEvery() time.Duration {
+	if c.CheckpointInterval > 0 {
+		return c.CheckpointInterval
+	}
+	return c.HeartbeatInterval
+}
+
+// probeTimeout bounds the direct probe of a suspect; it must not wedge the
+// HAgent's mailbox for a full CallTimeout when the lease itself is short.
+func (c Config) probeTimeout() time.Duration {
+	d := c.leaseTTL()
+	if c.CallTimeout > 0 && c.CallTimeout < d {
+		d = c.CallTimeout
+	}
+	if d <= 0 {
+		d = time.Second
+	}
+	return d
+}
+
+// hagentSources lists the HAgents an IAgent may speak to, primary first.
+func (c Config) hagentSources() []HAgentRef {
+	out := make([]HAgentRef, 0, 1+len(c.HAgentFallbacks))
+	out = append(out, HAgentRef{Agent: c.HAgent, Node: c.HAgentNode})
+	out = append(out, c.HAgentFallbacks...)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// HAgent side: detector loop, sweep, takeover, replica lease.
+
+var _ platform.Runner = (*HAgentBehavior)(nil)
+
+// Run implements platform.Runner: the failure-detector loop. It only mails
+// the HAgent itself (KindLivenessSweep) so every piece of detector state is
+// mutated inside the strictly serial mailbox — the same serialization
+// argument that makes rehashing safe. With the subsystem disabled the loop
+// exits immediately and the HAgent stays a purely reactive agent.
+func (b *HAgentBehavior) Run(ctx *platform.Context) error {
+	if err := b.ensureRuntime(); err != nil {
+		return err
+	}
+	if !b.Cfg.failoverEnabled() {
+		return nil
+	}
+	for {
+		if !ctx.Sleep(b.Cfg.HeartbeatInterval) {
+			return nil // agent stopped
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		_ = ctx.Call(cctx, ctx.Node(), ctx.Self(), KindLivenessSweep, nil, nil)
+		cancel()
+	}
+}
+
+// handleFailover serves the failover message kinds on the HAgent — replicas
+// included, so leases accrue wherever the beats land; it returns
+// (nil, false, nil) for other kinds.
+func (b *HAgentBehavior) handleFailover(ctx *platform.Context, kind string, payload []byte) (any, bool, error) {
+	switch kind {
+	case KindHeartbeat:
+		var req HeartbeatReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, true, err
+		}
+		b.lastBeat[req.IAgent] = ctx.Clock().Now()
+		b.clearSuspect(ctx, req.IAgent)
+		b.reg.Counter("agentloc_iagent_heartbeats_total", "iagent", string(req.IAgent)).Inc()
+		return Ack{Status: StatusOK, HashVersion: b.state.Ver}, true, nil
+	case KindLivenessSweep:
+		return b.sweep(ctx), true, nil
+	case KindHAgentBeat:
+		b.lastPrimaryBeat = ctx.Clock().Now()
+		return Ack{Status: StatusOK, HashVersion: b.state.Ver}, true, nil
+	case KindLeaseQuery:
+		return LeaseQueryResp{
+			PrimaryExpired: b.primaryLeaseExpired(ctx),
+			HashVersion:    b.state.Ver,
+			Standby:        b.Standby,
+		}, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// clearSuspect un-suspects an IAgent after a successful beat or probe.
+func (b *HAgentBehavior) clearSuspect(ctx *platform.Context, ia ids.AgentID) {
+	if !b.suspect[ia] {
+		return
+	}
+	delete(b.suspect, ia)
+	b.reg.Gauge("agentloc_iagent_suspect", "iagent", string(ia)).Set(0)
+	ctx.Emit("failover.clear", fmt.Sprintf("%s alive again", ia))
+}
+
+// sweep is one detector pass, serialized in the HAgent's mailbox. The
+// primary checks every IAgent's lease; a standby checks the primary's.
+func (b *HAgentBehavior) sweep(ctx *platform.Context) Ack {
+	if !b.Cfg.failoverEnabled() {
+		return Ack{Status: StatusIgnored, HashVersion: b.state.Ver}
+	}
+	if b.Standby {
+		b.standbySweep(ctx)
+		return Ack{Status: StatusOK, HashVersion: b.state.Ver}
+	}
+	now := ctx.Clock().Now()
+	ttl := b.Cfg.leaseTTL()
+	for _, ia := range b.iagentsSorted() {
+		last, seen := b.lastBeat[ia]
+		if !seen {
+			// First sighting: grant a full lease before judging.
+			b.lastBeat[ia] = now
+			continue
+		}
+		if now.Sub(last) < ttl {
+			continue
+		}
+		if !b.suspect[ia] {
+			b.suspect[ia] = true
+			b.reg.Gauge("agentloc_iagent_suspect", "iagent", string(ia)).Set(1)
+			ctx.Emit("failover.suspect", fmt.Sprintf("%s missed %d beats", ia, b.Cfg.suspectMisses()))
+		}
+		// A suspect gets one direct probe before the takeover: a lost
+		// heartbeat is not a lost IAgent.
+		node := b.state.Locations[ia]
+		pctx, cancel := context.WithTimeout(context.Background(), b.Cfg.probeTimeout())
+		var ack Ack
+		err := ctx.Call(pctx, node, ia, KindIAgentPing, nil, &ack)
+		cancel()
+		if err == nil {
+			b.lastBeat[ia] = ctx.Clock().Now()
+			b.clearSuspect(ctx, ia)
+			continue
+		}
+		if err := b.takeover(ctx, ia); err != nil {
+			ctx.Emit("failover.error", fmt.Sprintf("takeover of %s: %v", ia, err))
+		}
+	}
+	b.flushPendingNotify(ctx)
+	b.beatReplicas(ctx)
+	return Ack{Status: StatusOK, HashVersion: b.state.Ver}
+}
+
+// iagentsSorted lists the IAgents of the current state in stable order, so
+// sweeps (and their emitted events) are deterministic.
+func (b *HAgentBehavior) iagentsSorted() []ids.AgentID {
+	out := make([]ids.AgentID, 0, len(b.state.Locations))
+	for ia := range b.state.Locations {
+		out = append(out, ia)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// takeover handles a confirmed IAgent failure: force-merge its leaf so the
+// sibling subtree serves its id space, bump the hash version, and tell the
+// absorbers to activate the failed IAgent's checkpoint. Unlike a
+// cooperative merge the failed IAgent is NOT notified (it is gone), and
+// absorber notification is best effort — an unreachable absorber is
+// retried on the next sweep via pendingNotify, while clients already
+// re-route off the bumped version.
+func (b *HAgentBehavior) takeover(ctx *platform.Context, failed ids.AgentID) error {
+	if b.state.Tree.NumLeaves() <= 1 {
+		// The last leaf has no sibling to take over; keep suspecting and
+		// let it answer again (or an operator intervene).
+		ctx.Emit("failover.skip", fmt.Sprintf("%s is the only IAgent; cannot take over", failed))
+		return nil
+	}
+	newTree, res, err := b.state.Tree.Merge(string(failed))
+	if err != nil {
+		return fmt.Errorf("HAgent: takeover merge %s: %w", failed, err)
+	}
+	newState := &State{Ver: b.state.Ver + 1, Tree: newTree, Locations: copyLocations(b.state.Locations)}
+	delete(newState.Locations, failed)
+
+	oldState := b.state
+	b.state = newState
+	b.failovers++
+	delete(b.lastBeat, failed)
+	b.clearSuspect(ctx, failed)
+	b.reg.Counter("agentloc_failover_total", "tier", "iagent").Inc()
+	b.reg.Counter("agentloc_core_rehash_total", "op", "failover", "kind", res.Kind.String()).Inc()
+	b.updateTreeGauges()
+	ctx.Emit("failover.takeover", fmt.Sprintf("%s failed; %v absorb (%v merge), v%d",
+		failed, res.Absorbers, res.Kind, newState.Ver))
+
+	for _, ia := range affectedIAgents(oldState.Tree, newState.Tree) {
+		if ia == failed {
+			continue
+		}
+		b.pendingNotify[ia] = failed
+	}
+	b.flushPendingNotify(ctx)
+	b.propagate(ctx)
+	b.propagateEager(ctx)
+	return nil
+}
+
+// flushPendingNotify delivers outstanding takeover notifications, best
+// effort; failures stay queued for the next sweep.
+func (b *HAgentBehavior) flushPendingNotify(ctx *platform.Context) {
+	for ia, failed := range b.pendingNotify {
+		node, ok := b.state.Locations[ia]
+		if !ok {
+			// The absorber itself left the tree since (merged or failed);
+			// nothing left to notify.
+			delete(b.pendingNotify, ia)
+			continue
+		}
+		req := AdoptStateReq{State: b.state.DTO(), PromoteCheckpointOf: failed}
+		var ack Ack
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		err := ctx.Call(cctx, node, ia, KindAdoptState, req, &ack)
+		cancel()
+		if err == nil {
+			delete(b.pendingNotify, ia)
+		}
+	}
+}
+
+// beatReplicas renews the primary's lease at every replica, best effort —
+// the liveness analogue of propagate.
+func (b *HAgentBehavior) beatReplicas(ctx *platform.Context) {
+	for _, ref := range b.Cfg.HAgentReplicas {
+		if ref.Agent == ctx.Self() && ref.Node == ctx.Node() {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.probeTimeout())
+		var ack Ack
+		_ = ctx.Call(cctx, ref.Node, ref.Agent, KindHAgentBeat, nil, &ack)
+		cancel()
+	}
+}
+
+// primaryLeaseExpired reports a standby's local view of the primary's
+// lease. A replica that has never heard the primary grants a fresh lease
+// first (startup grace).
+func (b *HAgentBehavior) primaryLeaseExpired(ctx *platform.Context) bool {
+	if !b.Standby || !b.Cfg.failoverEnabled() {
+		return false
+	}
+	now := ctx.Clock().Now()
+	if b.lastPrimaryBeat.IsZero() {
+		b.lastPrimaryBeat = now
+		return false
+	}
+	return now.Sub(b.lastPrimaryBeat) >= b.Cfg.leaseTTL()
+}
+
+// standbySweep is the replica side of the detector: when the primary's
+// lease expires locally, the first-configured replica (deterministic
+// tie-break) polls its peers and promotes itself only on a majority — the
+// split-brain guard. A lone replica's own vote is the (degenerate) quorum.
+func (b *HAgentBehavior) standbySweep(ctx *platform.Context) {
+	if !b.primaryLeaseExpired(ctx) {
+		return
+	}
+	refs := b.Cfg.HAgentReplicas
+	if len(refs) == 0 || refs[0].Agent != ctx.Self() || refs[0].Node != ctx.Node() {
+		return // only the first replica initiates promotion
+	}
+	votes := 1 // self: the local lease is expired
+	for _, ref := range refs {
+		if ref.Agent == ctx.Self() && ref.Node == ctx.Node() {
+			continue
+		}
+		var resp LeaseQueryResp
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.probeTimeout())
+		err := ctx.Call(cctx, ref.Node, ref.Agent, KindLeaseQuery, nil, &resp)
+		cancel()
+		if err == nil && resp.PrimaryExpired {
+			votes++
+		}
+	}
+	if votes*2 <= len(refs) {
+		ctx.Emit("failover.no-quorum", fmt.Sprintf("primary lease expired here but only %d/%d replicas agree", votes, len(refs)))
+		return
+	}
+	b.Standby = false
+	b.failovers++
+	b.reg.Counter("agentloc_failover_total", "tier", "hagent").Inc()
+	ctx.Emit("failover.promote", fmt.Sprintf("promoted to primary at v%d with %d/%d votes", b.state.Ver, votes, len(refs)))
+}
+
+// ---------------------------------------------------------------------------
+// IAgent side: heartbeats, checkpoint push/receive/activate.
+
+// sendHeartbeat renews this IAgent's lease, walking the fallbacks so beats
+// reach whichever HAgent is alive (a promoted replica inherits the leases).
+func (b *IAgentBehavior) sendHeartbeat(ctx *platform.Context) {
+	b.mu.Lock()
+	req := HeartbeatReq{IAgent: ctx.Self(), HashVersion: b.state.Version(), TableEntries: len(b.Table)}
+	b.mu.Unlock()
+	for _, src := range b.Cfg.hagentSources() {
+		var ack Ack
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		err := ctx.Call(cctx, src.Node, src.Agent, KindHeartbeat, req, &ack)
+		cancel()
+		if err == nil {
+			return
+		}
+	}
+}
+
+// checkpointBuddy resolves the sibling leaf this IAgent checkpoints to
+// under the given state: the first absorber a merge of this leaf would
+// produce. Empty when the IAgent is the only leaf.
+func checkpointBuddy(st *State, self ids.AgentID) ids.AgentID {
+	if st == nil || st.Tree == nil {
+		return ""
+	}
+	sibs, err := st.Tree.SiblingLeaves(string(self))
+	if err != nil || len(sibs) == 0 {
+		return ""
+	}
+	return ids.AgentID(sibs[0])
+}
+
+// pushCheckpoint sends the accumulated table delta to the sibling leaf,
+// best effort. A buddy change (rehash moved the sibling) or a rejected push
+// escalates to a full snapshot; a failed push merges the delta back so
+// nothing is silently dropped.
+func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
+	b.mu.Lock()
+	st := b.state
+	buddy := checkpointBuddy(st, ctx.Self())
+	if buddy == "" {
+		b.ckBuddy = ""
+		b.metCkLag.Set(int64(len(b.ckDirty) + len(b.ckRemoved)))
+		b.mu.Unlock()
+		return
+	}
+	if buddy != b.ckBuddy {
+		b.ckBuddy = buddy
+		b.ckFull = true
+	}
+	if !b.ckFull && len(b.ckDirty) == 0 && len(b.ckRemoved) == 0 {
+		b.metCkLag.Set(0)
+		b.mu.Unlock()
+		return
+	}
+	b.ckSeq++
+	req := CheckpointReq{From: ctx.Self(), HashVersion: st.Version(), Seq: b.ckSeq, Full: b.ckFull}
+	if b.ckFull {
+		req.Entries = make(map[ids.AgentID]platform.NodeID, len(b.Table))
+		for a, n := range b.Table {
+			req.Entries[a] = n
+		}
+	} else {
+		req.Entries = make(map[ids.AgentID]platform.NodeID, len(b.ckDirty))
+		for a := range b.ckDirty {
+			if n, ok := b.Table[a]; ok {
+				req.Entries[a] = n
+			}
+		}
+		req.Removed = make([]ids.AgentID, 0, len(b.ckRemoved))
+		for a := range b.ckRemoved {
+			req.Removed = append(req.Removed, a)
+		}
+	}
+	// Clear optimistically; a failed push merges the delta back below.
+	dirty, removed := b.ckDirty, b.ckRemoved
+	b.ckDirty = make(map[ids.AgentID]bool)
+	b.ckRemoved = make(map[ids.AgentID]bool)
+	b.ckFull = false
+	buddyNode := st.Locations[buddy]
+	b.mu.Unlock()
+
+	var resp CheckpointResp
+	cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+	err := ctx.Call(cctx, buddyNode, buddy, KindCheckpoint, req, &resp)
+	cancel()
+
+	b.mu.Lock()
+	if err != nil || resp.Status != StatusOK {
+		for a := range dirty {
+			if _, ok := b.Table[a]; ok && !b.ckRemoved[a] {
+				b.ckDirty[a] = true
+			}
+		}
+		for a := range removed {
+			if !b.ckDirty[a] {
+				b.ckRemoved[a] = true
+			}
+		}
+		if req.Full || err == nil {
+			// A rejected push (version or base mismatch) needs a full
+			// resync; so does a lost full snapshot.
+			b.ckFull = true
+		}
+	}
+	b.metCkLag.Set(int64(len(b.ckDirty) + len(b.ckRemoved)))
+	b.mu.Unlock()
+}
+
+// acceptCheckpoint serves KindCheckpoint: store the sibling's delta, but
+// only when both sides agree on the hash version — a push racing a rehash
+// is rejected so entries can never resurrect on the wrong leaf (the sender
+// re-snapshots under the new version instead).
+func (b *IAgentBehavior) acceptCheckpoint(req CheckpointReq) CheckpointResp {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ver := b.state.Version()
+	if req.HashVersion != ver {
+		return CheckpointResp{Status: StatusNotResponsible, HashVersion: ver}
+	}
+	if b.Checkpoints == nil {
+		b.Checkpoints = make(map[ids.AgentID]CheckpointState)
+	}
+	held := b.Checkpoints[req.From]
+	if !req.Full {
+		if held.Entries == nil || held.HashVersion != req.HashVersion {
+			// No base to apply the delta to; ask for a full snapshot.
+			return CheckpointResp{Status: StatusIgnored, HashVersion: ver}
+		}
+		if req.Seq <= held.Seq {
+			return CheckpointResp{Status: StatusOK, HashVersion: ver} // duplicate
+		}
+	}
+	if req.Full {
+		held = CheckpointState{Entries: make(map[ids.AgentID]platform.NodeID, len(req.Entries))}
+	}
+	held.Seq = req.Seq
+	held.HashVersion = req.HashVersion
+	for a, n := range req.Entries {
+		held.Entries[a] = n
+	}
+	for _, a := range req.Removed {
+		delete(held.Entries, a)
+	}
+	b.Checkpoints[req.From] = held
+	return CheckpointResp{Status: StatusOK, HashVersion: ver}
+}
+
+// activateCheckpoint installs the failed IAgent's checkpointed entries
+// after a takeover — but only those this IAgent owns under the new state
+// (never adopting another absorber's slice) and only where it has no
+// fresher entry of its own (local wins). Entries belonging to other
+// absorbers are dropped here; they heal lazily through forwarding or the
+// agent's next location report. Checkpoints from sources no longer in the
+// tree are pruned.
+func (b *IAgentBehavior) activateCheckpoint(ctx *platform.Context, failed ids.AgentID) {
+	b.mu.Lock()
+	st := b.state
+	restored := 0
+	if ck, ok := b.Checkpoints[failed]; ok {
+		for agent, node := range ck.Entries {
+			owner, _, err := st.OwnerOf(agent)
+			if err != nil || owner != ctx.Self() {
+				continue
+			}
+			if _, exists := b.Table[agent]; exists {
+				continue
+			}
+			b.Table[agent] = node
+			b.ckDirty[agent] = true
+			restored++
+		}
+		delete(b.Checkpoints, failed)
+	}
+	for src := range b.Checkpoints {
+		if !st.Tree.Contains(string(src)) {
+			delete(b.Checkpoints, src)
+		}
+	}
+	b.metTable.Set(int64(len(b.Table)))
+	b.mu.Unlock()
+	if restored > 0 {
+		ctx.Emit("failover.restore", fmt.Sprintf("restored %d entries of failed %s from checkpoint", restored, failed))
+	}
+}
+
+// decodeFailover routes the failover kinds inside IAgent.HandleRequest; it
+// returns (nil, false, nil) for other kinds.
+func (b *IAgentBehavior) decodeFailover(ctx *platform.Context, kind string, payload []byte) (any, bool, error) {
+	switch kind {
+	case KindIAgentPing:
+		// Probes bypass the rate estimator: liveness traffic must not
+		// influence split/merge decisions.
+		b.mu.Lock()
+		ver := b.state.Version()
+		b.mu.Unlock()
+		return Ack{Status: StatusOK, HashVersion: ver}, true, nil
+	case KindCheckpoint:
+		var req CheckpointReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, true, err
+		}
+		return b.acceptCheckpoint(req), true, nil
+	default:
+		return nil, false, nil
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"time"
 
 	"agentloc/internal/hashtree"
 	"agentloc/internal/ids"
@@ -29,6 +31,10 @@ type HashStatsResp struct {
 	Relocations uint64
 	Locations   map[ids.AgentID]platform.NodeID
 	TreeRender  string
+	// Failover introspection (crash-tolerance extension).
+	Suspects  []ids.AgentID
+	Failovers uint64
+	Standby   bool
 }
 
 // HAgentBehavior is the Hash Agent: it holds the primary copy of the hash
@@ -55,6 +61,17 @@ type HAgentBehavior struct {
 	merges      uint64
 	relocations uint64
 
+	// Failure-detector state, all mutated inside the serial mailbox (the
+	// Run loop only mails KindLivenessSweep to self).
+	lastBeat        map[ids.AgentID]time.Time
+	suspect         map[ids.AgentID]bool
+	failovers       uint64
+	lastPrimaryBeat time.Time
+	// pendingNotify holds takeover notifications that could not be
+	// delivered yet: absorber → failed IAgent whose checkpoint to
+	// activate. Retried every sweep.
+	pendingNotify map[ids.AgentID]ids.AgentID
+
 	reg     *metrics.Registry
 	metInit bool
 }
@@ -73,6 +90,9 @@ func (b *HAgentBehavior) ensureRuntime() error {
 		if b.NextIAgentSeq == 0 {
 			b.NextIAgentSeq = uint64(st.Tree.NumLeaves())
 		}
+		b.lastBeat = make(map[ids.AgentID]time.Time)
+		b.suspect = make(map[ids.AgentID]bool)
+		b.pendingNotify = make(map[ids.AgentID]ids.AgentID)
 	})
 	return b.initErr
 }
@@ -84,13 +104,16 @@ func (b *HAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		return nil, err
 	}
 	b.ensureMetrics(ctx)
-	if resp, handled, err := b.handleReplication(kind, payload); handled {
+	if resp, handled, err := b.handleReplication(ctx, kind, payload); handled {
+		return resp, err
+	}
+	if resp, handled, err := b.handleFailover(ctx, kind, payload); handled {
 		return resp, err
 	}
 	if b.Standby {
 		switch kind {
 		case KindRequestSplit, KindRequestMerge, KindRequestRelocate:
-			return RehashResp{Status: StatusIgnored, HashVersion: b.state.Ver}, nil
+			return RehashResp{Status: StatusIgnored, HashVersion: b.state.Ver, Standby: true}, nil
 		}
 	}
 	switch kind {
@@ -112,6 +135,9 @@ func (b *HAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 			Relocations: b.relocations,
 			Locations:   copyLocations(b.state.Locations),
 			TreeRender:  b.state.Tree.Describe(),
+			Suspects:    b.suspectsSorted(),
+			Failovers:   b.failovers,
+			Standby:     b.Standby,
 		}, nil
 	case KindRequestSplit:
 		var req RequestSplitReq
@@ -150,7 +176,31 @@ func (b *HAgentBehavior) ensureMetrics(ctx *platform.Context) {
 	b.reg.Describe("agentloc_core_hashtree_leaves", "Leaves (live IAgents) in the primary hash tree.")
 	b.reg.Describe("agentloc_core_hashtree_depth", "Height of the primary hash tree.")
 	b.reg.Describe("agentloc_core_hash_version", "Version of the primary hash state.")
+	b.reg.Describe("agentloc_iagent_heartbeats_total", "IAgent lease renewals received, by IAgent.")
+	b.reg.Describe("agentloc_iagent_suspect", "1 while the IAgent's lease is expired and unconfirmed, else 0.")
+	b.reg.Describe("agentloc_failover_total", "Automatic takeovers (tier=iagent) and promotions (tier=hagent).")
+	// Pre-create the failover series so a healthy node exports zeros
+	// (the PR 2 convention: absence is indistinguishable from silence).
+	b.reg.Counter("agentloc_failover_total", "tier", "iagent")
+	b.reg.Counter("agentloc_failover_total", "tier", "hagent")
+	for ia := range b.state.Locations {
+		b.reg.Counter("agentloc_iagent_heartbeats_total", "iagent", string(ia))
+		b.reg.Gauge("agentloc_iagent_suspect", "iagent", string(ia)).Set(0)
+	}
 	b.updateTreeGauges()
+}
+
+// suspectsSorted lists the currently suspect IAgents in stable order.
+func (b *HAgentBehavior) suspectsSorted() []ids.AgentID {
+	if len(b.suspect) == 0 {
+		return nil
+	}
+	out := make([]ids.AgentID, 0, len(b.suspect))
+	for ia := range b.suspect {
+		out = append(out, ia)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // updateTreeGauges mirrors the primary hash state's shape into gauges after
@@ -206,6 +256,12 @@ func (b *HAgentBehavior) split(ctx *platform.Context, req RequestSplitReq) (Reha
 	oldState := b.state
 	b.state = newState
 	b.splits++
+	if b.Cfg.failoverEnabled() {
+		// The newborn gets a full lease and zeroed liveness series.
+		b.lastBeat[newID] = ctx.Clock().Now()
+		b.reg.Counter("agentloc_iagent_heartbeats_total", "iagent", string(newID))
+		b.reg.Gauge("agentloc_iagent_suspect", "iagent", string(newID)).Set(0)
+	}
 	b.reg.Counter("agentloc_core_rehash_total", "op", "split", "kind", cand.Kind.String()).Inc()
 	b.updateTreeGauges()
 	ctx.Emit("rehash.split", fmt.Sprintf("%s (%v rate %.0f/s) → new %s at %s, v%d",
@@ -237,6 +293,8 @@ func (b *HAgentBehavior) merge(ctx *platform.Context, req RequestMergeReq) (Reha
 	oldState := b.state
 	b.state = newState
 	b.merges++
+	delete(b.lastBeat, req.IAgent)
+	b.clearSuspect(ctx, req.IAgent)
 	b.reg.Counter("agentloc_core_rehash_total", "op", "merge", "kind", res.Kind.String()).Inc()
 	b.updateTreeGauges()
 	ctx.Emit("rehash.merge", fmt.Sprintf("%s (rate %.1f/s) absorbed, v%d", req.IAgent, req.Rate, newState.Ver))

@@ -35,6 +35,10 @@ type IAgentBehavior struct {
 	// Pending holds messages deposited for served agents until their next
 	// check-in (the guaranteed-delivery extension; see discovery.go).
 	Pending map[ids.AgentID][]Deposited
+	// Checkpoints holds sibling IAgents' table copies, pushed via
+	// KindCheckpoint and activated on takeover (crash-tolerance extension;
+	// see failover.go).
+	Checkpoints map[ids.AgentID]CheckpointState
 
 	once    sync.Once
 	initErr error
@@ -47,11 +51,21 @@ type IAgentBehavior struct {
 	est   *stats.RateEstimator
 	loads *stats.LoadAccount
 
+	// Checkpoint bookkeeping (guarded by mu): which table entries changed
+	// since the last push to the sibling leaf, and whether the next push
+	// must be a full snapshot (after creation, migration, or a rehash).
+	ckDirty   map[ids.AgentID]bool
+	ckRemoved map[ids.AgentID]bool
+	ckSeq     uint64
+	ckFull    bool
+	ckBuddy   ids.AgentID
+
 	// Metric handles, rebuilt with the runtime at each hosting node. All
 	// are nil-safe no-ops when the node has no registry.
 	metReq   map[string]*metrics.Counter // request kind → counter
 	metStale *metrics.Counter
 	metTable *metrics.Gauge
+	metCkLag *metrics.Gauge
 }
 
 var (
@@ -83,11 +97,17 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 			}
 		}
 		b.LoadSnapshot = nil
+		b.ckDirty = make(map[ids.AgentID]bool)
+		b.ckRemoved = make(map[ids.AgentID]bool)
+		// First push after creation or migration is a full snapshot: the
+		// buddy may hold nothing (or a stale base) for this sender.
+		b.ckFull = true
 
 		reg := ctx.Metrics()
 		reg.Describe("agentloc_core_iagent_requests_total", "Location-protocol requests served, by IAgent and operation.")
 		reg.Describe("agentloc_core_iagent_stale_total", "Requests answered not-responsible (stale client mapping), by IAgent.")
 		reg.Describe("agentloc_core_iagent_table_entries", "Location-table entries held, by IAgent.")
+		reg.Describe("agentloc_checkpoint_lag_entries", "Location-table updates not yet checkpointed to the sibling leaf, by IAgent.")
 		self := string(ctx.Self())
 		b.metReq = map[string]*metrics.Counter{
 			KindRegister:   reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "register"),
@@ -98,6 +118,8 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 		b.metStale = reg.Counter("agentloc_core_iagent_stale_total", "iagent", self)
 		b.metTable = reg.Gauge("agentloc_core_iagent_table_entries", "iagent", self)
 		b.metTable.Set(int64(len(b.Table)))
+		b.metCkLag = reg.Gauge("agentloc_checkpoint_lag_entries", "iagent", self)
+		b.metCkLag.Set(0)
 	})
 	return b.initErr
 }
@@ -112,6 +134,9 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 	}
 	b.metReq[kind].Inc() // unmatched kinds yield a nil (no-op) handle
 	if resp, handled, err := b.decodeDiscovery(ctx, kind, payload); handled {
+		return resp, err
+	}
+	if resp, handled, err := b.decodeFailover(ctx, kind, payload); handled {
 		return resp, err
 	}
 	switch kind {
@@ -180,6 +205,8 @@ func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID
 	b.loads.Add(agent)
 	b.mu.Lock()
 	b.Table[agent] = node
+	b.ckDirty[agent] = true
+	delete(b.ckRemoved, agent)
 	b.metTable.Set(int64(len(b.Table)))
 	b.mu.Unlock()
 	return Ack{Status: StatusOK, HashVersion: version}
@@ -195,6 +222,8 @@ func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) Ac
 	}
 	b.mu.Lock()
 	delete(b.Table, agent)
+	b.ckRemoved[agent] = true
+	delete(b.ckDirty, agent)
 	b.metTable.Set(int64(len(b.Table)))
 	b.mu.Unlock()
 	b.loads.Remove(agent)
@@ -232,12 +261,23 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 	if st.Version() <= b.state.Version() {
 		version := b.state.Version()
 		b.mu.Unlock()
+		// A duplicate takeover notification (the HAgent retries when an
+		// earlier ack was lost) must still activate the checkpoint.
+		if req.PromoteCheckpointOf != "" {
+			b.activateCheckpoint(ctx, req.PromoteCheckpointOf)
+		}
 		return Ack{Status: StatusIgnored, HashVersion: version}, nil
 	}
 	b.state = st
 	b.settled = ctx.Clock().Now()
+	// The rehash may have moved the checkpoint buddy; resync from scratch.
+	b.ckFull = true
 	stillPresent := st.Tree.Contains(string(ctx.Self()))
 	b.mu.Unlock()
+
+	if req.PromoteCheckpointOf != "" {
+		b.activateCheckpoint(ctx, req.PromoteCheckpointOf)
+	}
 
 	// Group entries this IAgent no longer owns by their new owner.
 	b.mu.Lock()
@@ -308,6 +348,8 @@ func (b *IAgentBehavior) handoff(req HandoffReq) Ack {
 	b.mu.Lock()
 	for agent, node := range req.Entries {
 		b.Table[agent] = node
+		b.ckDirty[agent] = true
+		delete(b.ckRemoved, agent)
 	}
 	b.metTable.Set(int64(len(b.Table)))
 	if len(req.Pending) > 0 && b.Pending == nil {
@@ -352,6 +394,8 @@ func (b *IAgentBehavior) Run(ctx *platform.Context) error {
 		return err
 	}
 	lastPlacement := ctx.Clock().Now()
+	lastBeat := time.Time{} // zero: beat on the first tick
+	lastCk := ctx.Clock().Now()
 	for {
 		if !ctx.Sleep(b.Cfg.CheckInterval) {
 			return nil // agent stopped
@@ -377,6 +421,21 @@ func (b *IAgentBehavior) Run(ctx *platform.Context) error {
 			return nil
 		}
 
+		// Crash tolerance: heartbeat the HAgent and checkpoint the table to
+		// the sibling leaf. Cadence granularity is CheckInterval — intervals
+		// shorter than that degrade to once per tick.
+		if b.Cfg.failoverEnabled() {
+			now := ctx.Clock().Now()
+			if now.Sub(lastBeat) >= b.Cfg.HeartbeatInterval {
+				lastBeat = now
+				b.sendHeartbeat(ctx)
+			}
+			if now.Sub(lastCk) >= b.Cfg.checkpointEvery() {
+				lastCk = now
+				b.pushCheckpoint(ctx)
+			}
+		}
+
 		rate := b.est.Rate()
 		switch {
 		case rate > b.Cfg.TMax:
@@ -390,18 +449,27 @@ func (b *IAgentBehavior) Run(ctx *platform.Context) error {
 			} else {
 				req.PerAgent = b.loads.Snapshot()
 			}
-			var resp RehashResp
 			// A failed or declined request is retried naturally at the
 			// next tick; the rate condition persists while overloaded.
-			cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
-			_ = ctx.Call(cctx, b.Cfg.HAgentNode, b.Cfg.HAgent, KindRequestSplit, req, &resp)
-			cancel()
+			b.requestRehash(ctx, KindRequestSplit, req)
 		case rate < b.Cfg.TMin && ctx.Clock().Now().Sub(settled) >= b.Cfg.MergeGrace:
 			req := RequestMergeReq{IAgent: ctx.Self(), HashVersion: version, Rate: rate}
-			var resp RehashResp
-			cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
-			_ = ctx.Call(cctx, b.Cfg.HAgentNode, b.Cfg.HAgent, KindRequestMerge, req, &resp)
-			cancel()
+			b.requestRehash(ctx, KindRequestMerge, req)
+		}
+	}
+}
+
+// requestRehash sends a split/merge request to the primary HAgent, falling
+// back to the configured replicas. A replica that has not been promoted
+// answers Standby — keep walking; only a primary's answer counts.
+func (b *IAgentBehavior) requestRehash(ctx *platform.Context, kind string, req any) {
+	for _, src := range b.Cfg.hagentSources() {
+		var resp RehashResp
+		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
+		err := ctx.Call(cctx, src.Node, src.Agent, kind, req, &resp)
+		cancel()
+		if err == nil && !resp.Standby {
+			return
 		}
 	}
 }

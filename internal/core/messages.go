@@ -174,6 +174,9 @@ type RequestMergeReq struct {
 type RehashResp struct {
 	Status      Status
 	HashVersion uint64
+	// Standby marks the answering HAgent as a replica that has not been
+	// promoted; the requester should retry against the (new) primary.
+	Standby bool
 }
 
 // AdoptStateReq pushes a new hash state to an IAgent involved in a rehash.
@@ -181,6 +184,11 @@ type RehashResp struct {
 // longer owns, and — if its leaf is gone — dispose itself.
 type AdoptStateReq struct {
 	State StateDTO
+	// PromoteCheckpointOf, when non-empty, names a failed IAgent whose
+	// leaf this state change merged away (automatic takeover): the
+	// receiver activates any checkpoint it holds from that IAgent for the
+	// slice of id space it now owns.
+	PromoteCheckpointOf ids.AgentID
 }
 
 // HandoffReq transfers location entries between IAgents during rehashing.

@@ -23,10 +23,11 @@ import (
 //     rehash/relocate requests with StatusIgnored.
 //   - LHAgents try the primary first and fail over to replicas for reads,
 //     so agents stay locatable while the primary is down.
-//   - Promotion is an explicit operation (KindPromote), deliberately left
-//     to an operator or an external failure detector — automatic
-//     promotion without consensus invites split brain, which is exactly
-//     the rabbit hole the paper left for future work.
+//   - Promotion is either explicit (KindPromote, for operators and
+//     external failure detectors) or automatic via the lease detector in
+//     failover.go: the first-configured replica promotes itself only when
+//     a quorum of replicas agrees the primary's lease is expired (the
+//     split-brain guard; see standbySweep).
 
 // Replication message kinds.
 const (
@@ -54,7 +55,7 @@ type PromoteResp struct {
 
 // handleReplication serves the replication message kinds; it returns
 // (nil, false, nil) for kinds it does not handle.
-func (b *HAgentBehavior) handleReplication(kind string, payload []byte) (any, bool, error) {
+func (b *HAgentBehavior) handleReplication(ctx *platform.Context, kind string, payload []byte) (any, bool, error) {
 	switch kind {
 	case KindReplicate:
 		var req ReplicateReq
@@ -69,6 +70,8 @@ func (b *HAgentBehavior) handleReplication(kind string, payload []byte) (any, bo
 			b.state = st
 			b.updateTreeGauges()
 		}
+		// A state push proves the primary alive just as well as a beat.
+		b.lastPrimaryBeat = ctx.Clock().Now()
 		return Ack{Status: StatusOK, HashVersion: b.state.Ver}, true, nil
 	case KindPromote:
 		b.Standby = false
@@ -118,7 +121,9 @@ func (b *HAgentBehavior) propagate(ctx *platform.Context) {
 // DeployReplicas launches standby HAgents on the given nodes and returns
 // their references; pass them in Config.HAgentReplicas (for the primary to
 // push to) and Config.HAgentFallbacks (for LHAgents to fail over to) when
-// deploying the mechanism.
+// deploying the mechanism. On a mid-loop failure every replica already
+// launched is torn down again, so the call is all-or-nothing — no orphan
+// standbys survive a partial deployment.
 func DeployReplicas(cfg Config, initial StateDTO, nodes []*platform.Node) ([]HAgentRef, error) {
 	refs := make([]HAgentRef, 0, len(nodes))
 	for i, n := range nodes {
@@ -128,6 +133,11 @@ func DeployReplicas(cfg Config, initial StateDTO, nodes []*platform.Node) ([]HAg
 		}
 		replica := &HAgentBehavior{Cfg: cfg, InitialState: initial, Standby: true}
 		if err := n.Launch(ref.Agent, replica); err != nil {
+			for j := range refs {
+				// Best effort: the node hosting an earlier replica may
+				// itself have failed in the meantime.
+				_ = nodes[j].Kill(refs[j].Agent)
+			}
 			return nil, fmt.Errorf("core: deploy replica %s: %w", ref.Agent, err)
 		}
 		refs = append(refs, ref)

@@ -79,6 +79,36 @@ func TestRunHashedPointSplits(t *testing.T) {
 	}
 }
 
+// TestRunHashedSurvivesChaosKills drives the -chaos-kill path: random
+// node crash-restarts during measurement, with the heartbeat detector on
+// (KillRate > 0 enables it via coreConfig). The run must complete and
+// keep answering queries — crashed TAgents are expected casualties, a
+// wedged mechanism is not.
+func TestRunHashedSurvivesChaosKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos experiment point in -short mode")
+	}
+	p := tinyParams()
+	p.KillRate = 2 // roughly one crash per half second of measurement
+	spec := p.spec(workload.SchemeHashed, 24, p.ResidenceI)
+	if spec.KillRate != p.KillRate {
+		t.Fatalf("spec dropped KillRate: %v", spec.KillRate)
+	}
+	if spec.Cfg.HeartbeatInterval <= 0 {
+		t.Fatalf("KillRate did not enable the failure detector")
+	}
+	res, err := Run(expCtx(t), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Location.Count == 0 {
+		t.Fatal("no samples collected under chaos kills")
+	}
+	if res.Failures >= p.Queries {
+		t.Errorf("every query failed under chaos kills (%d/%d)", res.Failures, p.Queries)
+	}
+}
+
 // TestFigure7Shape asserts the paper's Figure 7 qualitatively: the
 // centralized scheme degrades with the population while the hash-based
 // mechanism stays far flatter and wins at scale.

@@ -56,6 +56,11 @@ type Params struct {
 	// NetJitter adds a uniform random delay in [0, NetJitter) to every
 	// message, desynchronizing the otherwise metronomic simulated LAN.
 	NetJitter time.Duration
+	// KillRate crash-restarts random nodes at this rate (crashes per
+	// second, unscaled wall clock) during measurement — the chaos knob for
+	// the crash-tolerance extension. A non-zero rate also enables the
+	// heartbeat failure detector. 0 (the default) disables crashes.
+	KillRate float64
 	// TMax and TMin are the rehashing thresholds in messages/second.
 	// They are scaled inversely with Scale so the thresholds keep the
 	// same relationship to the (scaled) workload rates.
@@ -145,5 +150,10 @@ func (p Params) coreConfig() core.Config {
 	// backoff shrinks with them (and its cap keeps the same headroom).
 	cfg.RetryBackoffBase = p.scaled(cfg.RetryBackoffBase)
 	cfg.RetryBackoffMax = p.scaled(cfg.RetryBackoffMax)
+	if p.KillRate > 0 {
+		// Crash chaos without a failure detector would just wedge the
+		// mechanism; turn the crash-tolerance subsystem on with it.
+		cfg.HeartbeatInterval = p.scaled(200 * time.Millisecond)
+	}
 	return cfg
 }

@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ type RunSpec struct {
 	NetLatency    time.Duration
 	DropProb      float64       // chaos: random message loss probability
 	NetJitter     time.Duration // chaos: uniform extra delay in [0, NetJitter)
+	KillRate      float64       // chaos: node crash-restarts per second during measurement
 	Cfg           core.Config   // hash-based mechanism configuration
 	Seed          int64
 }
@@ -96,11 +98,17 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 		}
 		nodes[i] = n
 	}
+	// nodesMu guards the nodes slice against the chaos killer, which swaps
+	// crashed nodes for restarted ones mid-run.
+	var nodesMu sync.Mutex
 	defer func() {
 		// Close nodes concurrently: roaming agents mid-move resolve
 		// quickly once their peers disappear.
+		nodesMu.Lock()
+		closing := append([]*platform.Node(nil), nodes...)
+		nodesMu.Unlock()
 		var wg sync.WaitGroup
-		for _, n := range nodes {
+		for _, n := range closing {
 			wg.Add(1)
 			go func(n *platform.Node) {
 				defer wg.Done()
@@ -151,6 +159,43 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 	case <-time.After(spec.Warmup):
 	case <-ctx.Done():
 		return RunResult{}, ctx.Err()
+	}
+
+	// Chaos: crash-restart random nodes during measurement. The HAgent's
+	// node (0) and the querier's node (last) are spared so the run measures
+	// the mechanism's recovery, not the harness's. A restarted node comes
+	// back empty except for a fresh LHAgent — its IAgents and TAgents died
+	// with it, which is the point.
+	if spec.KillRate > 0 && spec.NumNodes > 2 {
+		interval := time.Duration(float64(time.Second) / spec.KillRate)
+		rng := rand.New(rand.NewSource(spec.Seed + 7))
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				case <-time.After(interval):
+				}
+				i := 1 + rng.Intn(spec.NumNodes-2)
+				nodesMu.Lock()
+				victim := nodes[i]
+				victim.Crash()
+				n, err := platform.NewNode(platform.Config{ID: victim.ID(), Link: link, Metrics: reg})
+				if err == nil {
+					nodes[i] = n
+					if hashed != nil {
+						_ = n.Launch(core.LHAgentID(n.ID()), &core.LHAgentBehavior{Cfg: hashed.Config()})
+					}
+				}
+				nodesMu.Unlock()
+			}
+		}()
+		defer func() { close(stop); <-done }()
 	}
 
 	q := workload.NewQuerier(querier, pop.Agents, spec.Seed+100)

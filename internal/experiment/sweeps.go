@@ -97,6 +97,7 @@ func (p Params) spec(scheme workload.Scheme, tagents int, residence time.Duratio
 		NetLatency:    p.NetLatency,
 		DropProb:      p.DropProb,
 		NetJitter:     p.scaled(p.NetJitter),
+		KillRate:      p.KillRate,
 		Cfg:           p.coreConfig(),
 		Seed:          p.Seed,
 	}

@@ -1,0 +1,112 @@
+package forwarding
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
+	"agentloc/internal/platform"
+)
+
+// FallbackClient combines the paper's hash mechanism with the forwarding
+// scheme as its safety net. The hash mechanism answers every locate it can —
+// O(1), precise — and the pointer chase only runs when the hash tier has
+// lost the entry: after an IAgent crash whose checkpoint missed the agent's
+// latest registration, the takeover's absorber answers StatusUnknownAgent
+// until the agent's next move re-registers it. During that window the
+// forwarding chain still reaches the agent, because forwarders live on the
+// visited nodes, not on the crashed IAgent's node. This is the "heal lazily
+// via home-node forwarding" half of the crash-tolerance design (see
+// core/failover.go).
+//
+// Both tiers must be fed: Register/MoveNotify/Deregister fan out to the hash
+// client and the forwarding client, so the chain exists when the fallback
+// needs it. The two cached assignments have different semantics — the hash
+// tier caches the responsible IAgent's node, the forwarding tier caches the
+// agent's own previous node — so FallbackAssignment carries both.
+type FallbackClient struct {
+	// Hash is the primary tier (the paper's mechanism).
+	Hash *core.Client
+	// Fwd is the fallback tier (the §6 forwarding scheme).
+	Fwd *Client
+
+	fallbacks *metrics.Counter
+}
+
+// FallbackAssignment pairs the per-tier caches.
+type FallbackAssignment struct {
+	Hash core.Assignment
+	Fwd  core.Assignment
+}
+
+// NewFallbackClient builds the combined client. When the caller behind
+// either tier exposes a metrics registry, locates that had to fall back
+// count into agentloc_forwarding_fallback_total.
+func NewFallbackClient(hash *core.Client, fwd *Client) *FallbackClient {
+	c := &FallbackClient{Hash: hash, Fwd: fwd}
+	if reg := core.CallerRegistry(fwd.caller); reg != nil {
+		reg.Describe("agentloc_forwarding_fallback_total", "Locates the hash tier could not answer that fell back to the pointer chase.")
+		c.fallbacks = reg.Counter("agentloc_forwarding_fallback_total")
+	}
+	return c
+}
+
+// Register announces the agent to both tiers.
+func (c *FallbackClient) Register(ctx context.Context, self ids.AgentID) (FallbackAssignment, error) {
+	var out FallbackAssignment
+	var err error
+	if out.Hash, err = c.Hash.Register(ctx, self); err != nil {
+		return FallbackAssignment{}, err
+	}
+	if out.Fwd, err = c.Fwd.Register(ctx, self); err != nil {
+		return FallbackAssignment{}, err
+	}
+	return out, nil
+}
+
+// MoveNotify reports a move to both tiers.
+func (c *FallbackClient) MoveNotify(ctx context.Context, self ids.AgentID, cached FallbackAssignment) (FallbackAssignment, error) {
+	var out FallbackAssignment
+	var err error
+	if out.Hash, err = c.Hash.MoveNotify(ctx, self, cached.Hash); err != nil {
+		return FallbackAssignment{}, err
+	}
+	if out.Fwd, err = c.Fwd.MoveNotify(ctx, self, cached.Fwd); err != nil {
+		return FallbackAssignment{}, err
+	}
+	return out, nil
+}
+
+// Deregister removes the agent from both tiers.
+func (c *FallbackClient) Deregister(ctx context.Context, self ids.AgentID, cached FallbackAssignment) error {
+	hashErr := c.Hash.Deregister(ctx, self, cached.Hash)
+	if hashErr != nil && !errors.Is(hashErr, core.ErrNotRegistered) {
+		return hashErr
+	}
+	return c.Fwd.Deregister(ctx, self, cached.Fwd)
+}
+
+// Locate tries the hash tier first and chases forwarding pointers only when
+// the hash tier has no answer: the entry is gone (ErrNotRegistered — e.g.
+// dropped in a crash) or the refresh-and-retry loop cannot converge
+// (ErrRetriesExhausted — e.g. the responsible IAgent's whole node is down
+// and the detector has not merged it away yet). Genuine "never registered"
+// agents fail the fallback too, so the combined error is unchanged.
+func (c *FallbackClient) Locate(ctx context.Context, target ids.AgentID) (platform.NodeID, error) {
+	node, err := c.Hash.Locate(ctx, target)
+	if err == nil {
+		return node, nil
+	}
+	if !errors.Is(err, core.ErrNotRegistered) && !errors.Is(err, core.ErrRetriesExhausted) {
+		return "", err
+	}
+	c.fallbacks.Inc()
+	node, fwdErr := c.Fwd.Locate(ctx, target)
+	if fwdErr != nil {
+		return "", fmt.Errorf("forwarding fallback after %v: %w", err, fwdErr)
+	}
+	return node, nil
+}

@@ -1,0 +1,132 @@
+package forwarding
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// newCombinedCluster deploys the hash mechanism AND the forwarding scheme
+// on the same nodes, the combination FallbackClient fronts.
+func newCombinedCluster(t *testing.T, numNodes int) (*core.Service, *Service, []*platform.Node) {
+	t.Helper()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	t.Cleanup(func() { net.Close() })
+	nodes := make([]*platform.Node, numNodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("cn-%d", i)), Link: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.TMax = 1e9 // never rehash on its own
+	ccfg.TMin = 0
+	ccfg.IAgentServiceTime = 0
+	hash, err := core.Deploy(context.Background(), ccfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := Deploy(context.Background(), DefaultConfig(), nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hash, fwd, nodes
+}
+
+func fallbackFor(hash *core.Service, fwd *Service, n *platform.Node) *FallbackClient {
+	return NewFallbackClient(hash.ClientFor(n), fwd.ClientFor(n))
+}
+
+// TestFallbackLocateAfterHashEntryLoss is the lazy-healing path of the
+// crash-tolerance design: when the hash tier has lost an agent's entry
+// (here simulated by deregistering it from the hash tier only, the
+// observable effect of a crash whose checkpoint missed the entry), the
+// combined client still locates it through the forwarding chain.
+func TestFallbackLocateAfterHashEntryLoss(t *testing.T) {
+	hash, fwd, nodes := newCombinedCluster(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	agent := ids.AgentID("traveler")
+	assign, err := fallbackFor(hash, fwd, nodes[0]).Register(ctx, agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err = fallbackFor(hash, fwd, nodes[1]).MoveNotify(ctx, agent, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	querier := fallbackFor(hash, fwd, nodes[2])
+	got, err := querier.Locate(ctx, agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nodes[1].ID() {
+		t.Fatalf("hash-tier locate = %s, want %s", got, nodes[1].ID())
+	}
+
+	// Drop the entry from the hash tier only; the forwarding chain
+	// (cn-0 -> cn-1) survives.
+	if err := hash.ClientFor(nodes[2]).Deregister(ctx, agent, assign.Hash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hash.ClientFor(nodes[2]).Locate(ctx, agent); !errors.Is(err, core.ErrNotRegistered) {
+		t.Fatalf("hash tier still answers: %v", err)
+	}
+
+	got, err = querier.Locate(ctx, agent)
+	if err != nil {
+		t.Fatalf("fallback locate: %v", err)
+	}
+	if got != nodes[1].ID() {
+		t.Errorf("fallback locate = %s, want %s", got, nodes[1].ID())
+	}
+}
+
+// TestFallbackNeverRegistered: an agent unknown to both tiers fails the
+// combined locate with the unchanged ErrNotRegistered.
+func TestFallbackNeverRegistered(t *testing.T) {
+	hash, fwd, nodes := newCombinedCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := fallbackFor(hash, fwd, nodes[1]).Locate(ctx, "ghost"); !errors.Is(err, core.ErrNotRegistered) {
+		t.Errorf("locate = %v, want ErrNotRegistered", err)
+	}
+}
+
+// TestFallbackDeregisterBothTiers: a full deregister clears both tiers,
+// even when the hash tier has already lost the entry.
+func TestFallbackDeregisterBothTiers(t *testing.T) {
+	hash, fwd, nodes := newCombinedCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	agent := ids.AgentID("shortlived")
+	fb := fallbackFor(hash, fwd, nodes[0])
+	assign, err := fb.Register(ctx, agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hash tier loses the entry first (crash analogue); the combined
+	// deregister must tolerate that and still clear the forwarding tier.
+	if err := hash.ClientFor(nodes[0]).Deregister(ctx, agent, assign.Hash); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Deregister(ctx, agent, assign); err != nil {
+		t.Fatalf("combined deregister after hash-tier loss: %v", err)
+	}
+	if _, err := fb.Locate(ctx, agent); !errors.Is(err, core.ErrNotRegistered) {
+		t.Errorf("locate after deregister = %v, want ErrNotRegistered", err)
+	}
+}

@@ -1,0 +1,33 @@
+package hashtree
+
+// SiblingLeaves returns the IAgents owning the leaves of iagent's sibling
+// subtree, left to right — exactly the set Merge would report as Absorbers.
+// They are the natural checkpoint buddies of the crash-tolerance extension:
+// whatever absorbs a leaf on a (forced) merge is where its state should
+// already be. Asking for the sibling of the only leaf fails with
+// ErrLastLeaf.
+func (t *Tree) SiblingLeaves(iagent string) ([]string, error) {
+	leaf, parent, err := t.findLeaf(iagent)
+	if err != nil {
+		return nil, err
+	}
+	if parent == nil {
+		return nil, ErrLastLeaf
+	}
+	sibling := parent.right
+	if sibling == leaf {
+		sibling = parent.left
+	}
+	var out []string
+	var collect func(n *node)
+	collect = func(n *node) {
+		if n.isLeaf() {
+			out = append(out, n.iagent)
+			return
+		}
+		collect(n.left)
+		collect(n.right)
+	}
+	collect(sibling)
+	return out, nil
+}

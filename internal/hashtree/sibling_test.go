@@ -1,0 +1,36 @@
+package hashtree
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// SiblingLeaves must predict exactly which IAgents would absorb a leaf on a
+// merge — that is the property the checkpointing extension builds on.
+func TestSiblingLeavesMatchMergeAbsorbers(t *testing.T) {
+	tree := PaperTree()
+	for _, leaf := range tree.Leaves() {
+		sibs, err := tree.SiblingLeaves(leaf.IAgent)
+		if err != nil {
+			t.Fatalf("SiblingLeaves(%s): %v", leaf.IAgent, err)
+		}
+		_, res, err := tree.Merge(leaf.IAgent)
+		if err != nil {
+			t.Fatalf("Merge(%s): %v", leaf.IAgent, err)
+		}
+		if !reflect.DeepEqual(sibs, res.Absorbers) {
+			t.Errorf("SiblingLeaves(%s) = %v, Merge absorbers = %v", leaf.IAgent, sibs, res.Absorbers)
+		}
+	}
+}
+
+func TestSiblingLeavesSingleLeaf(t *testing.T) {
+	tree := New("only")
+	if _, err := tree.SiblingLeaves("only"); !errors.Is(err, ErrLastLeaf) {
+		t.Errorf("SiblingLeaves on single leaf = %v, want ErrLastLeaf", err)
+	}
+	if _, err := tree.SiblingLeaves("ghost"); err == nil {
+		t.Error("SiblingLeaves of absent IAgent succeeded")
+	}
+}

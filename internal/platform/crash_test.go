@@ -1,0 +1,57 @@
+package platform
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestCrashMakesNodeUnreachable verifies the fail-stop semantics Crash
+// models: the node drops off the transport immediately, its agents are
+// gone, and peers get a prompt error rather than a hang.
+func TestCrashMakesNodeUnreachable(t *testing.T) {
+	nodes := newTestNodes(t, "alive", "doomed")
+	echo := &echoBehavior{Tag: "d"}
+	if err := nodes["doomed"].Launch("svc", echo); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp echoResp
+	if err := nodes["alive"].CallAgent(ctx, "doomed", "svc", "echo", echoReq{Text: "hi"}, &resp); err != nil {
+		t.Fatalf("call before crash: %v", err)
+	}
+
+	start := time.Now()
+	nodes["doomed"].Crash()
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("Crash blocked for %v; must return promptly", d)
+	}
+
+	if nodes["doomed"].Hosts("svc") {
+		t.Error("crashed node still hosts its agent")
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer ccancel()
+	if err := nodes["alive"].CallAgent(cctx, "doomed", "svc", "echo", echoReq{Text: "hi"}, &resp); err == nil {
+		t.Error("call to crashed node succeeded")
+	}
+}
+
+// TestCrashIdempotentAndCloseSafe: repeated crashes and a Close after a
+// crash are no-ops, so chaos harnesses need no coordination around them.
+func TestCrashIdempotentAndCloseSafe(t *testing.T) {
+	nodes := newTestNodes(t, "n1")
+	if err := nodes["n1"].Launch("svc", &echoBehavior{Tag: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	nodes["n1"].Crash()
+	nodes["n1"].Crash()
+	if err := nodes["n1"].Close(); err != nil {
+		t.Errorf("Close after Crash: %v", err)
+	}
+	if err := nodes["n1"].Launch("late", &echoBehavior{Tag: "y"}); err == nil {
+		t.Error("Launch on a crashed node succeeded")
+	}
+}

@@ -355,6 +355,38 @@ func (n *Node) Close() error {
 	return nil
 }
 
+// Crash kills the node abruptly, for fault injection: the transport binding
+// drops immediately — in-flight and future calls fail as if the process
+// died — and hosted agents are torn down in the background without the
+// graceful drain of Close. Crash returns as soon as the node is unreachable,
+// not when the teardown finishes; crash a node mid-workload and its peers
+// see failures at once.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	agents := make([]*hosted, 0, len(n.agents))
+	for _, h := range n.agents {
+		agents = append(agents, h)
+	}
+	n.agents = make(map[ids.AgentID]*hosted)
+	n.mu.Unlock()
+	n.hostedGauge.Add(-int64(len(agents)))
+
+	// Unbind first: the crash is externally visible before any internal
+	// goroutine has wound down.
+	n.peer.Close()
+	go func() {
+		for _, h := range agents {
+			h.stopAndWait()
+		}
+		n.wg.Wait()
+	}()
+}
+
 // handle serves the node's wire protocol.
 func (n *Node) handle(from transport.Addr, kind string, payload []byte) (any, error) {
 	switch kind {
