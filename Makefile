@@ -1,6 +1,8 @@
 GO ?= go
+GOLANGCI ?= golangci-lint
+BENCH_OUT ?= BENCH_read_path.json
 
-.PHONY: all build test short race vet bench chaos ci clean
+.PHONY: all build test short race vet lint bench benchdiff chaos ci clean
 
 all: build
 
@@ -24,15 +26,33 @@ race:
 vet:
 	$(GO) vet ./...
 
+# golangci-lint when available (CI installs it); plain vet otherwise, so the
+# target never blocks a machine that only has the Go toolchain.
+lint:
+	@if command -v $(GOLANGCI) >/dev/null 2>&1; then \
+		$(GOLANGCI) run ./...; \
+	else \
+		echo "golangci-lint not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+# Read-path benchmark: fixed iteration count for run-to-run comparability,
+# measurements written to $(BENCH_OUT) for benchdiff.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./...
+	BENCH_OUT=$(abspath $(BENCH_OUT)) $(GO) test ./internal/bench -bench ReadPath -benchtime 4000x -run '^$$'
+
+# Compare a fresh benchmark run against the committed baseline; non-zero
+# exit on >15% p99 regression.
+benchdiff:
+	BENCH_OUT=/tmp/BENCH_current.json $(GO) test ./internal/bench -bench ReadPath -benchtime 4000x -run '^$$'
+	$(GO) run ./cmd/benchdiff -baseline BENCH_read_path.json -current /tmp/BENCH_current.json
 
 # Crash-tolerance soak: the failover, chaos and fault-injection suites under
 # the race detector.
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Crash|Failover|Takeover|Checkpoint|Promot|Fallback' ./...
 
-ci: build vet short race
+ci: build vet lint short race
 
 clean:
 	$(GO) clean ./...

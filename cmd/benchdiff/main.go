@@ -1,0 +1,104 @@
+// Command benchdiff compares a benchmark run against a committed baseline
+// and fails when the read path regressed. It consumes the JSON written by
+// `make bench` (internal/bench's BENCH_read_path.json) and gates on p99
+// latency: any benchmark whose current p99 exceeds the baseline by more than
+// -max-p99-regress (default 15%) makes benchdiff exit non-zero, so CI can
+// surface the regression.
+//
+//	benchdiff -baseline BENCH_read_path.json -current /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// result mirrors internal/bench.Result's JSON, decoupled from the package so
+// the gate keeps working against files written by older binaries.
+type result struct {
+	Name       string  `json:"name"`
+	Ops        int     `json:"ops"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	P50Us      float64 `json:"p50_us"`
+	P99Us      float64 `json:"p99_us"`
+}
+
+type file struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_read_path.json", "committed baseline JSON")
+	currentPath := flag.String("current", "", "freshly measured JSON to compare")
+	maxP99 := flag.Float64("max-p99-regress", 0.15, "maximum tolerated relative p99 increase (0.15 = +15%)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	if err := run(*baselinePath, *currentPath, *maxP99); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, currentPath string, maxP99 float64) error {
+	baseline, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := load(currentPath)
+	if err != nil {
+		return err
+	}
+	cur := make(map[string]result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[r.Name] = r
+	}
+
+	var failures []string
+	fmt.Printf("%-22s %12s %12s %8s %14s %14s\n", "benchmark", "base p99µs", "cur p99µs", "Δp99", "base ops/s", "cur ops/s")
+	for _, base := range baseline.Benchmarks {
+		c, ok := cur[base.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", base.Name))
+			continue
+		}
+		delta := 0.0
+		if base.P99Us > 0 {
+			delta = (c.P99Us - base.P99Us) / base.P99Us
+		}
+		fmt.Printf("%-22s %12.0f %12.0f %+7.1f%% %14.0f %14.0f\n",
+			base.Name, base.P99Us, c.P99Us, delta*100, base.Throughput, c.Throughput)
+		if delta > maxP99 {
+			failures = append(failures,
+				fmt.Sprintf("%s: p99 %.0fµs -> %.0fµs (%+.1f%%, limit %+.1f%%)",
+					base.Name, base.P99Us, c.P99Us, delta*100, maxP99*100))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed past the %.0f%% p99 gate", len(failures), maxP99*100)
+	}
+	fmt.Println("benchdiff: within the p99 gate")
+	return nil
+}
+
+func load(path string) (*file, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &f, nil
+}

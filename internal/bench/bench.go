@@ -1,0 +1,257 @@
+// Package bench is a closed-loop load generator for the location
+// mechanism's read path. It deploys an in-memory cluster with every agent
+// registered at one IAgent — the hot leaf — and drives it with a configurable
+// worker count, read/write mix, and Zipf-distributed agent popularity,
+// measuring per-operation latency percentiles, throughput, and allocations.
+//
+// The interesting comparisons, wired up in bench_test.go:
+//
+//   - serial:  Cfg.SerialReads forces every request through the IAgent's
+//     one-at-a-time mailbox — the pre-sharding behaviour.
+//   - sharded: locates travel the concurrent fast path over the striped
+//     location table; service times overlap instead of queueing.
+//   - cached:  clients additionally answer hot locates from their local
+//     version-fenced cache with zero RPCs.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// Config shapes one load-generation run. Zero fields select the defaults
+// noted on each.
+type Config struct {
+	// Nodes is the platform node count (default 4). Workers are spread
+	// round-robin across nodes, so more nodes means less whois contention
+	// at any one LHAgent's mailbox.
+	Nodes int
+	// Agents is how many agents are registered on the hot leaf (default 256).
+	Agents int
+	// Workers is the closed-loop worker count (default 8).
+	Workers int
+	// ReadFraction is the locate share of operations, the rest are move
+	// updates (default 0.95).
+	ReadFraction float64
+	// ZipfS is the Zipf skew parameter, >1 (default 1.2). Higher means a
+	// hotter head.
+	ZipfS float64
+	// ServiceTime is the simulated per-request processing cost at the
+	// IAgent (default 400µs). It is what the sharded read path overlaps
+	// across workers and the serial mailbox cannot.
+	ServiceTime time.Duration
+	// SerialReads forces every request through the serial mailbox —
+	// the pre-sharding ablation.
+	SerialReads bool
+	// CacheTTL enables the client-side location cache (0 disables).
+	CacheTTL time.Duration
+	// Seed makes the popularity and mix draws reproducible (default 1).
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Agents <= 0 {
+		c.Agents = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.ReadFraction <= 0 {
+		c.ReadFraction = 0.95
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.ServiceTime == 0 {
+		c.ServiceTime = 400 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result is one run's measurements, serialized into BENCH_read_path.json.
+type Result struct {
+	Name         string  `json:"name"`
+	Workers      int     `json:"workers"`
+	ReadFraction float64 `json:"read_fraction"`
+	Ops          int     `json:"ops"`
+	Errors       int     `json:"errors"`
+	Seconds      float64 `json:"seconds"`
+	Throughput   float64 `json:"throughput_ops_per_sec"`
+	P50Us        float64 `json:"p50_us"`
+	P99Us        float64 `json:"p99_us"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// Harness is a deployed cluster ready to be driven. Create with NewHarness,
+// drive with Run (repeatable), release with Close.
+type Harness struct {
+	cfg     Config
+	net     *transport.Network
+	nodes   []*platform.Node
+	service *core.Service
+	agents  []ids.AgentID
+	assign  core.Assignment
+	clients []*core.Client
+}
+
+// NewHarness deploys the cluster and registers the agent population on the
+// single initial IAgent (rehashing thresholds are pushed out of reach, so
+// the leaf stays hot for the whole run).
+func NewHarness(cfg Config) (*Harness, error) {
+	cfg.fillDefaults()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	nodes := make([]*platform.Node, cfg.Nodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("node-%d", i)), Link: net})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		nodes[i] = n
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.TMax = 1e12 // never split: the point is a hot leaf
+	ccfg.TMin = 0
+	ccfg.CheckInterval = time.Hour
+	ccfg.IAgentServiceTime = cfg.ServiceTime
+	ccfg.SerialReads = cfg.SerialReads
+	ccfg.LocateCacheTTL = cfg.CacheTTL
+
+	svc, err := core.Deploy(context.Background(), ccfg, nodes)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+
+	h := &Harness{cfg: cfg, net: net, nodes: nodes, service: svc}
+	reg := svc.ClientFor(nodes[0])
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	h.agents = make([]ids.AgentID, cfg.Agents)
+	for i := range h.agents {
+		h.agents[i] = ids.AgentID(fmt.Sprintf("bench-agent-%d", i))
+		assign, err := reg.Register(ctx, h.agents[i])
+		if err != nil {
+			h.Close()
+			return nil, fmt.Errorf("bench: register %s: %w", h.agents[i], err)
+		}
+		h.assign = assign
+	}
+	h.clients = make([]*core.Client, cfg.Workers)
+	for i := range h.clients {
+		h.clients[i] = svc.ClientFor(nodes[i%len(nodes)])
+	}
+	return h, nil
+}
+
+// Close tears the cluster down.
+func (h *Harness) Close() { h.net.Close() }
+
+// Run drives totalOps operations through the workers and reports the
+// aggregate measurements. Latency is recorded per operation, closed-loop:
+// each worker issues its next operation only after the previous one
+// completed.
+func (h *Harness) Run(totalOps int) Result {
+	cfg := h.cfg
+	if totalOps < cfg.Workers {
+		totalOps = cfg.Workers
+	}
+	perWorker := totalOps / cfg.Workers
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	lats := make([][]time.Duration, cfg.Workers)
+	errCounts := make([]int, cfg.Workers)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(h.agents)-1))
+			client := h.clients[w]
+			lat := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				agent := h.agents[zipf.Uint64()]
+				opStart := time.Now()
+				var err error
+				if rng.Float64() < cfg.ReadFraction {
+					_, err = client.Locate(ctx, agent)
+				} else {
+					_, err = client.MoveNotify(ctx, agent, h.assign)
+				}
+				lat = append(lat, time.Since(opStart))
+				if err != nil {
+					errCounts[w]++
+				}
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	errs := 0
+	for _, e := range errCounts {
+		errs += e
+	}
+
+	ops := len(all)
+	return Result{
+		Workers:      cfg.Workers,
+		ReadFraction: cfg.ReadFraction,
+		Ops:          ops,
+		Errors:       errs,
+		Seconds:      elapsed.Seconds(),
+		Throughput:   float64(ops) / elapsed.Seconds(),
+		P50Us:        percentileMicros(all, 0.50),
+		P99Us:        percentileMicros(all, 0.99),
+		AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+	}
+}
+
+// percentileMicros reads the q-quantile (0 < q <= 1) from a sorted latency
+// slice, in microseconds.
+func percentileMicros(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Microsecond)
+}

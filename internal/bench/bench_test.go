@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collected gathers the final Result per variant; TestMain writes them as
+// BENCH_read_path.json when BENCH_OUT names a path. Benchmarks re-run with
+// growing b.N, so recording replaces by name and only the last (largest,
+// most trustworthy) run survives.
+var (
+	collectedMu sync.Mutex
+	collected   = map[string]Result{}
+)
+
+func record(r Result) {
+	collectedMu.Lock()
+	collected[r.Name] = r
+	collectedMu.Unlock()
+}
+
+// File is the JSON document benchdiff consumes.
+type File struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if out := os.Getenv("BENCH_OUT"); out != "" && len(collected) > 0 {
+		var f File
+		for _, name := range []string{"read_path/serial", "read_path/sharded", "read_path/cached"} {
+			if r, ok := collected[name]; ok {
+				f.Benchmarks = append(f.Benchmarks, r)
+			}
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", out, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// BenchmarkReadPath drives the hot-leaf workload through the three read-path
+// configurations. Run with a fixed iteration count for comparable JSON:
+//
+//	BENCH_OUT=BENCH_read_path.json go test ./internal/bench \
+//	    -bench ReadPath -benchtime 4000x -run '^$'
+func BenchmarkReadPath(b *testing.B) {
+	variants := []struct {
+		name   string
+		serial bool
+		ttl    time.Duration
+	}{
+		{"serial", true, 0},
+		{"sharded", false, 0},
+		{"cached", false, 20 * time.Millisecond},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			h, err := NewHarness(Config{SerialReads: v.serial, CacheTTL: v.ttl})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ResetTimer()
+			res := h.Run(b.N)
+			b.StopTimer()
+			if res.Errors > 0 {
+				b.Fatalf("%d/%d operations failed", res.Errors, res.Ops)
+			}
+			res.Name = "read_path/" + v.name
+			b.ReportMetric(res.Throughput, "ops/s")
+			b.ReportMetric(res.P99Us, "p99-µs")
+			b.ReportMetric(res.AllocsPerOp, "allocs/op")
+			record(res)
+		})
+	}
+}
+
+// TestHarnessSmoke keeps the generator honest under plain `go test`: a small
+// sharded run must complete error-free with sane measurements.
+func TestHarnessSmoke(t *testing.T) {
+	h, err := NewHarness(Config{Workers: 4, Agents: 32, ServiceTime: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	res := h.Run(200)
+	if res.Errors > 0 {
+		t.Fatalf("%d/%d operations failed", res.Errors, res.Ops)
+	}
+	if res.Ops == 0 || res.Throughput <= 0 || res.P99Us <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.P50Us > res.P99Us {
+		t.Fatalf("p50 %v > p99 %v", res.P50Us, res.P99Us)
+	}
+}
+
+// TestShardedBeatsSerial pins the PR's core claim: with the default 8
+// workers hammering one hot leaf, the sharded fast path must deliver at
+// least 3x the serial mailbox's locate throughput. Ops are sized to
+// amortize setup noise while staying quick at the default service time.
+func TestShardedBeatsSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison is not a -short test")
+	}
+	run := func(serial bool) Result {
+		h, err := NewHarness(Config{SerialReads: serial, ReadFraction: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		return h.Run(2000)
+	}
+	serial := run(true)
+	sharded := run(false)
+	if serial.Errors > 0 || sharded.Errors > 0 {
+		t.Fatalf("errors: serial %d, sharded %d", serial.Errors, sharded.Errors)
+	}
+	ratio := sharded.Throughput / serial.Throughput
+	t.Logf("serial %.0f ops/s, sharded %.0f ops/s (%.1fx)", serial.Throughput, sharded.Throughput, ratio)
+	if ratio < 3 {
+		t.Errorf("sharded/serial throughput = %.2fx, want >= 3x", ratio)
+	}
+}

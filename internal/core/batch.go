@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentloc/internal/clock"
+	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
+	"agentloc/internal/platform"
+)
+
+// ErrBatcherClosed is returned by Do after Close.
+var ErrBatcherClosed = errors.New("core: update batcher closed")
+
+// UpdateBatcher coalesces move-update traffic: updates bound for the same
+// IAgent within one flush tick travel as a single KindUpdateBatch RPC
+// instead of one RPC each. Heavy TAgent churn against a hot leaf is mostly
+// identical small messages to the same peer — batching them trades a bounded
+// extra latency (at most one tick) for an N-fold drop in RPC count.
+//
+// Each entry is acked individually, so the §4.3 refresh-and-retry contract
+// is untouched: a stale entry's NotResponsible ack sends only that caller
+// back through its retry loop. A failed batch RPC fails every entry in it —
+// callers retry exactly as they would a failed single update.
+//
+// Use one batcher per process (or per node) and attach it to clients with
+// Client.WithBatcher; Do is safe for concurrent use.
+type UpdateBatcher struct {
+	caller Caller
+	cfg    Config
+	clk    clock.Clock
+	tick   time.Duration
+
+	batches *metrics.Counter
+	coal    *metrics.Counter
+
+	mu     sync.Mutex
+	queues map[batchKey][]pendingUpdate
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// batchKey identifies one destination peer: an IAgent at a node.
+type batchKey struct {
+	node   platform.NodeID
+	iagent ids.AgentID
+}
+
+type pendingUpdate struct {
+	req    UpdateReq
+	result chan batchResult
+}
+
+type batchResult struct {
+	ack Ack
+	err error
+}
+
+// NewUpdateBatcher starts a batcher flushing every tick. A tick of zero
+// selects 5ms — small enough to stay well under typical residence times,
+// large enough to coalesce a busy node's worth of updates.
+func NewUpdateBatcher(caller Caller, cfg Config, tick time.Duration) *UpdateBatcher {
+	if tick <= 0 {
+		tick = 5 * time.Millisecond
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	b := &UpdateBatcher{
+		caller: caller,
+		cfg:    cfg,
+		clk:    clk,
+		tick:   tick,
+		queues: make(map[batchKey][]pendingUpdate),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if reg := CallerRegistry(caller); reg != nil {
+		reg.Describe("agentloc_core_update_batches_total", "Coalesced update batches flushed.")
+		reg.Describe("agentloc_core_update_batched_total", "Individual updates carried inside batches.")
+		b.batches = reg.Counter("agentloc_core_update_batches_total")
+		b.coal = reg.Counter("agentloc_core_update_batched_total")
+	}
+	go b.flushLoop()
+	return b
+}
+
+// Do submits one update and blocks until its individual ack arrives with
+// the next flush, the context expires, or the batcher closes.
+func (b *UpdateBatcher) Do(ctx context.Context, assign Assignment, agent ids.AgentID, node platform.NodeID) (Ack, error) {
+	p := pendingUpdate{
+		req:    UpdateReq{Agent: agent, Node: node},
+		result: make(chan batchResult, 1),
+	}
+	key := batchKey{node: assign.Node, iagent: assign.IAgent}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return Ack{}, ErrBatcherClosed
+	}
+	b.queues[key] = append(b.queues[key], p)
+	b.mu.Unlock()
+
+	select {
+	case r := <-p.result:
+		return r.ack, r.err
+	case <-ctx.Done():
+		// The flush goroutine still owns the entry and will write the
+		// (now unread) buffered result; the caller just stops waiting.
+		return Ack{}, ctx.Err()
+	}
+}
+
+// Close stops the flush loop after a final flush; queued entries are still
+// delivered.
+func (b *UpdateBatcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+}
+
+// flushLoop drains every destination's queue once per tick, one RPC per
+// destination.
+func (b *UpdateBatcher) flushLoop() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.clk.After(b.tick):
+			b.flush()
+		case <-b.stop:
+			b.flush() // deliver what is queued before exiting
+			return
+		}
+	}
+}
+
+// flush sends one KindUpdateBatch RPC per destination with queued entries
+// and fans the per-entry acks back out.
+func (b *UpdateBatcher) flush() {
+	b.mu.Lock()
+	queues := b.queues
+	b.queues = make(map[batchKey][]pendingUpdate)
+	b.mu.Unlock()
+
+	for key, pending := range queues {
+		req := UpdateBatchReq{Updates: make([]UpdateReq, len(pending))}
+		for i, p := range pending {
+			req.Updates[i] = p.req
+		}
+		var resp UpdateBatchResp
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if b.cfg.CallTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, b.cfg.CallTimeout)
+		}
+		err := b.caller.Call(ctx, key.node, key.iagent, KindUpdateBatch, req, &resp)
+		cancel()
+		b.batches.Inc()
+		b.coal.Add(uint64(len(pending)))
+		for i, p := range pending {
+			switch {
+			case err != nil:
+				p.result <- batchResult{err: err}
+			case i >= len(resp.Acks):
+				p.result <- batchResult{err: fmt.Errorf("core: batch ack missing entry %d of %d", i, len(pending))}
+			default:
+				p.result <- batchResult{ack: resp.Acks[i]}
+			}
+		}
+	}
+}
+
+// WithBatcher routes this client's MoveNotify traffic through the batcher.
+// Returns the client for chaining.
+func (c *Client) WithBatcher(b *UpdateBatcher) *Client {
+	c.batcher = b
+	return c
+}

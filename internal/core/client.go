@@ -168,6 +168,15 @@ type Client struct {
 	// yield nil handles on lookup, which are valid no-ops.
 	lat     map[string]*metrics.Histogram
 	retries map[string]*metrics.Counter
+
+	// cache answers Locate without an RPC while entries are version-fresh
+	// and within TTL; nil (the default) disables it. See loccache.go for
+	// the coherence rules.
+	cache *locCache
+
+	// batcher, when set, carries MoveNotify traffic as coalesced
+	// one-RPC-per-peer-per-tick batches. See batch.go.
+	batcher *UpdateBatcher
 }
 
 // NewClient builds a Client for the given caller. When the caller exposes a
@@ -185,6 +194,7 @@ func NewClient(caller Caller, cfg Config) *Client {
 		cfg:    cfg,
 		clk:    clk,
 		rng:    rand.New(rand.NewSource(rand.Int63())),
+		cache:  newLocCache(cfg, clk, CallerRegistry(caller)),
 	}
 	if reg := CallerRegistry(caller); reg != nil {
 		reg.Describe("agentloc_core_locate_latency_seconds", "End-to-end latency of successful Locate operations.")
@@ -228,6 +238,7 @@ func (c *Client) Whois(ctx context.Context, target ids.AgentID) (Assignment, err
 	if err := c.call(ctx, local, LHAgentID(local), KindWhois, WhoisReq{Target: target}, &resp); err != nil {
 		return Assignment{}, fmt.Errorf("whois %s: %w", target, err)
 	}
+	c.cache.fence(resp.HashVersion)
 	return Assignment{IAgent: resp.IAgent, Node: resp.Node, HashVersion: resp.HashVersion}, nil
 }
 
@@ -287,10 +298,17 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assign
 	return fmt.Errorf("deregister %s: %w", self, ErrRetriesExhausted)
 }
 
-// Locate finds the current node of the target agent: whois at the local
-// LHAgent, then query the responsible IAgent, refreshing the local hash
-// copy and retrying when the mapping was stale (paper §2.3 and §4.3).
+// Locate finds the current node of the target agent: the local cache first
+// (when enabled — a fresh, version-fenced entry answers with zero RPCs),
+// then whois at the local LHAgent and a query to the responsible IAgent,
+// refreshing the local hash copy and retrying when the mapping was stale
+// (paper §2.3 and §4.3). Replies that prove a cache entry wrong — not-here,
+// stale version — invalidate it before the retry loop continues, so the
+// server stays authoritative.
 func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeID, error) {
+	if node, ok := c.cache.get(target); ok {
+		return node, nil
+	}
 	var assign Assignment
 	var err error
 	start := time.Now()
@@ -310,6 +328,7 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 		var resp LocateResp
 		err = c.call(ctx, assign.Node, assign.IAgent, KindLocate, LocateReq{Agent: target}, &resp)
 		if err == nil && resp.Status == StatusUnknownAgent {
+			c.cache.invalidate(target)
 			return "", fmt.Errorf("locate %s: %w", target, ErrNotRegistered)
 		}
 		assign, err = c.interpret(ctx, assign, resp.Status, resp.HashVersion, err)
@@ -317,11 +336,22 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 			return "", err
 		}
 		if !assign.Zero() {
+			c.cache.put(target, resp.Node, assign.HashVersion)
 			c.lat[KindLocate].ObserveDuration(time.Since(start))
 			return resp.Node, nil
 		}
+		// The mapping proved stale; whatever we may have cached for the
+		// target under it is untrustworthy too.
+		c.cache.invalidate(target)
 	}
 	return "", fmt.Errorf("locate %s: %w", target, ErrRetriesExhausted)
+}
+
+// InvalidateLocation drops the client's cached location for the target, if
+// any. Callers use it when acting on a located node fails — the cache never
+// learns that on its own, because a cache hit does no RPC.
+func (c *Client) InvalidateLocation(target ids.AgentID) {
+	c.cache.invalidate(target)
 }
 
 // reportLocation implements register/update with the shared retry loop.
@@ -344,7 +374,11 @@ func (c *Client) reportLocation(ctx context.Context, kind string, self ids.Agent
 			}
 		}
 		var ack Ack
-		err = c.call(ctx, assign.Node, assign.IAgent, kind, UpdateReq{Agent: self, Node: node}, &ack)
+		if kind == KindUpdate && c.batcher != nil {
+			ack, err = c.batcher.Do(ctx, assign, self, node)
+		} else {
+			err = c.call(ctx, assign.Node, assign.IAgent, kind, UpdateReq{Agent: self, Node: node}, &ack)
+		}
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
 		if err != nil {
 			return Assignment{}, err
@@ -384,6 +418,9 @@ func (c *Client) interpret(ctx context.Context, assign Assignment, status Status
 		return Assignment{}, callErr
 	case status == StatusNotResponsible:
 		// The IAgent is ahead of us; catch up to at least its version.
+		// The version bump also fences the location cache: everything
+		// cached under older versions is dead.
+		c.cache.fence(remoteVersion)
 		minVersion := remoteVersion
 		if minVersion <= assign.HashVersion {
 			minVersion = assign.HashVersion + 1
@@ -393,6 +430,7 @@ func (c *Client) interpret(ctx context.Context, assign Assignment, status Status
 		}
 		return Assignment{}, nil
 	case status == StatusOK:
+		c.cache.fence(remoteVersion)
 		if remoteVersion > assign.HashVersion {
 			assign.HashVersion = remoteVersion
 		}

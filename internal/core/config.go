@@ -115,6 +115,24 @@ type Config struct {
 	// exists for the ablation benchmark: the paper argues on-demand is
 	// the right default, and the bench quantifies the trade.
 	EagerPropagation bool
+
+	// SerialReads forces every IAgent request — including read-only
+	// locates — through the serial per-agent mailbox, disabling the
+	// concurrent fast path. It exists for the read-path benchmark's
+	// ablation: the pre-sharding queueing behaviour, selectable at run
+	// time.
+	SerialReads bool
+
+	// LocateCacheTTL bounds the age of client-side location cache entries;
+	// zero (the default) disables the cache entirely. Entries are also
+	// version-fenced: a hash-version bump observed from any reply
+	// invalidates every entry cached under an older version, and any
+	// not-here or stale-version reply drops the entry and falls through to
+	// the §4.3 refresh-and-retry loop — the server stays authoritative.
+	LocateCacheTTL time.Duration
+	// LocateCacheSize caps the number of cached locations per client.
+	// Zero selects 4096.
+	LocateCacheSize int
 }
 
 // DefaultConfig returns the configuration used by the paper's experiments:
@@ -177,6 +195,10 @@ func (c Config) Validate() error {
 		return errors.New("core: config: CheckpointInterval must be non-negative")
 	case c.SuspectAfterMisses < 0:
 		return errors.New("core: config: SuspectAfterMisses must be non-negative")
+	case c.LocateCacheTTL < 0:
+		return errors.New("core: config: LocateCacheTTL must be non-negative")
+	case c.LocateCacheSize < 0:
+		return errors.New("core: config: LocateCacheSize must be non-negative")
 	default:
 		return nil
 	}

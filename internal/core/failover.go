@@ -409,9 +409,7 @@ func (b *HAgentBehavior) standbySweep(ctx *platform.Context) {
 // sendHeartbeat renews this IAgent's lease, walking the fallbacks so beats
 // reach whichever HAgent is alive (a promoted replica inherits the leases).
 func (b *IAgentBehavior) sendHeartbeat(ctx *platform.Context) {
-	b.mu.Lock()
-	req := HeartbeatReq{IAgent: ctx.Self(), HashVersion: b.state.Version(), TableEntries: len(b.Table)}
-	b.mu.Unlock()
+	req := HeartbeatReq{IAgent: ctx.Self(), HashVersion: b.state.Load().Version(), TableEntries: b.Table.Len()}
 	for _, src := range b.Cfg.hagentSources() {
 		var ack Ack
 		cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
@@ -442,8 +440,8 @@ func checkpointBuddy(st *State, self ids.AgentID) ids.AgentID {
 // escalates to a full snapshot; a failed push merges the delta back so
 // nothing is silently dropped.
 func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
+	st := b.state.Load()
 	b.mu.Lock()
-	st := b.state
 	buddy := checkpointBuddy(st, ctx.Self())
 	if buddy == "" {
 		b.ckBuddy = ""
@@ -463,14 +461,13 @@ func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
 	b.ckSeq++
 	req := CheckpointReq{From: ctx.Self(), HashVersion: st.Version(), Seq: b.ckSeq, Full: b.ckFull}
 	if b.ckFull {
-		req.Entries = make(map[ids.AgentID]platform.NodeID, len(b.Table))
-		for a, n := range b.Table {
-			req.Entries[a] = n
-		}
+		// Snapshot locks one stripe at a time; locates on other stripes
+		// proceed while the checkpoint is being assembled.
+		req.Entries = b.Table.Snapshot()
 	} else {
 		req.Entries = make(map[ids.AgentID]platform.NodeID, len(b.ckDirty))
 		for a := range b.ckDirty {
-			if n, ok := b.Table[a]; ok {
+			if n, ok := b.Table.Get(a); ok {
 				req.Entries[a] = n
 			}
 		}
@@ -495,7 +492,7 @@ func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
 	b.mu.Lock()
 	if err != nil || resp.Status != StatusOK {
 		for a := range dirty {
-			if _, ok := b.Table[a]; ok && !b.ckRemoved[a] {
+			if _, ok := b.Table.Get(a); ok && !b.ckRemoved[a] {
 				b.ckDirty[a] = true
 			}
 		}
@@ -521,7 +518,7 @@ func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
 func (b *IAgentBehavior) acceptCheckpoint(req CheckpointReq) CheckpointResp {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	ver := b.state.Version()
+	ver := b.state.Load().Version()
 	if req.HashVersion != ver {
 		return CheckpointResp{Status: StatusNotResponsible, HashVersion: ver}
 	}
@@ -561,8 +558,8 @@ func (b *IAgentBehavior) acceptCheckpoint(req CheckpointReq) CheckpointResp {
 // agent's next location report. Checkpoints from sources no longer in the
 // tree are pruned.
 func (b *IAgentBehavior) activateCheckpoint(ctx *platform.Context, failed ids.AgentID) {
+	st := b.state.Load()
 	b.mu.Lock()
-	st := b.state
 	restored := 0
 	if ck, ok := b.Checkpoints[failed]; ok {
 		for agent, node := range ck.Entries {
@@ -570,10 +567,10 @@ func (b *IAgentBehavior) activateCheckpoint(ctx *platform.Context, failed ids.Ag
 			if err != nil || owner != ctx.Self() {
 				continue
 			}
-			if _, exists := b.Table[agent]; exists {
+			if _, exists := b.Table.Get(agent); exists {
 				continue
 			}
-			b.Table[agent] = node
+			b.Table.Put(agent, node)
 			b.ckDirty[agent] = true
 			restored++
 		}
@@ -584,7 +581,7 @@ func (b *IAgentBehavior) activateCheckpoint(ctx *platform.Context, failed ids.Ag
 			delete(b.Checkpoints, src)
 		}
 	}
-	b.metTable.Set(int64(len(b.Table)))
+	b.metTable.Set(int64(b.Table.Len()))
 	b.mu.Unlock()
 	if restored > 0 {
 		ctx.Emit("failover.restore", fmt.Sprintf("restored %d entries of failed %s from checkpoint", restored, failed))
@@ -598,10 +595,7 @@ func (b *IAgentBehavior) decodeFailover(ctx *platform.Context, kind string, payl
 	case KindIAgentPing:
 		// Probes bypass the rate estimator: liveness traffic must not
 		// influence split/merge decisions.
-		b.mu.Lock()
-		ver := b.state.Version()
-		b.mu.Unlock()
-		return Ack{Status: StatusOK, HashVersion: ver}, true, nil
+		return Ack{Status: StatusOK, HashVersion: b.state.Load().Version()}, true, nil
 	case KindCheckpoint:
 		var req CheckpointReq
 		if err := transport.Decode(payload, &req); err != nil {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"agentloc/internal/ids"
+	"agentloc/internal/loctable"
 	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
 	"agentloc/internal/stats"
@@ -24,8 +26,12 @@ import (
 type IAgentBehavior struct {
 	// Cfg is the mechanism configuration.
 	Cfg Config
-	// Table maps served agents to their current nodes.
-	Table map[ids.AgentID]platform.NodeID
+	// Table maps served agents to their current nodes. It is sharded so
+	// concurrent locates never contend with each other (a locate and a
+	// register only collide when they land on the same stripe), and it
+	// gob-encodes as a plain map, so migration snapshots kept their wire
+	// format when the field stopped being one.
+	Table *loctable.Table
 	// StateSnapshot is the IAgent's copy of the hash state, kept current
 	// by the HAgent for every rehash the IAgent is involved in.
 	StateSnapshot StateDTO
@@ -43,8 +49,12 @@ type IAgentBehavior struct {
 	once    sync.Once
 	initErr error
 
+	// state is the current hash state. Reads are lock-free (State values
+	// are immutable once published); writers additionally serialize on mu
+	// so a version check and the store it guards stay atomic.
+	state atomic.Pointer[State]
+
 	mu      sync.Mutex
-	state   *State
 	dead    bool
 	settled time.Time // creation or last rehash involvement; gates merging
 
@@ -69,8 +79,9 @@ type IAgentBehavior struct {
 }
 
 var (
-	_ platform.Behavior = (*IAgentBehavior)(nil)
-	_ platform.Runner   = (*IAgentBehavior)(nil)
+	_ platform.Behavior           = (*IAgentBehavior)(nil)
+	_ platform.Runner             = (*IAgentBehavior)(nil)
+	_ platform.ConcurrentBehavior = (*IAgentBehavior)(nil)
 )
 
 // ensureRuntime rebuilds the unexported machinery after creation or
@@ -78,15 +89,15 @@ var (
 func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 	b.once.Do(func() {
 		if b.Table == nil {
-			b.Table = make(map[ids.AgentID]platform.NodeID)
+			b.Table = loctable.New()
 		}
 		st, err := FromDTO(b.StateSnapshot)
 		if err != nil {
 			b.initErr = fmt.Errorf("IAgent %s: %w", ctx.Self(), err)
 			return
 		}
+		b.state.Store(st)
 		b.mu.Lock()
-		b.state = st
 		b.settled = ctx.Clock().Now()
 		b.mu.Unlock()
 		b.est = stats.NewRateEstimator(ctx.Clock(), b.Cfg.RateWindow)
@@ -117,17 +128,51 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 		}
 		b.metStale = reg.Counter("agentloc_core_iagent_stale_total", "iagent", self)
 		b.metTable = reg.Gauge("agentloc_core_iagent_table_entries", "iagent", self)
-		b.metTable.Set(int64(len(b.Table)))
+		b.metTable.Set(int64(b.Table.Len()))
 		b.metCkLag = reg.Gauge("agentloc_checkpoint_lag_entries", "iagent", self)
 		b.metCkLag.Set(0)
 	})
 	return b.initErr
 }
 
-// HandleRequest implements platform.Behavior. The platform delivers
-// requests strictly serially; the mutex guards the pieces the Run goroutine
-// also reads (hash state, liveness, and — for the placement extension —
-// the Table's node histogram).
+// HandleConcurrent implements platform.ConcurrentBehavior: locate — the
+// hot, read-only path — and the liveness probe touch nothing but
+// concurrency-safe state (the immutable hash-state pointer, the sharded
+// Table, the wait-free rate estimator, and the striped load account), so
+// they are served on the delivering goroutine, concurrently with each other
+// and with the mailbox. Every mutating kind declines and goes through the
+// serial mailbox, preserving the write-side invariants unchanged.
+// Cfg.SerialReads forces everything through the mailbox (the benchmark's
+// pre-sharding ablation).
+func (b *IAgentBehavior) HandleConcurrent(ctx *platform.Context, kind string, payload []byte) (any, bool, error) {
+	if b.Cfg.SerialReads {
+		return nil, false, nil
+	}
+	switch kind {
+	case KindLocate:
+		if err := b.ensureRuntime(ctx); err != nil {
+			return nil, true, err
+		}
+		b.metReq[KindLocate].Inc()
+		var req LocateReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, true, err
+		}
+		return b.locate(ctx, req.Agent), true, nil
+	case KindIAgentPing:
+		if err := b.ensureRuntime(ctx); err != nil {
+			return nil, true, err
+		}
+		return Ack{Status: StatusOK, HashVersion: b.state.Load().Version()}, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// HandleRequest implements platform.Behavior. The platform delivers these
+// requests strictly serially (only the read-only kinds above bypass the
+// mailbox); the mutex guards the pieces the Run goroutine also reads
+// (liveness, settle time, checkpoint bookkeeping, pending mail).
 func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, payload []byte) (any, error) {
 	if err := b.ensureRuntime(ctx); err != nil {
 		return nil, err
@@ -152,6 +197,17 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 			return nil, err
 		}
 		return b.recordLocation(ctx, req.Agent, req.Node), nil
+	case KindUpdateBatch:
+		var req UpdateBatchReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		resp := UpdateBatchResp{Acks: make([]Ack, len(req.Updates))}
+		for i, u := range req.Updates {
+			b.metReq[KindUpdate].Inc()
+			resp.Acks[i] = b.recordLocation(ctx, u.Agent, u.Node)
+		}
+		return resp, nil
 	case KindDeregister:
 		var req DeregisterReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -181,11 +237,10 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 	}
 }
 
-// responsible reports whether this IAgent currently serves the agent.
+// responsible reports whether this IAgent currently serves the agent. It is
+// lock-free and safe on the concurrent fast path.
 func (b *IAgentBehavior) responsible(ctx *platform.Context, agent ids.AgentID) (bool, uint64) {
-	b.mu.Lock()
-	st := b.state
-	b.mu.Unlock()
+	st := b.state.Load()
 	owner, _, err := st.OwnerOf(agent)
 	if err != nil {
 		return false, st.Version()
@@ -203,12 +258,12 @@ func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID
 		return Ack{Status: StatusNotResponsible, HashVersion: version}
 	}
 	b.loads.Add(agent)
+	b.Table.Put(agent, node)
 	b.mu.Lock()
-	b.Table[agent] = node
 	b.ckDirty[agent] = true
 	delete(b.ckRemoved, agent)
-	b.metTable.Set(int64(len(b.Table)))
 	b.mu.Unlock()
+	b.metTable.Set(int64(b.Table.Len()))
 	return Ack{Status: StatusOK, HashVersion: version}
 }
 
@@ -220,18 +275,19 @@ func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) Ac
 		b.metStale.Inc()
 		return Ack{Status: StatusNotResponsible, HashVersion: version}
 	}
+	b.Table.Delete(agent)
 	b.mu.Lock()
-	delete(b.Table, agent)
 	b.ckRemoved[agent] = true
 	delete(b.ckDirty, agent)
-	b.metTable.Set(int64(len(b.Table)))
 	b.mu.Unlock()
+	b.metTable.Set(int64(b.Table.Len()))
 	b.loads.Remove(agent)
 	return Ack{Status: StatusOK, HashVersion: version}
 }
 
 // locate serves location queries (paper §2.3: the IAgent first checks
-// whether it is still responsible for the agent).
+// whether it is still responsible for the agent). It takes no locks beyond
+// the Table stripe's RLock, so concurrent locates proceed in parallel.
 func (b *IAgentBehavior) locate(ctx *platform.Context, agent ids.AgentID) LocateResp {
 	b.est.Record()
 	ok, version := b.responsible(ctx, agent)
@@ -240,9 +296,7 @@ func (b *IAgentBehavior) locate(ctx *platform.Context, agent ids.AgentID) Locate
 		return LocateResp{Status: StatusNotResponsible, HashVersion: version}
 	}
 	b.loads.Add(agent)
-	b.mu.Lock()
-	node, found := b.Table[agent]
-	b.mu.Unlock()
+	node, found := b.Table.Get(agent)
 	if !found {
 		return LocateResp{Status: StatusUnknownAgent, HashVersion: version}
 	}
@@ -258,8 +312,8 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 		return Ack{}, fmt.Errorf("IAgent %s: adopt: %w", ctx.Self(), err)
 	}
 	b.mu.Lock()
-	if st.Version() <= b.state.Version() {
-		version := b.state.Version()
+	if st.Version() <= b.state.Load().Version() {
+		version := b.state.Load().Version()
 		b.mu.Unlock()
 		// A duplicate takeover notification (the HAgent retries when an
 		// earlier ack was lost) must still activate the checkpoint.
@@ -268,7 +322,7 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 		}
 		return Ack{Status: StatusIgnored, HashVersion: version}, nil
 	}
-	b.state = st
+	b.state.Store(st)
 	b.settled = ctx.Clock().Now()
 	// The rehash may have moved the checkpoint buddy; resync from scratch.
 	b.ckFull = true
@@ -280,12 +334,7 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 	}
 
 	// Group entries this IAgent no longer owns by their new owner.
-	b.mu.Lock()
-	entries := make(map[ids.AgentID]platform.NodeID, len(b.Table))
-	for agent, node := range b.Table {
-		entries[agent] = node
-	}
-	b.mu.Unlock()
+	entries := b.Table.Snapshot()
 	moved := make(map[ids.AgentID]*HandoffReq)
 	for agent, node := range entries {
 		owner, _, err := st.OwnerOf(agent)
@@ -319,14 +368,14 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 		}
 		b.mu.Lock()
 		for agent := range h.Entries {
-			delete(b.Table, agent)
 			delete(b.Pending, agent)
 		}
-		b.metTable.Set(int64(len(b.Table)))
 		b.mu.Unlock()
 		for agent := range h.Entries {
+			b.Table.Delete(agent)
 			b.loads.Remove(agent)
 		}
+		b.metTable.Set(int64(b.Table.Len()))
 	}
 
 	if !stillPresent {
@@ -346,12 +395,10 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 // handoff merges entries transferred from another IAgent during rehashing.
 func (b *IAgentBehavior) handoff(req HandoffReq) Ack {
 	b.mu.Lock()
-	for agent, node := range req.Entries {
-		b.Table[agent] = node
+	for agent := range req.Entries {
 		b.ckDirty[agent] = true
 		delete(b.ckRemoved, agent)
 	}
-	b.metTable.Set(int64(len(b.Table)))
 	if len(req.Pending) > 0 && b.Pending == nil {
 		b.Pending = make(map[ids.AgentID][]Deposited)
 	}
@@ -359,15 +406,14 @@ func (b *IAgentBehavior) handoff(req HandoffReq) Ack {
 		b.Pending[agent] = append(b.Pending[agent], msgs...)
 	}
 	b.mu.Unlock()
-	for agent := range req.Entries {
+	for agent, node := range req.Entries {
+		b.Table.Put(agent, node)
 		for i := uint64(0); i < req.Load[agent]; i++ {
 			b.loads.Add(agent)
 		}
 	}
-	b.mu.Lock()
-	version := b.state.Version()
-	b.mu.Unlock()
-	return Ack{Status: StatusOK, HashVersion: version}
+	b.metTable.Set(int64(b.Table.Len()))
+	return Ack{Status: StatusOK, HashVersion: b.state.Load().Version()}
 }
 
 // callWithRetry retries transient call failures a few times; handoffs must
@@ -412,9 +458,9 @@ func (b *IAgentBehavior) Run(ctx *platform.Context) error {
 		}
 		b.mu.Lock()
 		dead := b.dead
-		version := b.state.Version()
 		settled := b.settled
 		b.mu.Unlock()
+		version := b.state.Load().Version()
 
 		if dead {
 			ctx.Dispose()

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"agentloc/internal/clock"
+	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
+	"agentloc/internal/platform"
+)
+
+// defaultLocCacheSize caps cached locations when Config.LocateCacheSize is
+// zero.
+const defaultLocCacheSize = 4096
+
+// locCache is the client-side location cache: agent → (node, hash version,
+// expiry). Correctness rests on two rules, both enforced here and both
+// server-authoritative:
+//
+//   - Version fence: the cache remembers the highest hash version any reply
+//     has carried; entries cached under an older version are never served.
+//     A rehash therefore invalidates the cache the moment the client hears
+//     the new version from anyone — IAgent, LHAgent, or batch ack.
+//   - TTL: a fresh-versioned entry is still only served within
+//     LocateCacheTTL of being stored, bounding how long a cached node can
+//     lag a mobile agent that moved without the client hearing about it.
+//
+// Any not-here or stale-version reply from the responsible IAgent drops the
+// entry and the caller falls through to the §4.3 refresh-and-retry loop;
+// the cache only ever short-circuits the happy path.
+type locCache struct {
+	ttl time.Duration
+	max int
+	clk clock.Clock
+
+	// Hit/miss accounting; nil-safe no-ops without a registry.
+	hits, misses, expired, fenced *metrics.Counter
+
+	mu      sync.Mutex
+	minVer  uint64 // highest hash version observed; older entries are dead
+	entries map[ids.AgentID]locEntry
+}
+
+type locEntry struct {
+	node    platform.NodeID
+	version uint64
+	expires time.Time
+}
+
+// newLocCache builds a cache; returns nil (disabled) when ttl is zero.
+func newLocCache(cfg Config, clk clock.Clock, reg *metrics.Registry) *locCache {
+	if cfg.LocateCacheTTL <= 0 {
+		return nil
+	}
+	max := cfg.LocateCacheSize
+	if max <= 0 {
+		max = defaultLocCacheSize
+	}
+	reg.Describe("agentloc_core_client_cache_total", "Client location-cache lookups, by result.")
+	return &locCache{
+		ttl:     cfg.LocateCacheTTL,
+		max:     max,
+		clk:     clk,
+		hits:    reg.Counter("agentloc_core_client_cache_total", "result", "hit"),
+		misses:  reg.Counter("agentloc_core_client_cache_total", "result", "miss"),
+		expired: reg.Counter("agentloc_core_client_cache_total", "result", "expired"),
+		fenced:  reg.Counter("agentloc_core_client_cache_total", "result", "fenced"),
+		entries: make(map[ids.AgentID]locEntry),
+	}
+}
+
+// get returns the cached node of an agent if the entry is both
+// version-fresh and within its TTL. Nil receivers (cache disabled) miss.
+func (c *locCache) get(agent ids.AgentID) (platform.NodeID, bool) {
+	if c == nil {
+		return "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[agent]
+	switch {
+	case !ok:
+		c.misses.Inc()
+		return "", false
+	case e.version < c.minVer:
+		delete(c.entries, agent)
+		c.fenced.Inc()
+		return "", false
+	case c.clk.Now().After(e.expires):
+		delete(c.entries, agent)
+		c.expired.Inc()
+		return "", false
+	default:
+		c.hits.Inc()
+		return e.node, true
+	}
+}
+
+// put stores a located node under the hash version that vouched for it.
+func (c *locCache) put(agent ids.AgentID, node platform.NodeID, version uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version < c.minVer {
+		return // already fenced off; do not resurrect a stale answer
+	}
+	if len(c.entries) >= c.max {
+		if _, ok := c.entries[agent]; !ok {
+			// Evict one arbitrary entry; random replacement is adequate
+			// for a bound that exists to cap memory, not tune hit rate.
+			for victim := range c.entries {
+				delete(c.entries, victim)
+				break
+			}
+		}
+	}
+	c.entries[agent] = locEntry{node: node, version: version, expires: c.clk.Now().Add(c.ttl)}
+}
+
+// invalidate drops one agent's entry (not-here reply, failed call to the
+// cached node, or application-level miss).
+func (c *locCache) invalidate(agent ids.AgentID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.entries, agent)
+	c.mu.Unlock()
+}
+
+// fence raises the minimum acceptable hash version. Entries cached under
+// older versions die lazily at their next lookup.
+func (c *locCache) fence(version uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if version > c.minVer {
+		c.minVer = version
+	}
+	c.mu.Unlock()
+}

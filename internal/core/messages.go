@@ -23,6 +23,8 @@ const (
 	KindUpdate     = "loc.update"
 	KindLocate     = "loc.locate"
 	KindDeregister = "loc.deregister"
+	// Batcher → IAgent: coalesced move updates, one RPC per peer per tick.
+	KindUpdateBatch = "loc.update-batch"
 
 	// HAgent → IAgent.
 	KindAdoptState = "loc.adopt-state"
@@ -109,6 +111,18 @@ type UpdateReq struct {
 // DeregisterReq removes a disposed agent's entry.
 type DeregisterReq struct {
 	Agent ids.AgentID
+}
+
+// UpdateBatchReq coalesces several agents' move updates into one RPC. Each
+// entry is acknowledged individually: a batch is a transport optimization,
+// not a transaction, so one stale entry must not fail its peers.
+type UpdateBatchReq struct {
+	Updates []UpdateReq
+}
+
+// UpdateBatchResp acks each update, index-aligned with the request.
+type UpdateBatchResp struct {
+	Acks []Ack
 }
 
 // Ack is the IAgent's response to register/update/deregister requests.

@@ -61,14 +61,13 @@ func (b *HAgentBehavior) relocate(ctx *platform.Context, req RequestRelocateReq)
 // placementTarget inspects the served agents' nodes and returns the node
 // the IAgent should move to, if any.
 func (b *IAgentBehavior) placementTarget(current platform.NodeID) (platform.NodeID, bool) {
-	b.mu.Lock()
 	hist := make(map[platform.NodeID]int)
 	total := 0
-	for _, node := range b.Table {
+	b.Table.Range(func(_ ids.AgentID, node platform.NodeID) bool {
 		hist[node]++
 		total++
-	}
-	b.mu.Unlock()
+		return true
+	})
 	if total < b.Cfg.PlacementMinAgents {
 		return "", false
 	}
@@ -96,9 +95,7 @@ func (b *IAgentBehavior) maybeRelocate(ctx *platform.Context) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	b.mu.Lock()
-	version := b.state.Version()
-	b.mu.Unlock()
+	version := b.state.Load().Version()
 	req := RequestRelocateReq{
 		IAgent:      ctx.Self(),
 		From:        ctx.Node(),
@@ -118,9 +115,10 @@ func (b *IAgentBehavior) maybeRelocate(ctx *platform.Context) (bool, error) {
 	// the destination. A fresh State value replaces the old one — readers
 	// hold the previous pointer, which stays immutable.
 	b.mu.Lock()
-	ns := &State{Ver: resp.HashVersion, Tree: b.state.Tree, Locations: copyLocations(b.state.Locations)}
+	cur := b.state.Load()
+	ns := &State{Ver: resp.HashVersion, Tree: cur.Tree, Locations: copyLocations(cur.Locations)}
 	ns.Locations[ctx.Self()] = target
-	b.state = ns
+	b.state.Store(ns)
 	b.StateSnapshot = ns.DTO()
 	b.mu.Unlock()
 	b.LoadSnapshot = b.loads.Snapshot()

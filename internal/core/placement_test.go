@@ -6,25 +6,25 @@ import (
 	"time"
 
 	"agentloc/internal/ids"
-	"agentloc/internal/platform"
+	"agentloc/internal/loctable"
 )
 
 func TestPlacementTargetSelection(t *testing.T) {
 	b := &IAgentBehavior{
 		Cfg:   Config{PlacementMajority: 0.6, PlacementMinAgents: 4},
-		Table: map[ids.AgentID]platform.NodeID{},
+		Table: loctable.New(),
 	}
 	// Too few agents.
-	b.Table["a"] = "far"
+	b.Table.Put("a", "far")
 	if _, ok := b.placementTarget("home"); ok {
 		t.Error("relocated for a single agent")
 	}
 	// Majority elsewhere.
 	for i := 0; i < 7; i++ {
-		b.Table[ids.AgentID(fmt.Sprintf("m-%d", i))] = "far"
+		b.Table.Put(ids.AgentID(fmt.Sprintf("m-%d", i)), "far")
 	}
 	for i := 0; i < 3; i++ {
-		b.Table[ids.AgentID(fmt.Sprintf("h-%d", i))] = "home"
+		b.Table.Put(ids.AgentID(fmt.Sprintf("h-%d", i)), "home")
 	}
 	target, ok := b.placementTarget("home")
 	if !ok || target != "far" {

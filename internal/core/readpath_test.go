@@ -1,0 +1,417 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"agentloc/internal/clock"
+	"agentloc/internal/hashtree"
+	"agentloc/internal/ids"
+	"agentloc/internal/metrics"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// countingCaller wraps a Caller and counts Call invocations by kind, so
+// tests can assert that a cached Locate really does zero RPCs.
+type countingCaller struct {
+	Caller
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func newCountingCaller(inner Caller) *countingCaller {
+	return &countingCaller{Caller: inner, calls: make(map[string]int)}
+}
+
+func (c *countingCaller) Call(ctx context.Context, at platform.NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	c.mu.Lock()
+	c.calls[kind]++
+	c.mu.Unlock()
+	return c.Caller.Call(ctx, at, agent, kind, req, resp)
+}
+
+func (c *countingCaller) count(kind string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[kind]
+}
+
+func (c *countingCaller) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.calls {
+		n += v
+	}
+	return n
+}
+
+func TestLocateCacheServesWithZeroRPCs(t *testing.T) {
+	c := newTestCluster(t, quietConfig(), 2)
+	ctx := testCtx(t)
+
+	if _, err := c.service.ClientFor(c.nodes[0]).Register(ctx, "cached-agent"); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quietConfig()
+	cfg.LocateCacheTTL = time.Minute
+	cc := newCountingCaller(NodeCaller{N: c.nodes[1]})
+	client := NewClient(cc, cfg)
+
+	where, err := client.Locate(ctx, "cached-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != c.nodes[0].ID() {
+		t.Fatalf("located at %s, want %s", where, c.nodes[0].ID())
+	}
+	base := cc.total()
+
+	// Repeated locates must be answered from the cache: zero RPCs of any
+	// kind, not just zero KindLocate.
+	for i := 0; i < 5; i++ {
+		where, err = client.Locate(ctx, "cached-agent")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if where != c.nodes[0].ID() {
+			t.Fatalf("cached locate = %s", where)
+		}
+	}
+	if got := cc.total(); got != base {
+		t.Fatalf("cached locates performed %d RPCs", got-base)
+	}
+
+	// Invalidation forces the next locate back to the server.
+	client.InvalidateLocation("cached-agent")
+	if _, err := client.Locate(ctx, "cached-agent"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.count(KindLocate); got != 2 {
+		t.Fatalf("locate RPCs after invalidation = %d, want 2", got)
+	}
+}
+
+func TestLocateCacheTTLExpiry(t *testing.T) {
+	c := newTestCluster(t, quietConfig(), 1)
+	ctx := testCtx(t)
+
+	if _, err := c.service.ClientFor(c.nodes[0]).Register(ctx, "ttl-agent"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cache keeps its own clock; running it on a fake while the cluster
+	// stays on the wall clock keeps the test deterministic.
+	fake := clock.NewFake(time.Unix(1000, 0))
+	cfg := quietConfig()
+	cfg.Clock = fake
+	cfg.LocateCacheTTL = time.Second
+	cc := newCountingCaller(NodeCaller{N: c.nodes[0]})
+	client := NewClient(cc, cfg)
+
+	if _, err := client.Locate(ctx, "ttl-agent"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Locate(ctx, "ttl-agent"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.count(KindLocate); got != 1 {
+		t.Fatalf("locate RPCs within TTL = %d, want 1", got)
+	}
+
+	fake.Advance(2 * time.Second)
+	if _, err := client.Locate(ctx, "ttl-agent"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.count(KindLocate); got != 2 {
+		t.Fatalf("locate RPCs after TTL expiry = %d, want 2", got)
+	}
+}
+
+func TestLocateCacheFencedByHashVersionBump(t *testing.T) {
+	c := newTestCluster(t, quietConfig(), 2)
+	ctx := testCtx(t)
+
+	reg0 := c.service.ClientFor(c.nodes[0])
+	if _, err := reg0.Register(ctx, "mover"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg0.Register(ctx, "bystander"); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quietConfig()
+	cfg.LocateCacheTTL = time.Hour // TTL must not be what saves us here
+	cc := newCountingCaller(NodeCaller{N: c.nodes[1]})
+	client := NewClient(cc, cfg)
+
+	if where, err := client.Locate(ctx, "mover"); err != nil || where != c.nodes[0].ID() {
+		t.Fatalf("locate mover = %s, %v", where, err)
+	}
+
+	// The agent moves; the cached client has not heard about it and, within
+	// TTL and with no version bump, is allowed to serve the stale node.
+	if _, err := c.service.ClientFor(c.nodes[1]).MoveNotify(ctx, "mover", Assignment{}); err != nil {
+		t.Fatal(err)
+	}
+	locatesBefore := cc.count(KindLocate)
+	if where, err := client.Locate(ctx, "mover"); err != nil || where != c.nodes[0].ID() {
+		t.Fatalf("pre-fence cached locate = %s, %v (want stale cached answer)", where, err)
+	}
+	if cc.count(KindLocate) != locatesBefore {
+		t.Fatal("pre-fence locate was not served from cache")
+	}
+
+	// A rehash bumps the hash version. Push a version-2 state with the same
+	// single leaf so responsibilities do not change — only the version does.
+	st := &State{
+		Ver:       2,
+		Tree:      hashtree.New("iagent-1"),
+		Locations: map[ids.AgentID]platform.NodeID{"iagent-1": c.nodes[0].ID()},
+	}
+	var ack Ack
+	if err := c.nodes[0].CallAgent(ctx, c.nodes[0].ID(), "iagent-1", KindAdoptState, AdoptStateReq{State: st.DTO()}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Status != StatusOK {
+		t.Fatalf("adopt v2 status = %v", ack.Status)
+	}
+
+	// Any reply carrying the new version fences the cache — here, an
+	// unrelated locate that must go to the server.
+	if _, err := client.Locate(ctx, "bystander"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fenced entry must not be served: the next locate goes back to the
+	// server and returns the agent's true location.
+	where, err := client.Locate(ctx, "mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where != c.nodes[1].ID() {
+		t.Fatalf("post-fence locate = %s, want %s (stale cache entry served across version bump)", where, c.nodes[1].ID())
+	}
+}
+
+func TestUpdateBatcherCoalescesPerPeerPerTick(t *testing.T) {
+	c := newTestCluster(t, quietConfig(), 2)
+	ctx := testCtx(t)
+
+	const agents = 8
+	reg := c.service.ClientFor(c.nodes[0])
+	assigns := make([]Assignment, agents)
+	for i := range assigns {
+		a, err := reg.Register(ctx, ids.AgentID(fmt.Sprintf("batch-agent-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assigns[i] = a
+	}
+
+	// The batcher runs on a fake clock so the tick boundary is under test
+	// control: everything enqueued before the Advance is one flush.
+	fake := clock.NewFake(time.Unix(1000, 0))
+	bcfg := quietConfig()
+	bcfg.Clock = fake
+	cc := newCountingCaller(NodeCaller{N: c.nodes[1]})
+	b := NewUpdateBatcher(cc, bcfg, 50*time.Millisecond)
+	defer b.Close()
+
+	client := NewClient(NodeCaller{N: c.nodes[1]}, quietConfig()).WithBatcher(b)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, agents)
+	for i := 0; i < agents; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := client.MoveNotify(ctx, ids.AgentID(fmt.Sprintf("batch-agent-%d", i)), assigns[i]); err != nil {
+				errs <- fmt.Errorf("move %d: %w", i, err)
+			}
+		}(i)
+	}
+
+	// Wait until all updates are queued and the flush loop is parked on the
+	// fake clock, then release exactly one tick.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b.mu.Lock()
+		queued := 0
+		for _, q := range b.queues {
+			queued += len(q)
+		}
+		b.mu.Unlock()
+		if queued == agents && fake.PendingWaiters() >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d updates queued", queued, agents)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fake.Advance(50 * time.Millisecond)
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := cc.count(KindUpdateBatch); got != 1 {
+		t.Errorf("batch RPCs = %d, want 1 (one RPC per peer per tick)", got)
+	}
+	if got := cc.count(KindUpdate); got != 0 {
+		t.Errorf("unbatched update RPCs = %d, want 0", got)
+	}
+
+	// Every entry was acked individually and applied: all agents now locate
+	// at the mover's node.
+	probe := c.service.ClientFor(c.nodes[0])
+	for i := 0; i < agents; i++ {
+		where, err := probe.Locate(ctx, ids.AgentID(fmt.Sprintf("batch-agent-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if where != c.nodes[1].ID() {
+			t.Errorf("batch-agent-%d at %s, want %s", i, where, c.nodes[1].ID())
+		}
+	}
+}
+
+func TestIAgentParallelLocateAndRegister(t *testing.T) {
+	// Readers and writers hammer one IAgent concurrently: locates travel the
+	// sharded fast path (no mailbox) while registers and moves go through
+	// the serial mailbox. Run under -race this exercises the striped table
+	// and the lock-free state pointer. Nodes get a real metrics registry so
+	// the fast-path counter is observable.
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	t.Cleanup(func() { net.Close() })
+	reg0 := metrics.New()
+	nodes := make([]*platform.Node, 2)
+	for i := range nodes {
+		pcfg := platform.Config{ID: platform.NodeID(fmt.Sprintf("node-%d", i)), Link: net}
+		if i == 0 {
+			pcfg.Metrics = reg0
+		}
+		n, err := platform.NewNode(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	svc, err := Deploy(context.Background(), quietConfig(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &testCluster{nodes: nodes, service: svc}
+	ctx := testCtx(t)
+
+	const hot = 16
+	reg := c.service.ClientFor(c.nodes[0])
+	for i := 0; i < hot; i++ {
+		if _, err := reg.Register(ctx, ids.AgentID(fmt.Sprintf("hot-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			client := c.service.ClientFor(c.nodes[r%2])
+			for i := 0; i < 40; i++ {
+				target := ids.AgentID(fmt.Sprintf("hot-%d", (r+i)%hot))
+				if _, err := client.Locate(ctx, target); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := c.service.ClientFor(c.nodes[w%2])
+			for i := 0; i < 20; i++ {
+				id := ids.AgentID(fmt.Sprintf("new-%d-%d", w, i))
+				assign, err := client.Register(ctx, id)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d register: %w", w, err)
+					return
+				}
+				if _, err := client.MoveNotify(ctx, id, assign); err != nil {
+					errs <- fmt.Errorf("writer %d move: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Everything registered mid-storm is locatable afterwards.
+	probe := c.service.ClientFor(c.nodes[1])
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 20; i++ {
+			if _, err := probe.Locate(ctx, ids.AgentID(fmt.Sprintf("new-%d-%d", w, i))); err != nil {
+				t.Fatalf("post-storm locate new-%d-%d: %v", w, i, err)
+			}
+		}
+	}
+
+	// The locates above must have travelled the concurrent fast path.
+	fast := reg0.Counter("agentloc_platform_agent_requests_fastpath_total", "node", string(c.nodes[0].ID()))
+	if fast.Value() == 0 {
+		t.Error("no requests took the concurrent fast path")
+	}
+}
+
+func TestLocCacheRefusesFencedPut(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	cache := newLocCache(Config{LocateCacheTTL: time.Minute, LocateCacheSize: 2}, fake, nil)
+
+	cache.put("a", "node-x", 1)
+	if node, ok := cache.get("a"); !ok || node != "node-x" {
+		t.Fatalf("get = %s, %v", node, ok)
+	}
+
+	// Fencing at version 3 kills the version-1 entry and refuses any put
+	// below the fence — a racing locate must not resurrect a stale answer.
+	cache.fence(3)
+	if _, ok := cache.get("a"); ok {
+		t.Fatal("fenced entry served")
+	}
+	cache.put("a", "node-x", 2)
+	if _, ok := cache.get("a"); ok {
+		t.Fatal("below-fence put accepted")
+	}
+	cache.put("a", "node-y", 3)
+	if node, ok := cache.get("a"); !ok || node != "node-y" {
+		t.Fatalf("at-fence put: get = %s, %v", node, ok)
+	}
+
+	// The size cap holds: a third distinct agent evicts rather than grows.
+	cache.put("b", "node-y", 3)
+	cache.put("c", "node-z", 3)
+	cache.mu.Lock()
+	n := len(cache.entries)
+	cache.mu.Unlock()
+	if n > 2 {
+		t.Errorf("cache grew to %d entries, cap 2", n)
+	}
+}

@@ -35,9 +35,16 @@ func (id AgentID) String() string { return string(id) }
 // high-order bits nearly constant for short similar strings, so the
 // finalizer (murmur3's fmix64) avalanches them.
 func (id AgentID) Binary() bitstr.Bits {
+	return bitstr.FromUint64(id.Hash64(), BinaryWidth)
+}
+
+// Hash64 returns the 64-bit mixed hash behind Binary without materializing
+// the bit string. Hot paths that only need well-distributed id bits (stripe
+// selection, cache keys) use it to avoid the bitstr allocation.
+func (id AgentID) Hash64() uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(id)) // hash.Hash.Write never returns an error
-	return bitstr.FromUint64(fmix64(h.Sum64()), BinaryWidth)
+	return fmix64(h.Sum64())
 }
 
 // fmix64 is the murmur3 64-bit finalizer: a bijective mixer with full

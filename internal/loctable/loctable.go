@@ -1,0 +1,166 @@
+// Package loctable provides the sharded location table behind an IAgent:
+// agent-id → node mappings split over N power-of-two stripes, each behind
+// its own sync.RWMutex. Stripes are selected from the agent id's mixed hash
+// bits, so concurrent Get calls (the locate hot path) never contend with
+// each other and only collide with a Put/Delete that lands on the same
+// stripe. Full-table operations (Snapshot, Range) take one stripe lock at a
+// time — readers and writers on other stripes proceed while a snapshot or a
+// checkpoint iteration is in flight; there is no global pause.
+//
+// A Table gob-encodes as a plain map, so behaviours that carry one in their
+// migrating state serialize exactly as they did when the field was a map.
+package loctable
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"sync/atomic"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+)
+
+// DefaultStripes is the stripe count used by New. 16 stripes keep stripe
+// collisions between a reader and a writer below ~6% while the per-table
+// footprint stays negligible.
+const DefaultStripes = 16
+
+// stripe is one lock-plus-map shard of the table.
+type stripe struct {
+	mu sync.RWMutex
+	m  map[ids.AgentID]platform.NodeID
+}
+
+// Table is a sharded agent-location map, safe for concurrent use.
+type Table struct {
+	stripes []stripe
+	mask    uint64
+	count   atomic.Int64
+}
+
+// New returns an empty table with DefaultStripes stripes.
+func New() *Table { return NewWithStripes(DefaultStripes) }
+
+// NewWithStripes returns an empty table with n stripes, rounded up to the
+// next power of two (minimum 1).
+func NewWithStripes(n int) *Table {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &Table{stripes: make([]stripe, size), mask: uint64(size - 1)}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[ids.AgentID]platform.NodeID)
+	}
+	return t
+}
+
+// stripeFor selects the stripe serving the agent. The hash tree consumes
+// the id's leading bits, so a leaf deep in the tree serves ids that share a
+// long prefix; striping by the hash's LOW bits keeps the stripes of a hot
+// leaf uniformly loaded regardless of the leaf's depth.
+func (t *Table) stripeFor(agent ids.AgentID) *stripe {
+	return &t.stripes[agent.Hash64()&t.mask]
+}
+
+// Get returns the recorded node of an agent.
+func (t *Table) Get(agent ids.AgentID) (platform.NodeID, bool) {
+	s := t.stripeFor(agent)
+	s.mu.RLock()
+	node, ok := s.m[agent]
+	s.mu.RUnlock()
+	return node, ok
+}
+
+// Put records (or replaces) the agent's node.
+func (t *Table) Put(agent ids.AgentID, node platform.NodeID) {
+	s := t.stripeFor(agent)
+	s.mu.Lock()
+	_, existed := s.m[agent]
+	s.m[agent] = node
+	s.mu.Unlock()
+	if !existed {
+		t.count.Add(1)
+	}
+}
+
+// Delete forgets an agent, reporting whether an entry existed.
+func (t *Table) Delete(agent ids.AgentID) bool {
+	s := t.stripeFor(agent)
+	s.mu.Lock()
+	_, existed := s.m[agent]
+	delete(s.m, agent)
+	s.mu.Unlock()
+	if existed {
+		t.count.Add(-1)
+	}
+	return existed
+}
+
+// Len returns the number of entries. It reads a counter maintained across
+// stripes, so it never takes a lock.
+func (t *Table) Len() int { return int(t.count.Load()) }
+
+// Snapshot copies the table into a plain map, locking one stripe at a time.
+// Entries mutated on already-visited stripes during the copy may be missed —
+// the same weak consistency a concurrent map range would give, and exactly
+// what incremental checkpointing tolerates.
+func (t *Table) Snapshot() map[ids.AgentID]platform.NodeID {
+	out := make(map[ids.AgentID]platform.NodeID, t.Len())
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		for a, n := range s.m {
+			out[a] = n
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Range calls f for every entry until f returns false, holding only the
+// current stripe's read lock. f must not call back into the same Table's
+// write methods (self-deadlock on the stripe lock).
+func (t *Table) Range(f func(agent ids.AgentID, node platform.NodeID) bool) {
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		for a, n := range s.m {
+			if !f(a, n) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// GobEncode implements gob.GobEncoder: the table serializes as the plain
+// map form, keeping behaviour snapshots identical to the pre-sharding wire
+// format.
+func (t *Table) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t.Snapshot()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Table) GobDecode(data []byte) error {
+	var m map[ids.AgentID]platform.NodeID
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return err
+	}
+	if t.stripes == nil {
+		// Initialize in place; assigning a whole Table would copy its locks.
+		fresh := New()
+		t.stripes = fresh.stripes
+		t.mask = fresh.mask
+	}
+	for a, n := range m {
+		t.Put(a, n)
+	}
+	return nil
+}

@@ -54,6 +54,24 @@ type Runner interface {
 	Run(ctx *Context) error
 }
 
+// ConcurrentBehavior is optionally implemented by behaviours that can serve
+// some requests outside the serial mailbox. When the node delivers a request
+// to such a behaviour it first offers it to HandleConcurrent on the
+// delivering goroutine — concurrently with the mailbox and with any other
+// in-flight HandleConcurrent calls. Returning handled=false routes the
+// request through the mailbox as usual.
+//
+// Implementations must make HandleConcurrent safe against concurrent
+// HandleRequest/Run activity on the same behaviour value; only requests that
+// touch nothing but concurrency-safe state (e.g. a sharded read-mostly
+// table) should be handled here. This is how a read-dominated agent escapes
+// the one-request-at-a-time queueing model that the plain Behavior contract
+// guarantees.
+type ConcurrentBehavior interface {
+	Behavior
+	HandleConcurrent(ctx *Context, kind string, payload []byte) (result any, handled bool, err error)
+}
+
 // RegisterBehavior registers a migrating behaviour's concrete type with
 // gob. Call it once per type, typically from the package that defines the
 // behaviour, before any agent of that type migrates.
@@ -151,6 +169,7 @@ type Node struct {
 	migrations    *metrics.Counter
 	transfersIn   *metrics.Counter
 	agentRequests *metrics.Counter
+	fastRequests  *metrics.Counter
 
 	mu     sync.Mutex
 	agents map[ids.AgentID]*hosted
@@ -181,12 +200,14 @@ func NewNode(cfg Config) (*Node, error) {
 		r.Describe("agentloc_platform_migrations_total", "Successful outbound agent migrations, by node.")
 		r.Describe("agentloc_platform_transfers_in_total", "Agents received via transfer, by node.")
 		r.Describe("agentloc_platform_agent_requests_total", "Requests delivered into agent mailboxes, by node.")
+		r.Describe("agentloc_platform_agent_requests_fastpath_total", "Requests served on the concurrent fast path, bypassing the mailbox, by node.")
 	}
 	node := string(cfg.ID)
 	n.hostedGauge = cfg.Metrics.Gauge("agentloc_platform_agents_hosted", "node", node)
 	n.migrations = cfg.Metrics.Counter("agentloc_platform_migrations_total", "node", node)
 	n.transfersIn = cfg.Metrics.Counter("agentloc_platform_transfers_in_total", "node", node)
 	n.agentRequests = cfg.Metrics.Counter("agentloc_platform_agent_requests_total", "node", node)
+	n.fastRequests = cfg.Metrics.Counter("agentloc_platform_agent_requests_fastpath_total", "node", node)
 	peer, err := transport.NewPeerWithMetrics(cfg.Link, cfg.ID.Addr(), n.handle, cfg.Metrics)
 	if err != nil {
 		return nil, fmt.Errorf("node %s: %w", cfg.ID, err)
@@ -416,8 +437,9 @@ func (n *Node) handle(from transport.Addr, kind string, payload []byte) (any, er
 	}
 }
 
-// deliver routes a request into the target agent's mailbox and waits for
-// the result.
+// deliver routes a request to the target agent — through HandleConcurrent
+// when the behaviour offers it and accepts the request, otherwise into the
+// serial mailbox — and waits for the result.
 func (n *Node) deliver(req agentRequest) (any, error) {
 	n.mu.Lock()
 	h, ok := n.agents[req.Agent]
@@ -426,7 +448,7 @@ func (n *Node) deliver(req agentRequest) (any, error) {
 		return nil, fmt.Errorf("%s%s not at %s", agentNotFoundPrefix, req.Agent, n.id)
 	}
 	n.agentRequests.Inc()
-	result, err := h.submit(req)
+	result, err := h.serve(req)
 	if err != nil {
 		return nil, err
 	}

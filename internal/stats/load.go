@@ -6,50 +6,78 @@ import (
 	"agentloc/internal/ids"
 )
 
+// loadStripes is the number of internal shards of a LoadAccount, chosen to
+// match the location-table stripe count so a hot leaf's bookkeeping scales
+// with the same parallelism as its lookups. Must be a power of two.
+const loadStripes = 16
+
 // LoadAccount tracks, per served mobile agent, the accumulated number of
 // update and query requests (paper §4.1: "we maintain for each agent the
 // accumulated rate of update and query requests"). The rehashing machinery
 // consults it to choose split bits that divide the load evenly.
 //
-// LoadAccount is safe for concurrent use.
+// LoadAccount is safe for concurrent use. Add sits on the locate fast path,
+// so the map is striped by agent-id hash bits: two concurrent Adds only
+// contend when they land on the same stripe. Whole-account reads (Total,
+// Snapshot, SplitEvenness) lock one stripe at a time and are weakly
+// consistent, which the split heuristics tolerate — they read trends, not
+// invariants.
 type LoadAccount struct {
+	stripes [loadStripes]loadStripe
+}
+
+type loadStripe struct {
 	mu   sync.Mutex
 	load map[ids.AgentID]uint64
 }
 
 // NewLoadAccount returns an empty account.
 func NewLoadAccount() *LoadAccount {
-	return &LoadAccount{load: make(map[ids.AgentID]uint64)}
+	a := &LoadAccount{}
+	for i := range a.stripes {
+		a.stripes[i].load = make(map[ids.AgentID]uint64)
+	}
+	return a
+}
+
+func (a *LoadAccount) stripeFor(id ids.AgentID) *loadStripe {
+	return &a.stripes[id.Hash64()&(loadStripes-1)]
 }
 
 // Add charges one request for the given agent.
 func (a *LoadAccount) Add(id ids.AgentID) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.load[id]++
+	s := a.stripeFor(id)
+	s.mu.Lock()
+	s.load[id]++
+	s.mu.Unlock()
 }
 
 // Remove forgets an agent entirely (it moved to another IAgent or died).
 func (a *LoadAccount) Remove(id ids.AgentID) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	delete(a.load, id)
+	s := a.stripeFor(id)
+	s.mu.Lock()
+	delete(s.load, id)
+	s.mu.Unlock()
 }
 
 // Load returns the accumulated request count for one agent.
 func (a *LoadAccount) Load(id ids.AgentID) uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.load[id]
+	s := a.stripeFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load[id]
 }
 
 // Total returns the accumulated request count over all served agents.
 func (a *LoadAccount) Total() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	var sum uint64
-	for _, v := range a.load {
-		sum += v
+	for i := range a.stripes {
+		s := &a.stripes[i]
+		s.mu.Lock()
+		for _, v := range s.load {
+			sum += v
+		}
+		s.mu.Unlock()
 	}
 	return sum
 }
@@ -57,22 +85,28 @@ func (a *LoadAccount) Total() uint64 {
 // Agents returns the ids of all agents with recorded load. The slice is a
 // copy and safe to retain.
 func (a *LoadAccount) Agents() []ids.AgentID {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]ids.AgentID, 0, len(a.load))
-	for id := range a.load {
-		out = append(out, id)
+	var out []ids.AgentID
+	for i := range a.stripes {
+		s := &a.stripes[i]
+		s.mu.Lock()
+		for id := range s.load {
+			out = append(out, id)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // Snapshot returns a copy of the per-agent load map.
 func (a *LoadAccount) Snapshot() map[ids.AgentID]uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make(map[ids.AgentID]uint64, len(a.load))
-	for id, v := range a.load {
-		out[id] = v
+	out := make(map[ids.AgentID]uint64)
+	for i := range a.stripes {
+		s := &a.stripes[i]
+		s.mu.Lock()
+		for id, v := range s.load {
+			out[id] = v
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -84,19 +118,22 @@ func (a *LoadAccount) Snapshot() map[ids.AgentID]uint64 {
 // (paper §4.1: increment m "until m is sufficiently large to produce an even
 // split").
 func (a *LoadAccount) SplitEvenness(sideA func(ids.AgentID) bool) (fracA, fracB float64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	var la, lb uint64
-	for id, v := range a.load {
-		w := v
-		if w == 0 {
-			w = 1 // an agent with no recorded requests still counts as presence
+	for i := range a.stripes {
+		s := &a.stripes[i]
+		s.mu.Lock()
+		for id, v := range s.load {
+			w := v
+			if w == 0 {
+				w = 1 // an agent with no recorded requests still counts as presence
+			}
+			if sideA(id) {
+				la += w
+			} else {
+				lb += w
+			}
 		}
-		if sideA(id) {
-			la += w
-		} else {
-			lb += w
-		}
+		s.mu.Unlock()
 	}
 	total := la + lb
 	if total == 0 {

@@ -7,6 +7,7 @@ package stats
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"agentloc/internal/clock"
@@ -17,8 +18,15 @@ import (
 // requests received by each IAgent"; a sliding window keeps the estimate
 // responsive to workload shifts without being jumpy.
 //
-// RateEstimator is safe for concurrent use.
+// RateEstimator is safe for concurrent use. Record is a single atomic add —
+// it sits on the locate fast path, where a shared mutex would serialize the
+// very readers the sharded table lets run in parallel. Pending events are
+// timestamped when they are folded into the ring (at the next Rate or
+// RecordN call); with folds every rate-check interval the skew is far below
+// the window and cannot flip a split/merge decision.
 type RateEstimator struct {
+	pending atomic.Int64 // events recorded since the last fold
+
 	mu     sync.Mutex
 	clk    clock.Clock
 	window time.Duration
@@ -42,9 +50,10 @@ func NewRateEstimator(clk clock.Clock, window time.Duration) *RateEstimator {
 	}
 }
 
-// Record notes one event at the current time.
+// Record notes one event. It is wait-free: the event is counted now and
+// folded into the sliding window at the next Rate or RecordN call.
 func (r *RateEstimator) Record() {
-	r.RecordN(1)
+	r.pending.Add(1)
 }
 
 // RecordN notes n simultaneous events at the current time.
@@ -55,6 +64,7 @@ func (r *RateEstimator) RecordN(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.clk.Now()
+	r.fold(now)
 	r.evict(now)
 	for i := 0; i < n; i++ {
 		r.push(now)
@@ -67,6 +77,7 @@ func (r *RateEstimator) Rate() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.clk.Now()
+	r.fold(now)
 	r.evict(now)
 	return float64(r.count) / r.window.Seconds()
 }
@@ -75,14 +86,28 @@ func (r *RateEstimator) Rate() float64 {
 func (r *RateEstimator) Total() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.total
+	return r.total + uint64(r.pending.Load())
 }
 
 // Reset clears the window (but not the lifetime total).
 func (r *RateEstimator) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Events recorded up to this instant belong to the window being
+	// discarded; fold them into the lifetime total without re-populating
+	// the ring.
+	r.total += uint64(r.pending.Swap(0))
 	r.head, r.count = 0, 0
+}
+
+// fold drains atomically recorded events into the ring, timestamped now.
+// Caller holds mu.
+func (r *RateEstimator) fold(now time.Time) {
+	n := r.pending.Swap(0)
+	for i := int64(0); i < n; i++ {
+		r.push(now)
+	}
+	r.total += uint64(n)
 }
 
 // push appends an event time, growing the ring if needed. Caller holds mu.

@@ -45,10 +45,16 @@ func TestRateEstimatorWindowEviction(t *testing.T) {
 func TestRateEstimatorConvergesToInjectedRate(t *testing.T) {
 	clk := clock.NewFake(time.Unix(0, 0))
 	r := NewRateEstimator(clk, 2*time.Second)
-	// Inject 50 events/sec for 5 seconds.
+	// Inject 50 events/sec for 5 seconds, polling Rate every 200ms the way
+	// the IAgent's periodic load check does. Pending events are timestamped
+	// at the poll that folds them, so the estimate converges as long as the
+	// poll interval is small against the window.
 	for i := 0; i < 250; i++ {
 		r.Record()
 		clk.Advance(20 * time.Millisecond)
+		if i%10 == 9 {
+			_ = r.Rate()
+		}
 	}
 	got := r.Rate()
 	if got < 45 || got > 55 {
@@ -185,8 +191,8 @@ func TestLoadAccountZeroLoadCountsAsPresence(t *testing.T) {
 	a.Remove("x")
 	// Re-add with zero accumulated requests via Snapshot trickery is not
 	// possible through the public API, so exercise the w==0 branch with a
-	// direct map entry.
-	a.load["silent"] = 0
+	// direct stripe entry.
+	a.stripeFor("silent").load["silent"] = 0
 	fa, fb := a.SplitEvenness(func(id ids.AgentID) bool { return id == "silent" })
 	if fa != 1 || fb != 0 {
 		t.Errorf("SplitEvenness = %v, %v, want 1, 0", fa, fb)

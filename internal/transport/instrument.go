@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+
 	"agentloc/internal/metrics"
 )
 
@@ -69,7 +71,17 @@ func (l *instrumentedLink) Unlisten(addr Addr) { l.inner.Unlisten(addr) }
 
 // Send implements Link.
 func (l *instrumentedLink) Send(env Envelope) error {
-	err := l.inner.Send(env)
+	return l.note(env, l.inner.Send(env))
+}
+
+// SendCtx implements ContextSender, forwarding to the inner link's SendCtx
+// when it has one so wrapping a TCP link does not cost it ctx-aware sends.
+func (l *instrumentedLink) SendCtx(ctx context.Context, env Envelope) error {
+	return l.note(env, SendWithContext(ctx, l.inner, env))
+}
+
+// note accounts one send outcome.
+func (l *instrumentedLink) note(env Envelope, err error) error {
 	if err != nil {
 		l.reg.Counter(metricSendErrs, "kind", env.Kind).Inc()
 		return err

@@ -90,10 +90,12 @@ func (p *Peer) Call(ctx context.Context, to Addr, kind string, req, resp any) er
 	start := time.Now()
 	// Send on its own goroutine so the call honours ctx even while the
 	// link blocks (a TCP write to a stalled peer holds Send until its
-	// write deadline). An abandoned send finishes — and its goroutine
-	// exits — when the link's own deadline fires.
+	// write deadline). The ctx travels into the send: a ctx-aware link
+	// abandons dials and redial pauses the moment the caller gives up, so
+	// the goroutine exits promptly instead of riding out the link's own
+	// deadlines.
 	sendErr := make(chan error, 1)
-	go func() { sendErr <- p.link.Send(env) }()
+	go func() { sendErr <- SendWithContext(ctx, p.link, env) }()
 	select {
 	case err := <-sendErr:
 		if err != nil {

@@ -97,7 +97,10 @@ type tcpConn struct {
 	enc  *gob.Encoder
 }
 
-var _ Link = (*TCP)(nil)
+var (
+	_ Link          = (*TCP)(nil)
+	_ ContextSender = (*TCP)(nil)
+)
 
 // pickTimeout resolves a config knob against its default: zero selects the
 // default, negative disables (returns 0).
@@ -182,6 +185,14 @@ func (t *TCP) Unlisten(addr Addr) {
 // without touching the network. Envelopes that hit a broken cached
 // connection are transparently resent once over a fresh connection.
 func (t *TCP) Send(env Envelope) error {
+	return t.SendCtx(context.Background(), env)
+}
+
+// SendCtx implements ContextSender: Send, but the dial and the
+// redial-backoff pause are abandoned when ctx expires. Without this a caller
+// whose deadline fires mid-redial leaks a goroutine into the full
+// backoff-dial-resend sequence for an answer nobody is waiting on.
+func (t *TCP) SendCtx(ctx context.Context, env Envelope) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -216,16 +227,16 @@ func (t *TCP) Send(env Envelope) error {
 		return nil
 	}
 	t.mu.Unlock()
-	return t.sendVia(target, env)
+	return t.sendVia(ctx, target, env)
 }
 
 // sendVia delivers env over the cached connection to target. When the
 // write fails on a connection that was already cached — broken while idle,
 // typically a peer restart or reset — it redials once after a short pause
 // and resends, so a single stale connection does not surface as a
-// protocol-level failure.
-func (t *TCP) sendVia(target string, env Envelope) error {
-	c, cached, err := t.connTo(target)
+// protocol-level failure. The pause and the redial honour ctx.
+func (t *TCP) sendVia(ctx context.Context, target string, env Envelope) error {
+	c, cached, err := t.connTo(ctx, target)
 	if err != nil {
 		t.noteConnError("dial", env.To, err)
 		return err
@@ -242,9 +253,15 @@ func (t *TCP) sendVia(target string, env Envelope) error {
 		return fmt.Errorf("tcp send to %s (%s): %w", env.To, target, err)
 	}
 	if t.redialBackoff > 0 {
-		time.Sleep(t.redialBackoff)
+		timer := time.NewTimer(t.redialBackoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("tcp send to %s (%s): redial abandoned: %w", env.To, target, ctx.Err())
+		}
 	}
-	c2, _, err2 := t.connTo(target)
+	c2, _, err2 := t.connTo(ctx, target)
 	if err2 != nil {
 		t.noteConnError("dial", env.To, err2)
 		return fmt.Errorf("tcp send to %s (%s): redial: %w", env.To, target, err2)
@@ -264,8 +281,10 @@ func (t *TCP) writeEnv(c *tcpConn, env Envelope) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if t.writeTimeout > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
-		defer c.conn.SetWriteDeadline(time.Time{})
+		// A deadline-set failure means the conn is already dead; the write
+		// below surfaces that.
+		_ = c.conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+		defer func() { _ = c.conn.SetWriteDeadline(time.Time{}) }()
 	}
 	return c.enc.Encode(env)
 }
@@ -298,9 +317,10 @@ func (t *TCP) Close() error {
 }
 
 // connTo returns a cached connection to the target, dialing (with the
-// configured timeout) if needed. cached reports whether the returned
-// connection predates this call — i.e. whether its liveness is unproven.
-func (t *TCP) connTo(target string) (c *tcpConn, cached bool, err error) {
+// configured timeout, bounded additionally by ctx) if needed. cached reports
+// whether the returned connection predates this call — i.e. whether its
+// liveness is unproven.
+func (t *TCP) connTo(ctx context.Context, target string) (c *tcpConn, cached bool, err error) {
 	t.mu.Lock()
 	if c, ok := t.conns[target]; ok {
 		t.mu.Unlock()
@@ -309,7 +329,7 @@ func (t *TCP) connTo(target string) (c *tcpConn, cached bool, err error) {
 	t.mu.Unlock()
 
 	d := net.Dialer{Timeout: t.dialTimeout}
-	conn, err := d.DialContext(context.Background(), "tcp", target)
+	conn, err := d.DialContext(ctx, "tcp", target)
 	if err != nil {
 		return nil, false, fmt.Errorf("tcp dial %s: %w", target, err)
 	}

@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -53,6 +54,25 @@ type Link interface {
 	Send(env Envelope) error
 	// Close releases the link. In-flight envelopes may be dropped.
 	Close() error
+}
+
+// ContextSender is optionally implemented by Links whose Send can block for
+// real time — dialing, redial backoff, write deadlines. SendCtx abandons the
+// attempt when ctx expires instead of seeing it through, so a caller that has
+// already given up does not pin a goroutine to the full dial-backoff-resend
+// sequence.
+type ContextSender interface {
+	SendCtx(ctx context.Context, env Envelope) error
+}
+
+// SendWithContext sends through SendCtx when the link offers it and falls
+// back to plain Send otherwise (in-memory links never block long enough to
+// matter).
+func SendWithContext(ctx context.Context, l Link, env Envelope) error {
+	if cs, ok := l.(ContextSender); ok {
+		return cs.SendCtx(ctx, env)
+	}
+	return l.Send(env)
 }
 
 // Common transport errors.

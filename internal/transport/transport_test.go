@@ -2,8 +2,10 @@ package transport
 
 import (
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -583,5 +585,102 @@ func TestTCPRedialAfterPeerRestart(t *testing.T) {
 	}
 	if !delivered {
 		t.Fatal("sends never recovered after peer restart")
+	}
+}
+
+func TestTCPSendCtxAbandonsRedialOnCancel(t *testing.T) {
+	// Regression: a send that hits a broken cached connection used to sleep
+	// through the full redial backoff even after the caller's context
+	// expired, pinning the sending goroutine to work nobody waits for. With
+	// a backoff of a minute, a prompt return is only possible if SendCtx
+	// honours the context.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	link, err := NewTCP(TCPConfig{
+		ListenOn:      "127.0.0.1:0",
+		Directory:     map[Addr]string{"server": deadAddr},
+		RedialBackoff: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	// Plant a broken cached connection so the send takes the
+	// write-failed-on-cached-conn path into the redial backoff, not a
+	// fresh dial.
+	a, b := net.Pipe()
+	b.Close()
+	a.Close()
+	link.mu.Lock()
+	link.conns[deadAddr] = &tcpConn{conn: a, enc: gob.NewEncoder(a)}
+	link.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = link.SendCtx(ctx, Envelope{From: "c", To: "server", Kind: "x"})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SendCtx = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("SendCtx held for %v; the redial backoff ignored the context", elapsed)
+	}
+}
+
+func TestPeerCallReturnsPromptlyWhenCtxExpiresMidRedial(t *testing.T) {
+	// The same scenario through the RPC layer: Call's send goroutine must
+	// inherit the call context, so cancelling the call tears the send out
+	// of the redial pause instead of leaking it for the full backoff.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	link, err := NewTCP(TCPConfig{
+		ListenOn:      "127.0.0.1:0",
+		Directory:     map[Addr]string{"server": deadAddr},
+		RedialBackoff: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	a, b := net.Pipe()
+	b.Close()
+	a.Close()
+	link.mu.Lock()
+	link.conns[deadAddr] = &tcpConn{conn: a, enc: gob.NewEncoder(a)}
+	link.mu.Unlock()
+
+	peer, err := NewPeer(link, "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- peer.Call(ctx, "server", "x", nil, nil) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Call succeeded against a dead peer")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call did not return after its context expired mid-redial")
 	}
 }
