@@ -457,7 +457,7 @@ func BenchmarkBinaryRepresentation(b *testing.B) {
 func BenchmarkRPCRoundTrip(b *testing.B) {
 	net := transport.NewNetwork(transport.NetworkConfig{})
 	defer net.Close()
-	server, err := transport.NewPeer(net, "bench-server", func(_ transport.Addr, _ string, payload []byte) (any, error) {
+	server, err := transport.NewPeer(net, "bench-server", func(_ context.Context, _ transport.Addr, _ string, payload []byte) (any, error) {
 		return struct{ N int }{N: len(payload)}, nil
 	})
 	if err != nil {

@@ -1,9 +1,21 @@
 // Command benchdiff compares a benchmark run against a committed baseline
 // and fails when the read path regressed. It consumes the JSON written by
-// `make bench` (internal/bench's BENCH_read_path.json) and gates on p99
-// latency: any benchmark whose current p99 exceeds the baseline by more than
-// -max-p99-regress (default 15%) makes benchdiff exit non-zero, so CI can
-// surface the regression.
+// `make bench` (internal/bench's BENCH_read_path.json) and gates on three
+// axes:
+//
+//   - p99 latency: a variant whose current p99 exceeds the baseline by more
+//     than -max-p99-regress (default 15%) fails the gate.
+//   - mean chase hops: the tracing layer attributes each locate's protocol
+//     RPC rounds; a rise past -max-hops-regress (default 20%) means the read
+//     path started taking extra network round trips — a structural
+//     regression that raw p99 can hide on a fast network.
+//   - p99 retry-attributed latency: time spent in backoff waits per
+//     operation; a rise past -max-retry-regress-us (default 500µs absolute)
+//     means requests are colliding with staleness far more often.
+//
+// The hop and retry gates only engage when the baseline carries the fields
+// (older baselines predate trace attribution), so the tool keeps working
+// against files written by older binaries.
 //
 //	benchdiff -baseline BENCH_read_path.json -current /tmp/bench.json
 package main
@@ -16,13 +28,17 @@ import (
 )
 
 // result mirrors internal/bench.Result's JSON, decoupled from the package so
-// the gate keeps working against files written by older binaries.
+// the gate keeps working against files written by older binaries. The
+// trace-derived fields are pointers so a baseline that predates them is
+// distinguishable from a measured zero.
 type result struct {
-	Name       string  `json:"name"`
-	Ops        int     `json:"ops"`
-	Throughput float64 `json:"throughput_ops_per_sec"`
-	P50Us      float64 `json:"p50_us"`
-	P99Us      float64 `json:"p99_us"`
+	Name       string   `json:"name"`
+	Ops        int      `json:"ops"`
+	Throughput float64  `json:"throughput_ops_per_sec"`
+	P50Us      float64  `json:"p50_us"`
+	P99Us      float64  `json:"p99_us"`
+	MeanHops   *float64 `json:"mean_hops_per_op,omitempty"`
+	P99RetryUs *float64 `json:"p99_retry_us,omitempty"`
 }
 
 type file struct {
@@ -33,18 +49,20 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_read_path.json", "committed baseline JSON")
 	currentPath := flag.String("current", "", "freshly measured JSON to compare")
 	maxP99 := flag.Float64("max-p99-regress", 0.15, "maximum tolerated relative p99 increase (0.15 = +15%)")
+	maxHops := flag.Float64("max-hops-regress", 0.20, "maximum tolerated relative mean-chase-hops increase")
+	maxRetryUs := flag.Float64("max-retry-regress-us", 500, "maximum tolerated absolute p99 retry-attributed latency increase, µs")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
 		os.Exit(2)
 	}
-	if err := run(*baselinePath, *currentPath, *maxP99); err != nil {
+	if err := run(*baselinePath, *currentPath, *maxP99, *maxHops, *maxRetryUs); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, currentPath string, maxP99 float64) error {
+func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs float64) error {
 	baseline, err := load(baselinePath)
 	if err != nil {
 		return err
@@ -59,7 +77,8 @@ func run(baselinePath, currentPath string, maxP99 float64) error {
 	}
 
 	var failures []string
-	fmt.Printf("%-22s %12s %12s %8s %14s %14s\n", "benchmark", "base p99µs", "cur p99µs", "Δp99", "base ops/s", "cur ops/s")
+	fmt.Printf("%-22s %12s %12s %8s %14s %14s %10s %12s\n",
+		"benchmark", "base p99µs", "cur p99µs", "Δp99", "base ops/s", "cur ops/s", "Δhops", "Δretry-p99")
 	for _, base := range baseline.Benchmarks {
 		c, ok := cur[base.Name]
 		if !ok {
@@ -70,8 +89,31 @@ func run(baselinePath, currentPath string, maxP99 float64) error {
 		if base.P99Us > 0 {
 			delta = (c.P99Us - base.P99Us) / base.P99Us
 		}
-		fmt.Printf("%-22s %12.0f %12.0f %+7.1f%% %14.0f %14.0f\n",
-			base.Name, base.P99Us, c.P99Us, delta*100, base.Throughput, c.Throughput)
+		hopsCol, retryCol := "n/a", "n/a"
+
+		if base.MeanHops != nil && c.MeanHops != nil {
+			hopDelta := 0.0
+			if *base.MeanHops > 0 {
+				hopDelta = (*c.MeanHops - *base.MeanHops) / *base.MeanHops
+			}
+			hopsCol = fmt.Sprintf("%+.1f%%", hopDelta*100)
+			if hopDelta > maxHops {
+				failures = append(failures,
+					fmt.Sprintf("%s: mean chase hops %.2f -> %.2f (%+.1f%%, limit %+.1f%%)",
+						base.Name, *base.MeanHops, *c.MeanHops, hopDelta*100, maxHops*100))
+			}
+		}
+		if base.P99RetryUs != nil && c.P99RetryUs != nil {
+			retryDelta := *c.P99RetryUs - *base.P99RetryUs
+			retryCol = fmt.Sprintf("%+.0fµs", retryDelta)
+			if retryDelta > maxRetryUs {
+				failures = append(failures,
+					fmt.Sprintf("%s: p99 retry-attributed latency %.0fµs -> %.0fµs (+%.0fµs, limit +%.0fµs)",
+						base.Name, *base.P99RetryUs, *c.P99RetryUs, retryDelta, maxRetryUs))
+			}
+		}
+		fmt.Printf("%-22s %12.0f %12.0f %+7.1f%% %14.0f %14.0f %10s %12s\n",
+			base.Name, base.P99Us, c.P99Us, delta*100, base.Throughput, c.Throughput, hopsCol, retryCol)
 		if delta > maxP99 {
 			failures = append(failures,
 				fmt.Sprintf("%s: p99 %.0fµs -> %.0fµs (%+.1f%%, limit %+.1f%%)",
@@ -82,9 +124,9 @@ func run(baselinePath, currentPath string, maxP99 float64) error {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", f)
 		}
-		return fmt.Errorf("%d benchmark(s) regressed past the %.0f%% p99 gate", len(failures), maxP99*100)
+		return fmt.Errorf("%d regression(s) past the p99/hops/retry gates", len(failures))
 	}
-	fmt.Println("benchdiff: within the p99 gate")
+	fmt.Println("benchdiff: within the p99, chase-hop and retry gates")
 	return nil
 }
 

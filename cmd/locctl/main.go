@@ -9,19 +9,29 @@
 //	locctl -peers ... -hagent-node node-0 deposit tagent-3 "report in"
 //	locctl -peers ... -hagent-node node-0 tree
 //
-// The metrics subcommand needs no cluster membership — it scrapes a
-// locnode's -metrics-addr endpoint over HTTP and pretty-prints it:
+// The metrics and events subcommands need no cluster membership — they
+// scrape a locnode's -metrics-addr endpoint over HTTP and pretty-print it:
 //
 //	locctl metrics 127.0.0.1:9100
+//	locctl events 127.0.0.1:9100 rehash.
+//
+// The trace subcommand joins the cluster, runs one fully-traced locate, then
+// scrapes the spans every named node recorded for it and reassembles the
+// causal tree with a per-phase latency breakdown:
+//
+//	locctl -peers ... -hagent-node node-0 trace tagent-3 \
+//	    127.0.0.1:9100 127.0.0.1:9101 127.0.0.1:9102
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -32,6 +42,7 @@ import (
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 	"agentloc/internal/workload"
 )
@@ -54,11 +65,15 @@ func run(args []string) error {
 	}
 	cmd := fs.Args()
 	if len(cmd) == 0 {
-		return fmt.Errorf("missing command (stats | tree | locate <agent> | register <agent> | deposit <agent> <text> | spawn <count> <residence> | metrics <host:port>)")
+		return fmt.Errorf("missing command (stats | tree | locate <agent> | register <agent> | deposit <agent> <text> | spawn <count> <residence> | trace <agent> <host:port>... | metrics <host:port> | events <host:port> [kind-prefix])")
 	}
-	// metrics scrapes over plain HTTP; it needs no cluster membership.
-	if cmd[0] == "metrics" {
+	// metrics and events scrape over plain HTTP; they need no cluster
+	// membership.
+	switch cmd[0] {
+	case "metrics":
 		return metricsCmd(cmd[1:], *timeout, os.Stdout)
+	case "events":
+		return eventsCmd(cmd[1:], *timeout, os.Stdout)
 	}
 	if *peers == "" || *hagentNode == "" {
 		return fmt.Errorf("need -peers and -hagent-node")
@@ -87,7 +102,11 @@ func run(args []string) error {
 	// DOES need to reach us. Register our listen address with every peer
 	// by using a stable id derived from the listen port.
 	ctlID := platform.NodeID("locctl-" + strings.ReplaceAll(link.ListenAddr(), ":", "-"))
-	node, err := platform.NewNode(platform.Config{ID: ctlID, Link: link})
+	// The control node traces every operation it issues (sample 1): locctl
+	// is a probe, so its spans are the client-tier roots that the trace
+	// subcommand stitches the cluster's server spans onto.
+	tracer := trace.NewRecorder(string(ctlID), 1024, 1)
+	node, err := platform.NewNode(platform.Config{ID: ctlID, Link: link, Tracer: tracer})
 	if err != nil {
 		return err
 	}
@@ -126,6 +145,11 @@ func run(args []string) error {
 		}
 		fmt.Printf("%s is at %s\n", cmd[1], where)
 		return nil
+	case "trace":
+		if len(cmd) < 2 {
+			return fmt.Errorf("usage: trace <agent> <host:port>...")
+		}
+		return traceCmd(ctx, client, tracer, ids.AgentID(cmd[1]), cmd[2:], *timeout, os.Stdout)
 	case "deposit":
 		if len(cmd) != 3 {
 			return fmt.Errorf("usage: deposit <agent> <text>")
@@ -181,6 +205,131 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd[0])
 	}
+}
+
+// traceCmd runs one fully-traced locate, scrapes the spans every named
+// node's /trace endpoint retained for that trace, and reassembles them into
+// a single causal tree with a per-phase latency breakdown. The locctl node
+// itself records the client-tier root (its recorder samples every trace),
+// so the locate issued here is guaranteed to be traced end to end.
+func traceCmd(ctx context.Context, client *core.Client, tracer *trace.Recorder, agent ids.AgentID, endpoints []string, timeout time.Duration, w io.Writer) error {
+	where, err := client.Locate(ctx, agent)
+	if err != nil {
+		return fmt.Errorf("locate %s: %w", agent, err)
+	}
+	fmt.Fprintf(w, "%s is at %s\n", agent, where)
+
+	// The probe's own spans (client root, whois served by the local
+	// LHAgent) plus whatever the cluster recorded for the same trace.
+	spans := tracer.Snapshot()
+	traceID := trace.LatestClientTraceID(spans)
+	if traceID == 0 {
+		return fmt.Errorf("no client root span recorded locally")
+	}
+	httpc := &http.Client{Timeout: timeout}
+	for _, ep := range endpoints {
+		dump, err := fetchTrace(httpc, ep)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, dump.Spans...)
+		if dump.Dropped > 0 {
+			fmt.Fprintf(w, "note: node %s has dropped %d spans; the tree may be partial\n", dump.Node, dump.Dropped)
+		}
+	}
+
+	roots := trace.Assemble(spans, traceID)
+	if len(roots) == 0 {
+		return fmt.Errorf("trace %#x: no spans found", traceID)
+	}
+	nodes := trace.Nodes(roots)
+	fmt.Fprintf(w, "trace %#x: %d span(s) across %d node(s) %v\n",
+		traceID, countSpans(roots), len(nodes), nodes)
+	fmt.Fprint(w, trace.RenderTree(roots))
+	if len(roots) > 1 {
+		fmt.Fprintf(w, "note: %d roots — some parent spans were not scraped (evicted, or a node was not listed)\n", len(roots))
+	}
+
+	a := trace.Attribute(roots[0])
+	fmt.Fprintf(w, "latency attribution for %s:\n", roots[0].Span.Name)
+	names := make([]string, 0, len(a.Phases))
+	for name := range a.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := a.Phases[name]
+		fmt.Fprintf(w, "  %-16s %10v  (%4.1f%%)\n", name, d.Round(time.Microsecond), 100*float64(d)/float64(a.Total))
+	}
+	fmt.Fprintf(w, "  %-16s %10v  (%4.1f%%)\n", "unattributed", a.Unattributed().Round(time.Microsecond), 100*float64(a.Unattributed())/float64(a.Total))
+	fmt.Fprintf(w, "  %-16s %10v\n", "total", a.Total.Round(time.Microsecond))
+	return nil
+}
+
+// countSpans sizes an assembled forest.
+func countSpans(roots []*trace.TreeNode) int {
+	n := 0
+	for _, r := range roots {
+		n += 1 + countSpans(r.Children)
+	}
+	return n
+}
+
+// fetchTrace GETs one node's /trace dump.
+func fetchTrace(c *http.Client, endpoint string) (*trace.Dump, error) {
+	url := endpoint
+	if !strings.Contains(url, "://") {
+		url = "http://" + url + "/trace"
+	}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch %s: %s", url, resp.Status)
+	}
+	var dump trace.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", url, err)
+	}
+	return &dump, nil
+}
+
+// eventsCmd fetches a node's decision log over HTTP, optionally filtered to
+// event kinds with the given prefix, and prints one event per line.
+func eventsCmd(args []string, timeout time.Duration, w io.Writer) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: events <host:port | url> [kind-prefix]")
+	}
+	url := args[0]
+	if !strings.Contains(url, "://") {
+		url = "http://" + url + "/events"
+	}
+	if len(args) == 2 {
+		url += "?kind=" + neturl.QueryEscape(args[1])
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch %s: %s", url, resp.Status)
+	}
+	var events []trace.Event
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		return fmt.Errorf("parse %s: %w", url, err)
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(w, "no events")
+		return nil
+	}
+	for _, e := range events {
+		fmt.Fprintln(w, e.String())
+	}
+	return nil
 }
 
 // metricsCmd fetches a node's Prometheus exposition and renders it for

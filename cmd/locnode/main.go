@@ -16,7 +16,9 @@
 //
 // With -metrics-addr the node additionally serves its observability
 // endpoints over HTTP: /metrics (Prometheus text format), /varz (the full
-// snapshot as JSON) and /healthz.
+// snapshot as JSON), /healthz, /trace (the node's recorded spans, scraped
+// by locctl trace), /events (the decision log, fetched by locctl events)
+// and the standard Go profiling handlers under /debug/pprof/.
 package main
 
 import (
@@ -73,7 +75,9 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 	service := fs.Duration("service", time.Millisecond, "IAgent per-request service time")
 	heartbeat := fs.Duration("heartbeat", 0, "IAgent heartbeat interval; enables crash tolerance (0 = off)")
 	suspectMisses := fs.Int("suspect-misses", 0, "missed heartbeats before an IAgent is suspected (0 = default 3)")
-	metricsAddr := fs.String("metrics-addr", "", "host:port for the /metrics, /varz and /healthz HTTP endpoints (off when empty)")
+	metricsAddr := fs.String("metrics-addr", "", "host:port for the /metrics, /varz, /healthz, /trace, /events and /debug/pprof HTTP endpoints (off when empty)")
+	traceCapacity := fs.Int("trace-capacity", 2048, "completed spans the node retains for /trace")
+	traceSample := fs.Int("trace-sample", 1, "record every Nth trace (1 = every request)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +93,8 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 	reg := metrics.New()
 	log := trace.NewLog(256)
 	metrics.BridgeTrace(log, reg)
+	tracer := trace.NewRecorder(*id, *traceCapacity, *traceSample)
+	metrics.BridgeSpans(tracer, reg)
 
 	link, err := transport.NewTCP(transport.TCPConfig{
 		ListenOn:  *listen,
@@ -107,6 +113,7 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 		Link:    transport.Instrument(link, reg),
 		Trace:   log,
 		Metrics: reg,
+		Tracer:  tracer,
 	})
 	if err != nil {
 		return err
@@ -161,13 +168,13 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		httpSrv = &http.Server{Handler: metrics.Handler(reg, func() any {
+		httpSrv = &http.Server{Handler: metrics.ObservabilityHandler(reg, func() any {
 			return map[string]any{
 				"status": "ok",
 				"node":   string(node.ID()),
 				"agents": len(node.Agents()),
 			}
-		})}
+		}, tracer, log)}
 		go func() {
 			// Server shutdown is reported through Shutdown below;
 			// ErrServerClosed here is the normal exit.

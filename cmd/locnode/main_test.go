@@ -12,6 +12,7 @@ import (
 
 	"agentloc/internal/metrics/metricstest"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 )
 
@@ -137,6 +138,23 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if health.Status != "ok" || health.Node != "node-0" || health.Agents != 3 {
 		t.Errorf("healthz = %+v", health)
+	}
+
+	// The tracing surface rides the same mux: /trace serves the node's
+	// span recorder, /events its decision log, /debug/pprof/ the profiler.
+	var dump trace.Dump
+	if err := json.Unmarshal([]byte(get("/trace")), &dump); err != nil {
+		t.Fatalf("/trace not a span dump: %v", err)
+	}
+	if dump.Node != "node-0" {
+		t.Errorf("/trace node = %q, want node-0", dump.Node)
+	}
+	var events []trace.Event
+	if err := json.Unmarshal([]byte(get("/events")), &events); err != nil {
+		t.Fatalf("/events not an event list: %v", err)
+	}
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
 	}
 
 	close(stop)

@@ -20,12 +20,14 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"agentloc/internal/core"
 	"agentloc/internal/ids"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 )
 
@@ -57,6 +59,11 @@ type Config struct {
 	CacheTTL time.Duration
 	// Seed makes the popularity and mix draws reproducible (default 1).
 	Seed int64
+	// TraceSample records every Nth operation's spans (default 4). The hop
+	// and phase aggregates are computed from the sampled operations;
+	// sampling keeps the recorder's cost out of the measured path on small
+	// machines. Set 1 to trace every operation.
+	TraceSample int
 }
 
 func (c *Config) fillDefaults() {
@@ -81,9 +88,15 @@ func (c *Config) fillDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.TraceSample <= 0 {
+		c.TraceSample = 4
+	}
 }
 
 // Result is one run's measurements, serialized into BENCH_read_path.json.
+// The hop and phase fields come from the per-node span recorders: sampled
+// operations are traced end to end, and the recorders' hooks aggregate the
+// client spans as they complete.
 type Result struct {
 	Name         string  `json:"name"`
 	Workers      int     `json:"workers"`
@@ -95,6 +108,17 @@ type Result struct {
 	P50Us        float64 `json:"p50_us"`
 	P99Us        float64 `json:"p99_us"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
+	// CacheHitRate is the share of locates answered from the client cache.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// MeanHops is the mean protocol RPC rounds per operation (cache hits
+	// count as zero).
+	MeanHops float64 `json:"mean_hops_per_op"`
+	// P99RetryUs is the 99th percentile of per-operation time spent in
+	// retry backoff — zero for operations that succeeded first try.
+	P99RetryUs float64 `json:"p99_retry_us"`
+	// PhaseMeanUs attributes mean latency to client phases (whois,
+	// iagent.locate, backoff, ...).
+	PhaseMeanUs map[string]float64 `json:"phase_mean_us,omitempty"`
 }
 
 // Harness is a deployed cluster ready to be driven. Create with NewHarness,
@@ -107,6 +131,93 @@ type Harness struct {
 	agents  []ids.AgentID
 	assign  core.Assignment
 	clients []*core.Client
+	agg     *spanAgg
+}
+
+// spanAgg folds client spans into per-run aggregates as the recorders
+// complete them, so the bench never has to retain (or even ring-buffer) the
+// full span stream.
+type spanAgg struct {
+	mu         sync.Mutex
+	cacheHits  int
+	cacheMiss  int
+	rpcsSum    int
+	rootN      int
+	rootIDs    []uint64
+	backoffNS  map[uint64]int64
+	phaseNS    map[string]int64
+	phaseCount map[string]int64
+}
+
+func newSpanAgg() *spanAgg {
+	a := &spanAgg{}
+	a.reset()
+	return a
+}
+
+func (a *spanAgg) reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cacheHits, a.cacheMiss, a.rpcsSum, a.rootN = 0, 0, 0, 0
+	a.rootIDs = a.rootIDs[:0]
+	a.backoffNS = make(map[uint64]int64)
+	a.phaseNS = make(map[string]int64)
+	a.phaseCount = make(map[string]int64)
+}
+
+// observe folds one completed span. Client roots carry the op-level facts
+// (cache=hit/miss, rpcs=N); child phases contribute to the attribution
+// table; backoff children accumulate per-trace so retry-attributed latency
+// can be read per operation.
+func (a *spanAgg) observe(s trace.Span) {
+	if s.Tier != "client" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s.Parent == 0 {
+		a.rootN++
+		a.rootIDs = append(a.rootIDs, s.TraceID)
+		switch s.Attr("cache") {
+		case "hit":
+			a.cacheHits++
+		case "miss":
+			a.cacheMiss++
+		}
+		rpcs, _ := strconv.Atoi(s.Attr("rpcs"))
+		a.rpcsSum += rpcs
+		return
+	}
+	a.phaseNS[s.Name] += int64(s.Duration)
+	a.phaseCount[s.Name]++
+	if s.Name == "backoff" {
+		a.backoffNS[s.TraceID] += int64(s.Duration)
+	}
+}
+
+// fold writes the aggregates into r. Phase means are per occurrence; the
+// retry percentile is per operation, counting zero for operations that
+// never backed off.
+func (a *spanAgg) fold(r *Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.rootN == 0 {
+		return
+	}
+	if lookups := a.cacheHits + a.cacheMiss; lookups > 0 {
+		r.CacheHitRate = float64(a.cacheHits) / float64(lookups)
+	}
+	r.MeanHops = float64(a.rpcsSum) / float64(a.rootN)
+	retry := make([]time.Duration, len(a.rootIDs))
+	for i, id := range a.rootIDs {
+		retry[i] = time.Duration(a.backoffNS[id])
+	}
+	sort.Slice(retry, func(i, j int) bool { return retry[i] < retry[j] })
+	r.P99RetryUs = percentileMicros(retry, 0.99)
+	r.PhaseMeanUs = make(map[string]float64, len(a.phaseNS))
+	for name, ns := range a.phaseNS {
+		r.PhaseMeanUs[name] = float64(ns) / float64(a.phaseCount[name]) / float64(time.Microsecond)
+	}
 }
 
 // NewHarness deploys the cluster and registers the agent population on the
@@ -115,9 +226,16 @@ type Harness struct {
 func NewHarness(cfg Config) (*Harness, error) {
 	cfg.fillDefaults()
 	net := transport.NewNetwork(transport.NetworkConfig{})
+	agg := newSpanAgg()
 	nodes := make([]*platform.Node, cfg.Nodes)
 	for i := range nodes {
-		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("node-%d", i)), Link: net})
+		// The sampling decision is drawn at the trace root (the client
+		// operation); descendants inherit it, so a sampled op is traced at
+		// every tier. Aggregation happens in the record hook; the ring only
+		// needs to hold enough spans for post-run inspection.
+		rec := trace.NewRecorder(fmt.Sprintf("node-%d", i), 1024, cfg.TraceSample)
+		rec.SetHooks(agg.observe, nil)
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("node-%d", i)), Link: net, Tracer: rec})
 		if err != nil {
 			net.Close()
 			return nil, err
@@ -139,7 +257,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 		return nil, err
 	}
 
-	h := &Harness{cfg: cfg, net: net, nodes: nodes, service: svc}
+	h := &Harness{cfg: cfg, net: net, nodes: nodes, service: svc, agg: agg}
 	reg := svc.ClientFor(nodes[0])
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
@@ -179,6 +297,7 @@ func (h *Harness) Run(totalOps int) Result {
 
 	lats := make([][]time.Duration, cfg.Workers)
 	errCounts := make([]int, cfg.Workers)
+	h.agg.reset() // registration traffic must not count toward the run
 
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
@@ -227,7 +346,7 @@ func (h *Harness) Run(totalOps int) Result {
 	}
 
 	ops := len(all)
-	return Result{
+	res := Result{
 		Workers:      cfg.Workers,
 		ReadFraction: cfg.ReadFraction,
 		Ops:          ops,
@@ -238,6 +357,8 @@ func (h *Harness) Run(totalOps int) Result {
 		P99Us:        percentileMicros(all, 0.99),
 		AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
 	}
+	h.agg.fold(&res)
+	return res
 }
 
 // percentileMicros reads the q-quantile (0 < q <= 1) from a sorted latency

@@ -11,6 +11,7 @@ import (
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 )
 
 // ErrBatcherClosed is returned by Do after Close.
@@ -37,6 +38,7 @@ type UpdateBatcher struct {
 
 	batches *metrics.Counter
 	coal    *metrics.Counter
+	tracer  *trace.Recorder
 
 	mu     sync.Mutex
 	queues map[batchKey][]pendingUpdate
@@ -78,6 +80,7 @@ func NewUpdateBatcher(caller Caller, cfg Config, tick time.Duration) *UpdateBatc
 		cfg:    cfg,
 		clk:    clk,
 		tick:   tick,
+		tracer: CallerTracer(caller),
 		queues: make(map[batchKey][]pendingUpdate),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -167,7 +170,16 @@ func (b *UpdateBatcher) flush() {
 		if b.cfg.CallTimeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, b.cfg.CallTimeout)
 		}
+		// The flush runs on the batcher's own goroutine, outside any one
+		// caller's trace, so it records as a root control span.
+		sp := b.tracer.StartRoot("control", "batch.flush")
+		sp.Annotate("dest", string(key.iagent))
+		sp.Annotate("entries", fmt.Sprintf("%d", len(pending)))
+		if sp != nil {
+			ctx = trace.ContextWith(ctx, sp.Context())
+		}
 		err := b.caller.Call(ctx, key.node, key.iagent, KindUpdateBatch, req, &resp)
+		sp.End(err)
 		cancel()
 		b.batches.Inc()
 		b.coal.Add(uint64(len(pending)))

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 )
 
 // Client-side errors.
@@ -65,16 +67,22 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 }
 
 // backoff pauses before retry attempt n (attempt 0 is free), through the
-// injected clock so fake-clock tests drive retries deterministically.
+// injected clock so fake-clock tests drive retries deterministically. The
+// pause is traced as a "backoff" span, so latency attribution can separate
+// time spent waiting out staleness from time spent on the wire.
 func (c *Client) backoff(ctx context.Context, attempt int) error {
 	d := c.backoffDelay(attempt)
 	if d <= 0 {
 		return nil
 	}
+	sp := c.tracer.StartSpan(trace.FromContext(ctx), "client", "backoff")
+	sp.Annotate("attempt", strconv.Itoa(attempt))
 	select {
 	case <-c.clk.After(d):
+		sp.End(nil)
 		return nil
 	case <-ctx.Done():
+		sp.End(ctx.Err())
 		return ctx.Err()
 	}
 }
@@ -108,6 +116,10 @@ func (c NodeCaller) LocalNode() platform.NodeID { return c.N.ID() }
 // instrumented automatically.
 func (c NodeCaller) Metrics() *metrics.Registry { return c.N.Metrics() }
 
+// Tracer exposes the node's span recorder so clients built on this caller
+// trace their operations automatically.
+func (c NodeCaller) Tracer() *trace.Recorder { return c.N.Tracer() }
+
 // CtxCaller adapts an agent's platform.Context to Caller.
 type CtxCaller struct {
 	Ctx *platform.Context
@@ -127,6 +139,10 @@ func (c CtxCaller) LocalNode() platform.NodeID { return c.Ctx.Node() }
 // caller are instrumented automatically.
 func (c CtxCaller) Metrics() *metrics.Registry { return c.Ctx.Metrics() }
 
+// Tracer exposes the hosting node's span recorder so clients built on this
+// caller trace their operations automatically.
+func (c CtxCaller) Tracer() *trace.Recorder { return c.Ctx.Tracer() }
+
 // CallerRegistry extracts the metrics registry behind a Caller, when it
 // offers one. Callers advertise it through an optional Metrics method so the
 // Caller interface itself stays minimal. Returns nil (a valid no-op
@@ -134,6 +150,16 @@ func (c CtxCaller) Metrics() *metrics.Registry { return c.Ctx.Metrics() }
 func CallerRegistry(c Caller) *metrics.Registry {
 	if p, ok := c.(interface{ Metrics() *metrics.Registry }); ok {
 		return p.Metrics()
+	}
+	return nil
+}
+
+// CallerTracer extracts the span recorder behind a Caller, when it offers
+// one — the tracing analogue of CallerRegistry. Returns nil (a valid no-op
+// recorder) otherwise.
+func CallerTracer(c Caller) *trace.Recorder {
+	if p, ok := c.(interface{ Tracer() *trace.Recorder }); ok {
+		return p.Tracer()
 	}
 	return nil
 }
@@ -168,6 +194,13 @@ type Client struct {
 	// yield nil handles on lookup, which are valid no-ops.
 	lat     map[string]*metrics.Histogram
 	retries map[string]*metrics.Counter
+	// hops observes the protocol RPC rounds each Locate needed (cache hits
+	// observe zero); nil without metrics.
+	hops *metrics.Histogram
+
+	// tracer records client-tier spans; nil (a valid no-op) when the caller
+	// offers no recorder.
+	tracer *trace.Recorder
 
 	// cache answers Locate without an RPC while entries are version-fresh
 	// and within TTL; nil (the default) disables it. See loccache.go for
@@ -195,6 +228,7 @@ func NewClient(caller Caller, cfg Config) *Client {
 		clk:    clk,
 		rng:    rand.New(rand.NewSource(rand.Int63())),
 		cache:  newLocCache(cfg, clk, CallerRegistry(caller)),
+		tracer: CallerTracer(caller),
 	}
 	if reg := CallerRegistry(caller); reg != nil {
 		reg.Describe("agentloc_core_locate_latency_seconds", "End-to-end latency of successful Locate operations.")
@@ -202,6 +236,8 @@ func NewClient(caller Caller, cfg Config) *Client {
 		reg.Describe("agentloc_core_register_latency_seconds", "End-to-end latency of successful Register operations.")
 		reg.Describe("agentloc_core_deregister_latency_seconds", "End-to-end latency of successful Deregister operations.")
 		reg.Describe("agentloc_core_client_retries_total", "Extra protocol rounds of the §4.3 refresh-and-retry loop, by operation.")
+		reg.Describe("agentloc_locate_hops", "Protocol RPC rounds per Locate operation; cache hits observe zero.")
+		c.hops = reg.Histogram("agentloc_locate_hops", metrics.CountBuckets)
 		c.lat = map[string]*metrics.Histogram{
 			KindLocate:     reg.Histogram("agentloc_core_locate_latency_seconds", metrics.DefLatencyBuckets),
 			KindUpdate:     reg.Histogram("agentloc_core_update_latency_seconds", metrics.DefLatencyBuckets),
@@ -223,6 +259,9 @@ func NewClient(caller Caller, cfg Config) *Client {
 // hanging a deadline-less caller forever. The mechanism's agents bound
 // their internal calls the same way.
 func (c *Client) call(ctx context.Context, at platform.NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	if n := rpcCountFrom(ctx); n != nil {
+		*n++
+	}
 	if c.cfg.CallTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
@@ -231,22 +270,76 @@ func (c *Client) call(ctx context.Context, at platform.NodeID, agent ids.AgentID
 	return c.caller.Call(ctx, at, agent, kind, req, resp)
 }
 
+// rpcCountKey carries the operation's RPC counter through the call chain, so
+// every protocol round — whois, IAgent calls, refreshes, retries — counts
+// toward the op no matter which helper issued it.
+type rpcCountKey struct{}
+
+func rpcCountFrom(ctx context.Context) *int {
+	n, _ := ctx.Value(rpcCountKey{}).(*int)
+	return n
+}
+
+// startOp opens the span covering one whole client operation and returns a
+// context that carries it (plus the RPC counter). When ctx already belongs
+// to a trace — an agent serving a traced request drives this client — the op
+// joins that trace as a child; otherwise it starts a new root, subject to
+// the recorder's sampling. The caller must End the span and should pass the
+// returned context to every protocol call of the operation.
+func (c *Client) startOp(ctx context.Context, name string) (*trace.ActiveSpan, context.Context, *int) {
+	n := new(int)
+	ctx = context.WithValue(ctx, rpcCountKey{}, n)
+	var sp *trace.ActiveSpan
+	if parent := trace.FromContext(ctx); parent.Valid() {
+		sp = c.tracer.StartSpan(parent, "client", name)
+	} else {
+		sp = c.tracer.StartRoot("client", name)
+	}
+	if sp != nil {
+		ctx = trace.ContextWith(ctx, sp.Context())
+	}
+	return sp, ctx, n
+}
+
+// endOp closes an operation span with its RPC count.
+func endOp(sp *trace.ActiveSpan, rpcs *int, err error) {
+	sp.Annotate("rpcs", strconv.Itoa(*rpcs))
+	sp.End(err)
+}
+
+// childSpan opens a child span of ctx's trace context, returning a context
+// parented under it so downstream RPCs nest correctly. Untraced contexts
+// yield a nil (no-op) span and the context unchanged.
+func (c *Client) childSpan(ctx context.Context, name string) (*trace.ActiveSpan, context.Context) {
+	sp := c.tracer.StartSpan(trace.FromContext(ctx), "client", name)
+	if sp != nil {
+		ctx = trace.ContextWith(ctx, sp.Context())
+	}
+	return sp, ctx
+}
+
 // Whois asks the local LHAgent which IAgent serves the target.
 func (c *Client) Whois(ctx context.Context, target ids.AgentID) (Assignment, error) {
+	sp, ctx := c.childSpan(ctx, "whois")
 	local := c.caller.LocalNode()
 	var resp WhoisResp
 	if err := c.call(ctx, local, LHAgentID(local), KindWhois, WhoisReq{Target: target}, &resp); err != nil {
+		sp.End(err)
 		return Assignment{}, fmt.Errorf("whois %s: %w", target, err)
 	}
+	sp.Annotate("iagent", string(resp.IAgent))
+	sp.End(nil)
 	c.cache.fence(resp.HashVersion)
 	return Assignment{IAgent: resp.IAgent, Node: resp.Node, HashVersion: resp.HashVersion}, nil
 }
 
 // refreshLocal forces the local LHAgent to catch up to at least minVersion.
 func (c *Client) refreshLocal(ctx context.Context, minVersion uint64) error {
+	sp, ctx := c.childSpan(ctx, "refresh")
 	local := c.caller.LocalNode()
 	var resp RefreshResp
 	err := c.call(ctx, local, LHAgentID(local), KindRefresh, RefreshReq{MinVersion: minVersion}, &resp)
+	sp.End(err)
 	if err != nil {
 		return fmt.Errorf("refresh hash copy: %w", err)
 	}
@@ -268,6 +361,7 @@ func (c *Client) MoveNotify(ctx context.Context, self ids.AgentID, cached Assign
 
 // Deregister removes the agent's entry (agent disposal).
 func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assignment) error {
+	sp, ctx, rpcs := c.startOp(ctx, "deregister")
 	assign := cached
 	var err error
 	start := time.Now()
@@ -276,25 +370,35 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assign
 			c.retries[KindDeregister].Inc()
 		}
 		if err := c.backoff(ctx, attempt); err != nil {
+			endOp(sp, rpcs, err)
 			return err
 		}
 		if assign.Zero() {
 			assign, err = c.Whois(ctx, self)
 			if err != nil {
+				endOp(sp, rpcs, err)
 				return err
 			}
 		}
 		var ack Ack
-		err = c.call(ctx, assign.Node, assign.IAgent, KindDeregister, DeregisterReq{Agent: self}, &ack)
+		csp, cctx := c.childSpan(ctx, "iagent.deregister")
+		if attempt > 0 {
+			csp.Annotate("attempt", strconv.Itoa(attempt))
+		}
+		err = c.call(cctx, assign.Node, assign.IAgent, KindDeregister, DeregisterReq{Agent: self}, &ack)
+		csp.End(err)
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
 		if err != nil {
+			endOp(sp, rpcs, err)
 			return err
 		}
 		if !assign.Zero() {
 			c.lat[KindDeregister].ObserveDuration(time.Since(start))
+			endOp(sp, rpcs, nil)
 			return nil
 		}
 	}
+	endOp(sp, rpcs, ErrRetriesExhausted)
 	return fmt.Errorf("deregister %s: %w", self, ErrRetriesExhausted)
 }
 
@@ -306,9 +410,14 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assign
 // stale version — invalidate it before the retry loop continues, so the
 // server stays authoritative.
 func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeID, error) {
+	sp, ctx, rpcs := c.startOp(ctx, "locate")
 	if node, ok := c.cache.get(target); ok {
+		sp.Annotate("cache", "hit")
+		endOp(sp, rpcs, nil)
+		c.hops.Observe(0)
 		return node, nil
 	}
+	sp.Annotate("cache", "miss")
 	var assign Assignment
 	var err error
 	start := time.Now()
@@ -317,33 +426,45 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 			c.retries[KindLocate].Inc()
 		}
 		if err := c.backoff(ctx, attempt); err != nil {
+			endOp(sp, rpcs, err)
 			return "", err
 		}
 		if assign.Zero() {
 			assign, err = c.Whois(ctx, target)
 			if err != nil {
+				endOp(sp, rpcs, err)
 				return "", err
 			}
 		}
 		var resp LocateResp
-		err = c.call(ctx, assign.Node, assign.IAgent, KindLocate, LocateReq{Agent: target}, &resp)
+		csp, cctx := c.childSpan(ctx, "iagent.locate")
+		if attempt > 0 {
+			csp.Annotate("attempt", strconv.Itoa(attempt))
+		}
+		err = c.call(cctx, assign.Node, assign.IAgent, KindLocate, LocateReq{Agent: target}, &resp)
+		csp.End(err)
 		if err == nil && resp.Status == StatusUnknownAgent {
 			c.cache.invalidate(target)
+			endOp(sp, rpcs, ErrNotRegistered)
 			return "", fmt.Errorf("locate %s: %w", target, ErrNotRegistered)
 		}
 		assign, err = c.interpret(ctx, assign, resp.Status, resp.HashVersion, err)
 		if err != nil {
+			endOp(sp, rpcs, err)
 			return "", err
 		}
 		if !assign.Zero() {
 			c.cache.put(target, resp.Node, assign.HashVersion)
 			c.lat[KindLocate].ObserveDuration(time.Since(start))
+			c.hops.Observe(float64(*rpcs))
+			endOp(sp, rpcs, nil)
 			return resp.Node, nil
 		}
 		// The mapping proved stale; whatever we may have cached for the
 		// target under it is untrustworthy too.
 		c.cache.invalidate(target)
 	}
+	endOp(sp, rpcs, ErrRetriesExhausted)
 	return "", fmt.Errorf("locate %s: %w", target, ErrRetriesExhausted)
 }
 
@@ -356,6 +477,11 @@ func (c *Client) InvalidateLocation(target ids.AgentID) {
 
 // reportLocation implements register/update with the shared retry loop.
 func (c *Client) reportLocation(ctx context.Context, kind string, self ids.AgentID, cached Assignment) (Assignment, error) {
+	opName := "register"
+	if kind == KindUpdate {
+		opName = "update"
+	}
+	sp, ctx, rpcs := c.startOp(ctx, opName)
 	node := c.caller.LocalNode()
 	assign := cached
 	var err error
@@ -365,29 +491,43 @@ func (c *Client) reportLocation(ctx context.Context, kind string, self ids.Agent
 			c.retries[kind].Inc()
 		}
 		if err := c.backoff(ctx, attempt); err != nil {
+			endOp(sp, rpcs, err)
 			return Assignment{}, err
 		}
 		if assign.Zero() {
 			assign, err = c.Whois(ctx, self)
 			if err != nil {
+				endOp(sp, rpcs, err)
 				return Assignment{}, err
 			}
 		}
 		var ack Ack
 		if kind == KindUpdate && c.batcher != nil {
-			ack, err = c.batcher.Do(ctx, assign, self, node)
+			// The batch span covers the full queue-to-ack delay: time parked
+			// in the outgoing batch plus the coalesced RPC's round trip.
+			csp, cctx := c.childSpan(ctx, "batch.wait")
+			ack, err = c.batcher.Do(cctx, assign, self, node)
+			csp.End(err)
 		} else {
-			err = c.call(ctx, assign.Node, assign.IAgent, kind, UpdateReq{Agent: self, Node: node}, &ack)
+			csp, cctx := c.childSpan(ctx, "iagent."+opName)
+			if attempt > 0 {
+				csp.Annotate("attempt", strconv.Itoa(attempt))
+			}
+			err = c.call(cctx, assign.Node, assign.IAgent, kind, UpdateReq{Agent: self, Node: node}, &ack)
+			csp.End(err)
 		}
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
 		if err != nil {
+			endOp(sp, rpcs, err)
 			return Assignment{}, err
 		}
 		if !assign.Zero() {
 			c.lat[kind].ObserveDuration(time.Since(start))
+			endOp(sp, rpcs, nil)
 			return assign, nil
 		}
 	}
+	endOp(sp, rpcs, ErrRetriesExhausted)
 	return Assignment{}, fmt.Errorf("%s %s: %w", kind, self, ErrRetriesExhausted)
 }
 

@@ -13,6 +13,7 @@ import (
 	"agentloc/internal/hashtree"
 	"agentloc/internal/ids"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 )
 
@@ -20,6 +21,10 @@ import (
 type testCluster struct {
 	nodes   []*platform.Node
 	service *Service
+	// tracers holds one sample-everything span recorder per node when the
+	// cluster was built with tracing (newTCPCluster does; newTestCluster
+	// leaves it nil).
+	tracers []*trace.Recorder
 }
 
 func newTestCluster(t *testing.T, cfg Config, numNodes int) *testCluster {

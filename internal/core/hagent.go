@@ -144,13 +144,19 @@ func (b *HAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.split(ctx, req)
+		sp := ctx.StartSpan("control", "rehash.split")
+		resp, err := b.split(ctx, req)
+		sp.End(err)
+		return resp, err
 	case KindRequestMerge:
 		var req RequestMergeReq
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.merge(ctx, req)
+		sp := ctx.StartSpan("control", "rehash.merge")
+		resp, err := b.merge(ctx, req)
+		sp.End(err)
+		return resp, err
 	case KindRequestRelocate:
 		var req RequestRelocateReq
 		if err := transport.Decode(payload, &req); err != nil {

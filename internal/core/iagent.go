@@ -225,13 +225,19 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.adoptState(ctx, req)
+		sp := ctx.StartSpan("control", "iagent.adopt")
+		ack, err := b.adoptState(ctx, req)
+		sp.End(err)
+		return ack, err
 	case KindHandoff:
 		var req HandoffReq
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.handoff(req), nil
+		sp := ctx.StartSpan("control", "iagent.handoff")
+		ack := b.handoff(req)
+		sp.End(nil)
+		return ack, nil
 	default:
 		return nil, fmt.Errorf("IAgent %s: unknown request kind %q", ctx.Self(), kind)
 	}

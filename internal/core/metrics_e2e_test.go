@@ -152,11 +152,29 @@ func TestMetricsEndToEndSplit(t *testing.T) {
 		t.Fatal("no split during load phase")
 	}
 
-	stats, err := c.service.Stats(ctx)
-	if err != nil {
-		t.Fatal(err)
+	// A split requested during the load phase can still be completing when
+	// the load stops, so the counter and the introspection snapshot are
+	// fetched at slightly different instants. Re-read both until they agree.
+	var stats HashStatsResp
+	var s metrics.Snapshot
+	settle := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		stats, err = c.service.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s = reg.Snapshot()
+		if s.Counter("agentloc_core_rehash_total", "op", "split") == stats.Splits &&
+			s.Counter("agentloc_core_rehash_total", "op", "merge") == stats.Merges &&
+			s.Gauge("agentloc_core_hashtree_leaves") == int64(stats.NumIAgents) {
+			break
+		}
+		if time.Now().After(settle) {
+			break // fall through to the assertions for a real diagnostic
+		}
+		time.Sleep(30 * time.Millisecond)
 	}
-	s := reg.Snapshot()
 	if got := s.Counter("agentloc_core_rehash_total", "op", "split"); got != stats.Splits {
 		t.Errorf("split counter = %d, introspection says %d", got, stats.Splits)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 )
 
@@ -30,6 +31,7 @@ func newTCPCluster(t *testing.T, cfg Config, numNodes int, mut func(i int, tc *t
 		links[i] = l
 	}
 	nodes := make([]*platform.Node, numNodes)
+	tracers := make([]*trace.Recorder, numNodes)
 	for i := range nodes {
 		id := platform.NodeID(fmt.Sprintf("node-%d", i))
 		for j, l := range links {
@@ -37,7 +39,8 @@ func newTCPCluster(t *testing.T, cfg Config, numNodes int, mut func(i int, tc *t
 				links[i].AddRoute(platform.NodeID(fmt.Sprintf("node-%d", j)).Addr(), l.ListenAddr())
 			}
 		}
-		n, err := platform.NewNode(platform.Config{ID: id, Link: links[i]})
+		tracers[i] = trace.NewRecorder(string(id), 1024, 1)
+		n, err := platform.NewNode(platform.Config{ID: id, Link: links[i], Tracer: tracers[i]})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,7 +51,7 @@ func newTCPCluster(t *testing.T, cfg Config, numNodes int, mut func(i int, tc *t
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &testCluster{nodes: nodes, service: svc}, links
+	return &testCluster{nodes: nodes, service: svc, tracers: tracers}, links
 }
 
 func TestLocateStalledPeerHonorsContextDeadline(t *testing.T) {
@@ -250,5 +253,99 @@ func TestLocateConvergesAfterDropHeal(t *testing.T) {
 	}
 	if where != c.nodes[0].ID() {
 		t.Fatalf("located at %s after heal, want %s", where, c.nodes[0].ID())
+	}
+}
+
+// TestTraceSpansCloseOnTCPStall arms the write-stall fault mid-run: the
+// locate that times out against the stalled peer must leave a fully closed
+// span tree behind, with the error status on the root and on the RPC
+// attempt that hit the stall. This is what makes /trace useful during an
+// incident — the wedged requests are the ones worth inspecting.
+func TestTraceSpansCloseOnTCPStall(t *testing.T) {
+	f := transport.NewFaults()
+	cfg := quietConfig()
+	cfg.RetryBackoffBase = time.Millisecond
+	cfg.RetryBackoffMax = 2 * time.Millisecond
+	c, links := newTCPCluster(t, cfg, 2, func(i int, tc *transport.TCPConfig) {
+		if i == 1 {
+			tc.Faults = f
+			tc.WriteTimeout = time.Second
+		}
+	})
+	ctx := testCtx(t)
+	if _, err := c.service.ClientFor(c.nodes[0]).Register(ctx, "stall-traced"); err != nil {
+		t.Fatal(err)
+	}
+	remote := c.service.ClientFor(c.nodes[1])
+	if _, err := remote.Locate(ctx, "stall-traced"); err != nil {
+		t.Fatalf("locate before the stall: %v", err)
+	}
+
+	f.StallWritesTo(links[0].ListenAddr(), true)
+	defer f.StallWritesTo(links[0].ListenAddr(), false)
+
+	lctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := remote.Locate(lctx, "stall-traced"); err == nil {
+		t.Fatal("locate through a stalled peer succeeded")
+	}
+
+	spans := c.tracers[1].Snapshot()
+	traceID := trace.LatestClientTraceID(spans)
+	roots := trace.Assemble(spans, traceID)
+	if len(roots) != 1 {
+		t.Fatalf("assembled %d roots, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Span.Name != "locate" || root.Span.Err == "" {
+		t.Errorf("stalled locate's root = name %q err %q, want an error status", root.Span.Name, root.Span.Err)
+	}
+	for _, ch := range root.Children {
+		if ch.Span.Name == "iagent.locate" && ch.Span.Err == "" {
+			t.Errorf("RPC attempt against the stalled peer closed without error: %+v", ch.Span)
+		}
+	}
+}
+
+// TestTraceSpansCloseOnConnectionReset kills every TCP connection while a
+// traced locate is in flight; whether the attempt errors or the transparent
+// redial saves it, the recorder must end up with only closed spans and a
+// root whose status matches the operation's outcome.
+func TestTraceSpansCloseOnConnectionReset(t *testing.T) {
+	f := transport.NewFaults()
+	cfg := quietConfig()
+	cfg.RetryBackoffBase = time.Millisecond
+	cfg.RetryBackoffMax = 2 * time.Millisecond
+	c, _ := newTCPCluster(t, cfg, 2, func(i int, tc *transport.TCPConfig) {
+		if i == 1 {
+			tc.Faults = f
+		}
+	})
+	ctx := testCtx(t)
+	if _, err := c.service.ClientFor(c.nodes[0]).Register(ctx, "reset-traced"); err != nil {
+		t.Fatal(err)
+	}
+	remote := c.service.ClientFor(c.nodes[1])
+	if _, err := remote.Locate(ctx, "reset-traced"); err != nil {
+		t.Fatalf("locate before the reset: %v", err)
+	}
+
+	f.ResetAll()
+	where, err := remote.Locate(ctx, "reset-traced")
+	if err != nil {
+		t.Fatalf("locate after reset (transparent resend should cover this): %v", err)
+	}
+	if where != "node-0" {
+		t.Fatalf("located at %s, want node-0", where)
+	}
+
+	spans := c.tracers[1].Snapshot()
+	traceID := trace.LatestClientTraceID(spans)
+	roots := trace.Assemble(spans, traceID)
+	if len(roots) != 1 {
+		t.Fatalf("assembled %d roots, want 1", len(roots))
+	}
+	if roots[0].Span.Err != "" {
+		t.Errorf("recovered locate's root carries error %q", roots[0].Span.Err)
 	}
 }

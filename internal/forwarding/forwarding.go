@@ -24,6 +24,7 @@ import (
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 )
 
@@ -264,14 +265,16 @@ type Client struct {
 	cfg    Config
 
 	chainLen *metrics.Histogram
+	tracer   *trace.Recorder
 }
 
 // NewClient builds a Client for the given caller. When the caller exposes a
 // metrics registry, every successful locate observes the length of the
 // pointer chain it chased into agentloc_forwarding_chain_length — the
-// quantity the scheme trades against cheap moves.
+// quantity the scheme trades against cheap moves. When the caller exposes a
+// span recorder, locates are traced with one child span per chased hop.
 func NewClient(caller core.Caller, cfg Config) *Client {
-	c := &Client{caller: caller, cfg: cfg}
+	c := &Client{caller: caller, cfg: cfg, tracer: core.CallerTracer(caller)}
 	if reg := core.CallerRegistry(caller); reg != nil {
 		reg.Describe("agentloc_forwarding_chain_length", "Forwarding-pointer hops chased per successful locate.")
 		c.chainLen = reg.Histogram("agentloc_forwarding_chain_length", metrics.CountBuckets)
@@ -337,37 +340,75 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached core.A
 // forwarding pointers from there; a successful chase compresses the chain
 // by updating the name service.
 func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeID, error) {
+	var sp *trace.ActiveSpan
+	if parent := trace.FromContext(ctx); parent.Valid() {
+		sp = c.tracer.StartSpan(parent, "client", "fwd.locate")
+	} else {
+		sp = c.tracer.StartRoot("client", "fwd.locate")
+	}
+	if sp != nil {
+		ctx = trace.ContextWith(ctx, sp.Context())
+	}
+	node, hops, err := c.locate(ctx, target)
+	sp.Annotate("hops", fmt.Sprintf("%d", hops))
+	sp.End(err)
+	return node, err
+}
+
+// locate runs the lookup-then-chase protocol, reporting how many pointer
+// hops it chased.
+func (c *Client) locate(ctx context.Context, target ids.AgentID) (platform.NodeID, int, error) {
+	lsp, lctx := c.childSpan(ctx, "lookup")
 	var looked LookupResp
-	if err := c.caller.Call(ctx, c.cfg.Node, c.cfg.Registry, KindLookup, LookupReq{Agent: target}, &looked); err != nil {
-		return "", fmt.Errorf("forwarding lookup %s: %w", target, err)
+	err := c.caller.Call(lctx, c.cfg.Node, c.cfg.Registry, KindLookup, LookupReq{Agent: target}, &looked)
+	lsp.End(err)
+	if err != nil {
+		return "", 0, fmt.Errorf("forwarding lookup %s: %w", target, err)
 	}
 	if !looked.Known {
-		return "", fmt.Errorf("forwarding locate %s: %w", target, core.ErrNotRegistered)
+		return "", 0, fmt.Errorf("forwarding locate %s: %w", target, core.ErrNotRegistered)
 	}
 	at := looked.Node
 	for hop := 0; hop < maxChase; hop++ {
+		hsp, hctx := c.childSpan(ctx, "chase")
+		hsp.Annotate("hop", fmt.Sprintf("%d", hop))
+		hsp.Annotate("at", string(at))
 		var resp QueryResp
-		if err := c.caller.Call(ctx, at, ForwarderID(at), KindQuery, QueryReq{Agent: target}, &resp); err != nil {
-			return "", fmt.Errorf("forwarding chase %s at %s: %w", target, at, err)
+		if err := c.caller.Call(hctx, at, ForwarderID(at), KindQuery, QueryReq{Agent: target}, &resp); err != nil {
+			hsp.End(err)
+			return "", hop, fmt.Errorf("forwarding chase %s at %s: %w", target, at, err)
 		}
+		hsp.End(nil)
 		if resp.Here {
 			c.chainLen.Observe(float64(hop))
 			if at != looked.Node {
 				var ack core.Ack
 				// Compression is an optimization; its failure must not
 				// fail the locate.
-				_ = c.caller.Call(ctx, c.cfg.Node, c.cfg.Registry, KindCompress, RegisterReq{Agent: target, Node: at}, &ack)
+				csp, cctx := c.childSpan(ctx, "compress")
+				_ = c.caller.Call(cctx, c.cfg.Node, c.cfg.Registry, KindCompress, RegisterReq{Agent: target, Node: at}, &ack)
+				csp.End(nil)
 			}
-			return at, nil
+			return at, hop, nil
 		}
 		if resp.Next == "" {
 			// The chain went cold (agent mid-flight between departure and
 			// arrival, or trace lost): indistinguishable from unknown.
-			return "", fmt.Errorf("forwarding locate %s: chain broke at %s: %w", target, at, core.ErrNotRegistered)
+			return "", hop, fmt.Errorf("forwarding locate %s: chain broke at %s: %w", target, at, core.ErrNotRegistered)
 		}
 		at = resp.Next
 	}
-	return "", fmt.Errorf("forwarding locate %s: chain longer than %d", target, maxChase)
+	return "", maxChase, fmt.Errorf("forwarding locate %s: chain longer than %d", target, maxChase)
+}
+
+// childSpan opens a child span of ctx's trace context, returning a context
+// parented under it; untraced contexts yield a nil (no-op) span.
+func (c *Client) childSpan(ctx context.Context, name string) (*trace.ActiveSpan, context.Context) {
+	sp := c.tracer.StartSpan(trace.FromContext(ctx), "client", name)
+	if sp != nil {
+		ctx = trace.ContextWith(ctx, sp.Context())
+	}
+	return sp, ctx
 }
 
 func init() {

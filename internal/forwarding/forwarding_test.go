@@ -9,6 +9,7 @@ import (
 
 	"agentloc/internal/core"
 	"agentloc/internal/platform"
+	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 )
 
@@ -167,5 +168,88 @@ func TestUnknownKinds(t *testing.T) {
 	}
 	if err := nodes[0].CallAgent(ctx, nodes[0].ID(), ForwarderID(nodes[0].ID()), "bogus", nil, nil); err == nil {
 		t.Error("forwarder accepted unknown kind")
+	}
+}
+
+// TestChaseSpansOnePerHop traces a locate across a four-pointer chain: the
+// fwd.locate root must carry one lookup span, one chase span per node
+// visited (hop 0 is the registry's answer, hops 1..4 the pointers
+// followed), a compression span, and a hops=N summary matching the number
+// of pointers followed.
+func TestChaseSpansOnePerHop(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	t.Cleanup(func() { net.Close() })
+	nodes := make([]*platform.Node, 5)
+	recs := make([]*trace.Recorder, 5)
+	for i := range nodes {
+		id := fmt.Sprintf("fn-%d", i)
+		recs[i] = trace.NewRecorder(id, 1024, 1)
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(id), Link: net, Tracer: recs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodes[i] = n
+	}
+	svc, err := Deploy(context.Background(), DefaultConfig(), nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := fctx(t)
+
+	assign, err := svc.ClientFor(nodes[0]).Register(ctx, "span-chained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		assign, err = svc.ClientFor(nodes[i]).MoveNotify(ctx, "span-chained", assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := svc.ClientFor(nodes[0]).Locate(ctx, "span-chained"); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := recs[0].Snapshot()
+	var root trace.Span
+	for _, s := range spans {
+		if s.Name == "fwd.locate" && s.Parent == 0 {
+			root = s
+		}
+	}
+	if root.TraceID == 0 {
+		t.Fatalf("no fwd.locate root recorded; spans: %+v", spans)
+	}
+	if got := root.Attrs["hops"]; got != "4" {
+		t.Errorf("root hops = %q, want 4", got)
+	}
+
+	roots := trace.Assemble(spans, root.TraceID)
+	if len(roots) != 1 {
+		t.Fatalf("assembled %d roots, want 1", len(roots))
+	}
+	var lookups, chases, compressions int
+	hopsSeen := map[string]bool{}
+	for _, c := range roots[0].Children {
+		switch c.Span.Name {
+		case "lookup":
+			lookups++
+		case "chase":
+			chases++
+			hopsSeen[c.Span.Attrs["hop"]] = true
+		case "compress":
+			compressions++
+		}
+	}
+	if lookups != 1 || chases != 5 || compressions != 1 {
+		t.Errorf("lookup=%d chase=%d compress=%d, want 1/5/1:\n%s",
+			lookups, chases, compressions, trace.RenderTree(roots))
+	}
+	for _, hop := range []string{"0", "1", "2", "3", "4"} {
+		if !hopsSeen[hop] {
+			t.Errorf("no chase span for hop %s (saw %v)", hop, hopsSeen)
+		}
 	}
 }

@@ -17,3 +17,28 @@ func BridgeTrace(l *trace.Log, r *Registry) {
 		r.Counter("agentloc_trace_events_total", "kind", e.Kind).Inc()
 	})
 }
+
+// spanTiers are the span tiers the mechanism records; pre-registering a
+// counter per tier means a scrape taken before any traffic already shows
+// the full series set at zero.
+var spanTiers = []string{"client", "server", "control"}
+
+// BridgeSpans subscribes to a span recorder's hooks so that every recorded
+// span counts into agentloc_trace_spans_total{tier} and every span evicted
+// from the bounded ring counts into agentloc_trace_spans_dropped_total.
+// Both series are pre-registered at zero. Nil recorder or nil registry is a
+// no-op.
+func BridgeSpans(rec *trace.Recorder, r *Registry) {
+	if rec == nil || r == nil {
+		return
+	}
+	r.Describe("agentloc_trace_spans_total", "Spans recorded, by tier.")
+	r.Describe("agentloc_trace_spans_dropped_total", "Spans evicted from the bounded recorder ring.")
+	for _, tier := range spanTiers {
+		r.Counter("agentloc_trace_spans_total", "tier", tier)
+	}
+	dropped := r.Counter("agentloc_trace_spans_dropped_total")
+	rec.SetHooks(func(s trace.Span) {
+		r.Counter("agentloc_trace_spans_total", "tier", s.Tier).Inc()
+	}, dropped.Inc)
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"agentloc/internal/metrics/metricstest"
+	"agentloc/internal/trace"
 )
 
 // TestWritePrometheusGolden pins the exact exposition output: family and
@@ -126,5 +127,76 @@ func TestHandlerEndpoints(t *testing.T) {
 	body, _ = get("/healthz")
 	if !strings.Contains(body, `"status": "ok"`) || !strings.Contains(body, `"node": "node-0"`) {
 		t.Errorf("/healthz = %s", body)
+	}
+}
+
+func TestObservabilityHandlerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("agentloc_x_total").Add(3)
+	rec := trace.NewRecorder("node-0", 8, 1)
+	sp := rec.StartRoot("client", "locate")
+	sp.Annotate("cache", "miss")
+	sp.End(nil)
+	log := trace.NewLog(8)
+	log.Emit("hagent", "rehash.split", "grew")
+	log.Emit("iagent-1", "iagent.adopt", "took over")
+
+	srv := httptest.NewServer(ObservabilityHandler(r, nil, rec, log))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+
+	// The base metrics surface still answers through the wrapped handler.
+	if body := get("/metrics"); !strings.Contains(body, "agentloc_x_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	var dump trace.Dump
+	if err := json.Unmarshal([]byte(get("/trace")), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Node != "node-0" || len(dump.Spans) != 1 || dump.Spans[0].Name != "locate" {
+		t.Errorf("/trace dump = %+v", dump)
+	}
+	if dump.Spans[0].Attrs["cache"] != "miss" {
+		t.Errorf("span attrs lost over the wire: %+v", dump.Spans[0].Attrs)
+	}
+
+	var events []trace.Event
+	if err := json.Unmarshal([]byte(get("/events")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Errorf("/events returned %d events, want 2", len(events))
+	}
+	if err := json.Unmarshal([]byte(get("/events?kind=rehash.")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != "rehash.split" {
+		t.Errorf("/events?kind=rehash. = %+v", events)
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
 	}
 }

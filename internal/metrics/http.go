@@ -3,6 +3,9 @@ package metrics
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
+
+	"agentloc/internal/trace"
 )
 
 // Handler serves a registry over HTTP:
@@ -35,5 +38,44 @@ func Handler(r *Registry, health func() any) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(body)
 	})
+	return mux
+}
+
+// ObservabilityHandler is Handler plus the tracing and profiling surface a
+// deployed locnode exposes on its metrics address:
+//
+//	GET /trace             the span recorder's Dump as JSON — locctl trace
+//	                       scrapes this from every node to reassemble a
+//	                       request's causal tree
+//	GET /events?kind=P     the decision log's events as JSON, optionally
+//	                       filtered to kinds with prefix P
+//	GET /debug/pprof/...   the standard Go profiling handlers
+//
+// A nil recorder serves an empty Dump and a nil log serves an empty event
+// list, so callers wire whatever observability they actually enabled.
+func ObservabilityHandler(r *Registry, health func() any, rec *trace.Recorder, log *trace.Log) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(r, health))
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec.Dump())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := log.Filter(req.URL.Query().Get("kind"))
+		if events == nil {
+			events = []trace.Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

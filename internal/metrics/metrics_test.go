@@ -290,3 +290,40 @@ func BenchmarkRegistryLookup(b *testing.B) {
 		r.Counter("agentloc_bench_lookup_total", "kind", "locate").Inc()
 	}
 }
+
+func TestBridgeSpans(t *testing.T) {
+	r := New()
+	rec := trace.NewRecorder("node-0", 2, 1)
+	BridgeSpans(rec, r)
+
+	// Pre-registration: a scrape before any traffic already exposes every
+	// tier's series at zero, plus the drop counter — dashboards and alerts
+	// can reference them from minute one.
+	for _, tier := range []string{"client", "server", "control"} {
+		if got := r.Snapshot().Counter("agentloc_trace_spans_total", "tier", tier); got != 0 {
+			t.Errorf("pre-registered tier %s = %d, want 0", tier, got)
+		}
+	}
+	if got := r.Snapshot().Counter("agentloc_trace_spans_dropped_total"); got != 0 {
+		t.Errorf("pre-registered drop counter = %d, want 0", got)
+	}
+
+	rec.StartRoot("client", "locate").End(nil)
+	sp := rec.StartRoot("client", "locate")
+	rec.StartSpan(sp.Context(), "server", "loc.whois").End(nil)
+	sp.End(nil) // third record into a capacity-2 ring: one eviction
+
+	if got := r.Snapshot().Counter("agentloc_trace_spans_total", "tier", "client"); got != 2 {
+		t.Errorf("client spans = %d, want 2", got)
+	}
+	if got := r.Snapshot().Counter("agentloc_trace_spans_total", "tier", "server"); got != 1 {
+		t.Errorf("server spans = %d, want 1", got)
+	}
+	if got := r.Snapshot().Counter("agentloc_trace_spans_dropped_total"); got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+
+	// Nil recorder or registry is a wiring no-op, like BridgeTrace.
+	BridgeSpans(nil, r)
+	BridgeSpans(rec, nil)
+}

@@ -10,6 +10,7 @@ import (
 	"agentloc/internal/clock"
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
+	"agentloc/internal/trace"
 )
 
 // hosted is an agent instance resident at a node.
@@ -63,9 +64,16 @@ func (h *hosted) start(wg *sync.WaitGroup) {
 	}
 }
 
-// context builds the Context handed to behaviour callbacks.
+// context builds the Context handed to behaviour callbacks outside any
+// request (Run goroutines).
 func (h *hosted) context() *Context {
 	return &Context{host: h}
+}
+
+// contextFor builds the per-request Context, carrying the request's trace
+// context so the behaviour's onward calls stay in the caller's causal tree.
+func (h *hosted) contextFor(sc trace.SpanContext) *Context {
+	return &Context{host: h, span: sc}
 }
 
 // serve dispatches one request: behaviours implementing ConcurrentBehavior
@@ -74,10 +82,10 @@ func (h *hosted) context() *Context {
 // service time of a fast-path request is charged on the caller's goroutine,
 // so concurrent requests overlap their service times instead of queueing —
 // the point of the fast path.
-func (h *hosted) serve(req agentRequest) (any, error) {
+func (h *hosted) serve(sc trace.SpanContext, req agentRequest) (any, error) {
 	cb, ok := h.behavior.(ConcurrentBehavior)
 	if !ok {
-		return h.submit(req)
+		return h.submit(sc, req)
 	}
 	h.mu.Lock()
 	stopped := h.stopped
@@ -85,9 +93,9 @@ func (h *hosted) serve(req agentRequest) (any, error) {
 	if stopped {
 		return nil, fmt.Errorf("%s%s left %s", agentNotFoundPrefix, h.id, h.node.id)
 	}
-	body, handled, err := cb.HandleConcurrent(h.context(), req.Kind, req.Payload)
+	body, handled, err := cb.HandleConcurrent(h.contextFor(sc), req.Kind, req.Payload)
 	if !handled {
-		return h.submit(req)
+		return h.submit(sc, req)
 	}
 	if h.serviceTime > 0 {
 		h.node.clk.Sleep(h.serviceTime)
@@ -97,8 +105,8 @@ func (h *hosted) serve(req agentRequest) (any, error) {
 }
 
 // submit queues a request and waits for the mailbox to process it.
-func (h *hosted) submit(req agentRequest) (any, error) {
-	w := work{req: req, result: make(chan workResult, 1)}
+func (h *hosted) submit(sc trace.SpanContext, req agentRequest) (any, error) {
+	w := work{req: req, span: sc, result: make(chan workResult, 1)}
 	if !h.mailbox.push(w) {
 		return nil, fmt.Errorf("%s%s left %s", agentNotFoundPrefix, h.id, h.node.id)
 	}
@@ -118,7 +126,7 @@ func (h *hosted) mailboxLoop() {
 		if h.serviceTime > 0 {
 			h.node.clk.Sleep(h.serviceTime)
 		}
-		body, err := h.behavior.HandleRequest(h.context(), w.req.Kind, w.req.Payload)
+		body, err := h.behavior.HandleRequest(h.contextFor(w.span), w.req.Kind, w.req.Payload)
 		w.result <- workResult{body: body, err: err}
 	}
 }
@@ -175,9 +183,11 @@ func (h *hosted) detachForMove() {
 }
 
 // Context is the platform interface handed to behaviour callbacks. It is
-// valid only while the agent is hosted.
+// valid only while the agent is hosted. Contexts built for a request carry
+// that request's trace context; Run-goroutine contexts carry none.
 type Context struct {
 	host *hosted
+	span trace.SpanContext
 }
 
 // Self returns the agent's own id.
@@ -199,6 +209,20 @@ func (c *Context) Emit(kind, detail string) {
 // use) when the node has none.
 func (c *Context) Metrics() *metrics.Registry { return c.host.node.reg }
 
+// Tracer returns the hosting node's span recorder; nil (still safe to use)
+// when the node records no spans.
+func (c *Context) Tracer() *trace.Recorder { return c.host.node.tracer }
+
+// TraceContext returns the trace context of the request being served (the
+// zero value from a Run goroutine or an untraced request).
+func (c *Context) TraceContext() trace.SpanContext { return c.span }
+
+// StartSpan opens a child span of the request being served. It returns nil
+// (safe to use) when the request is untraced or the node has no recorder.
+func (c *Context) StartSpan(tier, name string) *trace.ActiveSpan {
+	return c.host.node.tracer.StartSpan(c.span, tier, name)
+}
+
 // Done returns a channel closed when the agent is being stopped or is
 // about to move; Run loops select on it.
 func (c *Context) Done() <-chan struct{} { return c.host.stop }
@@ -214,8 +238,11 @@ func (c *Context) Sleep(d time.Duration) bool {
 	}
 }
 
-// Call sends a request to another agent and waits for its response.
+// Call sends a request to another agent and waits for its response. The
+// serving request's trace context rides along (unless ctx already carries
+// one), so multi-hop chains stay in one causal tree.
 func (c *Context) Call(ctx context.Context, at NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	ctx = trace.ContextEnsure(ctx, c.span)
 	return c.host.node.callAgent(ctx, c.host.id, at, agent, kind, req, resp)
 }
 
@@ -281,9 +308,10 @@ func (c *Context) Dispose() {
 	h.detachForMove()
 }
 
-// work is one queued request with its reply channel.
+// work is one queued request with its trace context and reply channel.
 type work struct {
 	req    agentRequest
+	span   trace.SpanContext
 	result chan workResult
 }
 

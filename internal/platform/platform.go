@@ -149,6 +149,11 @@ type Config struct {
 	// Trace receives high-level events emitted by hosted agents through
 	// Context.Emit. Nil disables tracing (the default).
 	Trace *trace.Log
+	// Tracer records causal spans for sampled requests flowing through the
+	// node: every delivered agent request opens a server span under the
+	// caller's wire context, and hosted behaviours may open finer spans via
+	// Context. Nil disables span recording (the default).
+	Tracer *trace.Recorder
 	// Metrics receives the node's operational counters and gauges —
 	// hosted-agent population, migrations, transfers — and instruments the
 	// node's RPC peer. Nil disables metrics (the default).
@@ -157,11 +162,12 @@ type Config struct {
 
 // Node hosts agents and serves the platform's wire protocol.
 type Node struct {
-	id    NodeID
-	clk   clock.Clock
-	peer  *transport.Peer
-	trace *trace.Log
-	reg   *metrics.Registry
+	id     NodeID
+	clk    clock.Clock
+	peer   *transport.Peer
+	trace  *trace.Log
+	tracer *trace.Recorder
+	reg    *metrics.Registry
 
 	// Handles cached off the hot paths; all are nil-safe no-ops when the
 	// node has no registry.
@@ -192,6 +198,7 @@ func NewNode(cfg Config) (*Node, error) {
 		id:     cfg.ID,
 		clk:    cfg.Clock,
 		trace:  cfg.Trace,
+		tracer: cfg.Tracer,
 		reg:    cfg.Metrics,
 		agents: make(map[ids.AgentID]*hosted),
 	}
@@ -224,6 +231,10 @@ func (n *Node) Clock() clock.Clock { return n.clk }
 
 // Trace returns the node's event log; nil when tracing is disabled.
 func (n *Node) Trace() *trace.Log { return n.trace }
+
+// Tracer returns the node's span recorder; nil (still a valid no-op sink)
+// when span recording is disabled.
+func (n *Node) Tracer() *trace.Recorder { return n.tracer }
 
 // Metrics returns the node's metrics registry; nil when metrics are
 // disabled. A nil registry still hands out usable no-op handles, so callers
@@ -409,7 +420,7 @@ func (n *Node) Crash() {
 }
 
 // handle serves the node's wire protocol.
-func (n *Node) handle(from transport.Addr, kind string, payload []byte) (any, error) {
+func (n *Node) handle(ctx context.Context, from transport.Addr, kind string, payload []byte) (any, error) {
 	switch kind {
 	case kindNodePing:
 		return nil, nil
@@ -418,7 +429,7 @@ func (n *Node) handle(from transport.Addr, kind string, payload []byte) (any, er
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, fmt.Errorf("node %s: bad agent request: %w", n.id, err)
 		}
-		return n.deliver(req)
+		return n.deliver(trace.FromContext(ctx), req)
 	case kindAgentTransfer:
 		var xfer agentTransfer
 		if err := transport.Decode(payload, &xfer); err != nil {
@@ -439,8 +450,10 @@ func (n *Node) handle(from transport.Addr, kind string, payload []byte) (any, er
 
 // deliver routes a request to the target agent — through HandleConcurrent
 // when the behaviour offers it and accepts the request, otherwise into the
-// serial mailbox — and waits for the result.
-func (n *Node) deliver(req agentRequest) (any, error) {
+// serial mailbox — and waits for the result. For sampled requests a server
+// span wraps the whole delivery (mailbox queueing included), and its context
+// becomes the parent of whatever calls the behaviour makes.
+func (n *Node) deliver(sc trace.SpanContext, req agentRequest) (any, error) {
 	n.mu.Lock()
 	h, ok := n.agents[req.Agent]
 	n.mu.Unlock()
@@ -448,7 +461,12 @@ func (n *Node) deliver(req agentRequest) (any, error) {
 		return nil, fmt.Errorf("%s%s not at %s", agentNotFoundPrefix, req.Agent, n.id)
 	}
 	n.agentRequests.Inc()
-	result, err := h.serve(req)
+	sp := n.tracer.StartSpan(sc, "server", req.Kind)
+	if sp != nil {
+		sc = sp.Context()
+	}
+	result, err := h.serve(sc, req)
+	sp.End(err)
 	if err != nil {
 		return nil, err
 	}

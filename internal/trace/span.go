@@ -1,0 +1,505 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext is the compact trace context carried on every envelope: enough
+// to stitch spans recorded at different nodes into one causal tree, and
+// nothing more. The zero value means "not traced".
+type SpanContext struct {
+	// TraceID identifies the whole request tree. Zero means untraced.
+	TraceID uint64
+	// SpanID identifies the current span; a receiver parents its own spans
+	// under it.
+	SpanID uint64
+	// Hop counts network crossings since the trace root, incremented by the
+	// RPC layer on each outbound call.
+	Hop uint8
+	// Sampled gates recording: a node only spends recorder slots on traces
+	// whose root drew the sampling bit.
+	Sampled bool
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// Span is one completed timed operation, recorded at the node that performed
+// it. Reassembly joins spans across nodes on (TraceID, Parent→SpanID).
+type Span struct {
+	TraceID uint64 `json:"trace_id"`
+	SpanID  uint64 `json:"span_id"`
+	// Parent is the SpanID this span hangs under; zero for trace roots.
+	Parent uint64 `json:"parent,omitempty"`
+	// Node is where the span was recorded.
+	Node string `json:"node"`
+	// Tier classifies the span: "client", "server", "batch", "control",
+	// "forward".
+	Tier string `json:"tier"`
+	// Name is the operation: a protocol kind ("loc.locate") or a client
+	// phase ("whois", "backoff", "chase").
+	Name string `json:"name"`
+	// Hop is the network hop count at which the span ran.
+	Hop      uint8         `json:"hop,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Err is the failure message when the operation ended in error.
+	Err string `json:"err,omitempty"`
+	// Attrs carries small key=value facts: cache=hit, attempt=2, rpcs=3.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Attr returns the named attribute ("" when absent).
+func (s Span) Attr(key string) string { return s.Attrs[key] }
+
+// String renders the span for logs.
+func (s Span) String() string {
+	status := "ok"
+	if s.Err != "" {
+		status = "err=" + s.Err
+	}
+	return fmt.Sprintf("%016x/%016x %-8s %-18s %-14s %8v %s",
+		s.TraceID, s.SpanID, s.Tier, s.Name, s.Node, s.Duration.Round(time.Microsecond), status)
+}
+
+// idState draws trace and span ids: a per-process random base XOR a counter,
+// so ids are unique within a process and collide across processes only with
+// ~2^-64 probability per pair.
+var (
+	idBase = rand.Uint64() | 1
+	idCtr  atomic.Uint64
+)
+
+// newID returns a fresh non-zero id.
+func newID() uint64 {
+	for {
+		if id := idBase ^ (idCtr.Add(1) * 0x9e3779b97f4a7c15); id != 0 {
+			return id
+		}
+	}
+}
+
+// Recorder is a bounded per-node store of completed spans. Roots draw a
+// sampling decision (record every Nth trace); descendants inherit it through
+// SpanContext.Sampled. When the ring is full the oldest span is evicted and
+// counted as dropped, so a scrape always knows how much it is missing.
+//
+// A nil *Recorder is a valid no-op sink, like a nil *Log.
+type Recorder struct {
+	node        string
+	sampleEvery uint64
+
+	rootSeq atomic.Uint64
+
+	mu      sync.Mutex
+	spans   []Span
+	start   int
+	count   int
+	dropped uint64
+	total   uint64
+
+	onRecord func(Span)
+	onDrop   func()
+}
+
+// NewRecorder builds a recorder for the named node retaining up to capacity
+// completed spans. sampleEvery selects every Nth trace root for recording;
+// values below 1 mean "record every trace".
+func NewRecorder(node string, capacity, sampleEvery int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Recorder{
+		node:        node,
+		sampleEvery: uint64(sampleEvery),
+		spans:       make([]Span, capacity),
+	}
+}
+
+// Node returns the recorder's node name ("" for a nil recorder).
+func (r *Recorder) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+// SetHooks registers callbacks observing every recorded span and every
+// eviction — how the metrics bridge counts spans without the recorder
+// importing metrics. Hooks run synchronously under no recorder lock for
+// onRecord and must be fast. Nil unsets.
+func (r *Recorder) SetHooks(onRecord func(Span), onDrop func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onRecord = onRecord
+	r.onDrop = onDrop
+	r.mu.Unlock()
+}
+
+// StartRoot opens a new trace root span. It draws the sampling decision; an
+// unsampled root returns nil, and every method on a nil *ActiveSpan is a
+// no-op whose Context() is the zero SpanContext — downstream nodes then skip
+// recording too.
+func (r *Recorder) StartRoot(tier, name string) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	if (r.rootSeq.Add(1)-1)%r.sampleEvery != 0 {
+		return nil
+	}
+	return &ActiveSpan{
+		rec: r,
+		span: Span{
+			TraceID: newID(),
+			SpanID:  newID(),
+			Node:    r.node,
+			Tier:    tier,
+			Name:    name,
+			Start:   time.Now(),
+		},
+	}
+}
+
+// StartSpan opens a span under the given parent context. Unsampled or
+// invalid parents yield nil (no-op).
+func (r *Recorder) StartSpan(parent SpanContext, tier, name string) *ActiveSpan {
+	if r == nil || !parent.Valid() || !parent.Sampled {
+		return nil
+	}
+	return &ActiveSpan{
+		rec: r,
+		span: Span{
+			TraceID: parent.TraceID,
+			SpanID:  newID(),
+			Parent:  parent.SpanID,
+			Node:    r.node,
+			Tier:    tier,
+			Name:    name,
+			Hop:     parent.Hop,
+			Start:   time.Now(),
+		},
+	}
+}
+
+// record stores a completed span, evicting the oldest when full.
+func (r *Recorder) record(s Span) {
+	r.mu.Lock()
+	evicted := false
+	idx := (r.start + r.count) % len(r.spans)
+	r.spans[idx] = s
+	if r.count < len(r.spans) {
+		r.count++
+	} else {
+		r.start = (r.start + 1) % len(r.spans)
+		r.dropped++
+		evicted = true
+	}
+	r.total++
+	onRecord, onDrop := r.onRecord, r.onDrop
+	r.mu.Unlock()
+	if onRecord != nil {
+		onRecord(s)
+	}
+	if evicted && onDrop != nil {
+		onDrop()
+	}
+}
+
+// Snapshot returns the retained spans, oldest first. Nil recorders return
+// nil.
+func (r *Recorder) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.spans[(r.start+i)%len(r.spans)]
+	}
+	return out
+}
+
+// Dropped reports how many recorded spans were evicted to make room.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Total reports how many spans were ever recorded (including evicted ones).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dump packages the recorder's state for the /trace HTTP endpoint.
+type Dump struct {
+	Node    string `json:"node"`
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+	Spans   []Span `json:"spans"`
+}
+
+// Dump snapshots the recorder into its wire form.
+func (r *Recorder) Dump() Dump {
+	return Dump{Node: r.Node(), Total: r.Total(), Dropped: r.Dropped(), Spans: r.Snapshot()}
+}
+
+// ActiveSpan is an open span. All methods are nil-safe so unsampled paths
+// cost one nil check.
+type ActiveSpan struct {
+	rec  *Recorder
+	mu   sync.Mutex
+	span Span
+	done bool
+}
+
+// Context returns the wire context naming this span as parent. The zero
+// context on nil spans keeps downstream recording off.
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.span.TraceID, SpanID: s.span.SpanID, Hop: s.span.Hop, Sampled: true}
+}
+
+// TraceID returns the span's trace id (zero for nil spans).
+func (s *ActiveSpan) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.span.TraceID
+}
+
+// Annotate attaches a key=value fact to the span.
+func (s *ActiveSpan) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span with the operation's outcome and records it. End is
+// idempotent; only the first call records.
+func (s *ActiveSpan) End(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.span.Duration = time.Since(s.span.Start)
+	if err != nil {
+		s.span.Err = err.Error()
+	}
+	span := s.span
+	s.mu.Unlock()
+	s.rec.record(span)
+}
+
+// ---- context.Context plumbing ----
+
+type spanCtxKey struct{}
+
+// ContextWith returns ctx carrying the span context.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// FromContext extracts the span context carried by ctx (zero when absent).
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// ContextEnsure attaches sc to ctx only when ctx does not already carry a
+// valid span context — how the platform threads an inbound request's trace
+// into a behaviour's onward calls without clobbering explicit child spans.
+func ContextEnsure(ctx context.Context, sc SpanContext) context.Context {
+	if FromContext(ctx).Valid() || !sc.Valid() {
+		return ctx
+	}
+	return ContextWith(ctx, sc)
+}
+
+// ---- reassembly ----
+
+// TreeNode is one span with its resolved children, ordered by start time.
+type TreeNode struct {
+	Span     Span
+	Children []*TreeNode
+}
+
+// Assemble joins spans from any number of nodes into the causal tree(s) of
+// one trace. Spans whose parent is missing (not scraped, evicted) surface as
+// extra roots, so partial scrapes degrade to a forest instead of vanishing.
+func Assemble(spans []Span, traceID uint64) []*TreeNode {
+	byID := make(map[uint64]*TreeNode)
+	var ordered []*TreeNode
+	for _, s := range spans {
+		if s.TraceID != traceID {
+			continue
+		}
+		if _, ok := byID[s.SpanID]; ok {
+			continue // same span scraped twice
+		}
+		n := &TreeNode{Span: s}
+		byID[s.SpanID] = n
+		ordered = append(ordered, n)
+	}
+	var roots []*TreeNode
+	for _, n := range ordered {
+		if p, ok := byID[n.Span.Parent]; ok && n.Span.Parent != n.Span.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortTree(roots)
+	return roots
+}
+
+func sortTree(nodes []*TreeNode) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Span.Start.Before(nodes[j].Span.Start) })
+	for _, n := range nodes {
+		sortTree(n.Children)
+	}
+}
+
+// LatestClientTraceID returns the trace id of the most recently started
+// client-tier root span among the given spans; zero when none exist.
+func LatestClientTraceID(spans []Span) uint64 {
+	var best Span
+	for _, s := range spans {
+		if s.Parent != 0 || s.Tier != "client" {
+			continue
+		}
+		if best.TraceID == 0 || s.Start.After(best.Start) {
+			best = s
+		}
+	}
+	return best.TraceID
+}
+
+// Nodes lists the distinct nodes appearing in the tree.
+func Nodes(roots []*TreeNode) []string {
+	seen := make(map[string]bool)
+	var walk func([]*TreeNode)
+	walk = func(ns []*TreeNode) {
+		for _, n := range ns {
+			seen[n.Span.Node] = true
+			walk(n.Children)
+		}
+	}
+	walk(roots)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Attribution breaks a root span's latency down by phase: the durations of
+// its direct children summed by name, plus the unattributed remainder (local
+// compute between phases). For a client locate this maps straight onto the
+// paper's hop-cost analysis: cache time is the root's own remainder on a
+// hit, and on a miss the whois phase is the LHAgent round trip, the call
+// phase the IAgent query, backoff the §4.3 retry wait, and chase the
+// forwarding-pointer walk.
+type Attribution struct {
+	// Total is the root span's own duration — the client-observed latency.
+	Total time.Duration
+	// Phases sums direct-child durations by span name.
+	Phases map[string]time.Duration
+	// Attributed is the sum over Phases.
+	Attributed time.Duration
+}
+
+// Unattributed returns Total - Attributed (never negative — overlapping
+// phases can over-attribute on paper, clamped here).
+func (a Attribution) Unattributed() time.Duration {
+	if a.Attributed >= a.Total {
+		return 0
+	}
+	return a.Total - a.Attributed
+}
+
+// Attribute computes the per-phase latency breakdown of one root.
+func Attribute(root *TreeNode) Attribution {
+	a := Attribution{Total: root.Span.Duration, Phases: make(map[string]time.Duration)}
+	for _, c := range root.Children {
+		a.Phases[c.Span.Name] += c.Span.Duration
+		a.Attributed += c.Span.Duration
+	}
+	return a
+}
+
+// RenderTree formats an assembled forest, one span per line with tree
+// drawing, durations and attributes.
+func RenderTree(roots []*TreeNode) string {
+	var b []byte
+	var walk func(n *TreeNode, prefix string, last bool)
+	walk = func(n *TreeNode, prefix string, last bool) {
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		line := fmt.Sprintf("%s%s%s %s %v @%s", prefix, branch, n.Span.Tier, n.Span.Name,
+			n.Span.Duration.Round(time.Microsecond), n.Span.Node)
+		if len(n.Span.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Span.Attrs))
+			for k := range n.Span.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			line += " ["
+			for i, k := range keys {
+				if i > 0 {
+					line += " "
+				}
+				line += k + "=" + n.Span.Attrs[k]
+			}
+			line += "]"
+		}
+		if n.Span.Err != "" {
+			line += " ERR:" + n.Span.Err
+		}
+		b = append(b, line...)
+		b = append(b, '\n')
+		for i, c := range n.Children {
+			walk(c, prefix+cont, i == len(n.Children)-1)
+		}
+	}
+	for i, r := range roots {
+		walk(r, "", i == len(roots)-1)
+	}
+	return string(b)
+}

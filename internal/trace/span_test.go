@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanContextValid(t *testing.T) {
+	if (SpanContext{}).Valid() {
+		t.Error("zero context must be invalid")
+	}
+	if !(SpanContext{TraceID: 1, SpanID: 2}).Valid() {
+		t.Error("non-zero context must be valid")
+	}
+}
+
+func TestRecorderRecordsSpans(t *testing.T) {
+	r := NewRecorder("node-a", 8, 1)
+	sp := r.StartRoot("client", "locate")
+	if sp == nil {
+		t.Fatal("sampleEvery=1 must sample the first root")
+	}
+	sp.Annotate("cache", "miss")
+	sp.End(nil)
+
+	child := r.StartSpan(sp.Context(), "client", "whois")
+	child.End(errors.New("boom"))
+
+	spans := r.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	root, ch := spans[0], spans[1]
+	if root.Name != "locate" || root.Tier != "client" || root.Node != "node-a" {
+		t.Errorf("root = %+v", root)
+	}
+	if root.Attrs["cache"] != "miss" {
+		t.Errorf("annotation lost: %+v", root.Attrs)
+	}
+	if root.Parent != 0 {
+		t.Errorf("root has parent %#x", root.Parent)
+	}
+	if ch.TraceID != root.TraceID {
+		t.Errorf("child trace %#x != root trace %#x", ch.TraceID, root.TraceID)
+	}
+	if ch.Parent != root.SpanID {
+		t.Errorf("child parent %#x != root span %#x", ch.Parent, root.SpanID)
+	}
+	if ch.Err != "boom" {
+		t.Errorf("child error = %q", ch.Err)
+	}
+	if r.Total() != 2 || r.Dropped() != 0 {
+		t.Errorf("total=%d dropped=%d", r.Total(), r.Dropped())
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder("node-a", 3, 1)
+	var drops int
+	r.SetHooks(nil, func() { drops++ })
+	for i := 0; i < 5; i++ {
+		r.StartRoot("client", "op").End(nil)
+	}
+	spans := r.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d, want capacity 3", len(spans))
+	}
+	if r.Total() != 5 || r.Dropped() != 2 || drops != 2 {
+		t.Errorf("total=%d dropped=%d hook drops=%d", r.Total(), r.Dropped(), drops)
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	r := NewRecorder("node-a", 16, 3)
+	var sampled int
+	for i := 0; i < 9; i++ {
+		sp := r.StartRoot("client", "op")
+		if sp != nil {
+			sampled++
+			// Children of a sampled root inherit the decision through
+			// the wire context, even on another recorder.
+			remote := NewRecorder("node-b", 16, 1000)
+			if remote.StartSpan(sp.Context(), "server", "serve") == nil {
+				t.Error("child of sampled root must record")
+			}
+		}
+		sp.End(nil)
+	}
+	if sampled != 3 {
+		t.Errorf("sampled %d of 9 roots, want 3 (every 3rd)", sampled)
+	}
+}
+
+func TestStartSpanRejectsUnsampledOrInvalidParent(t *testing.T) {
+	r := NewRecorder("node-a", 4, 1)
+	if r.StartSpan(SpanContext{}, "server", "x") != nil {
+		t.Error("invalid parent must yield nil span")
+	}
+	if r.StartSpan(SpanContext{TraceID: 1, SpanID: 2, Sampled: false}, "server", "x") != nil {
+		t.Error("unsampled parent must yield nil span")
+	}
+}
+
+func TestNilRecorderAndNilSpanAreNoOps(t *testing.T) {
+	var r *Recorder
+	sp := r.StartRoot("client", "op")
+	if sp != nil {
+		t.Fatal("nil recorder must return nil spans")
+	}
+	// All nil-span methods must be safe and keep downstream recording off.
+	sp.Annotate("k", "v")
+	sp.End(nil)
+	if sp.Context().Valid() {
+		t.Error("nil span context must be invalid")
+	}
+	if sp.TraceID() != 0 {
+		t.Error("nil span trace id must be zero")
+	}
+	if r.Snapshot() != nil || r.Total() != 0 || r.Dropped() != 0 || r.Node() != "" {
+		t.Error("nil recorder accessors must be zero-valued")
+	}
+	r.SetHooks(func(Span) {}, nil) // must not panic
+	if d := r.Dump(); d.Node != "" || len(d.Spans) != 0 {
+		t.Errorf("nil recorder dump = %+v", d)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	r := NewRecorder("node-a", 4, 1)
+	sp := r.StartRoot("client", "op")
+	sp.End(nil)
+	sp.End(errors.New("late"))
+	spans := r.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	if spans[0].Err != "" {
+		t.Errorf("second End must not rewrite the outcome: %q", spans[0].Err)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	sc := SpanContext{TraceID: 7, SpanID: 8, Sampled: true}
+	ctx := ContextWith(context.Background(), sc)
+	if got := FromContext(ctx); got != sc {
+		t.Errorf("FromContext = %+v", got)
+	}
+	if got := FromContext(context.Background()); got.Valid() {
+		t.Errorf("empty context must carry no span: %+v", got)
+	}
+	// Ensure does not clobber an existing valid context...
+	other := SpanContext{TraceID: 9, SpanID: 10, Sampled: true}
+	if got := FromContext(ContextEnsure(ctx, other)); got != sc {
+		t.Errorf("ContextEnsure clobbered: %+v", got)
+	}
+	// ...but attaches to a bare one, and ignores invalid contexts.
+	if got := FromContext(ContextEnsure(context.Background(), sc)); got != sc {
+		t.Errorf("ContextEnsure did not attach: %+v", got)
+	}
+	if got := FromContext(ContextEnsure(context.Background(), SpanContext{})); got.Valid() {
+		t.Errorf("ContextEnsure attached an invalid context: %+v", got)
+	}
+}
+
+func TestRecordHookSeesEverySpan(t *testing.T) {
+	r := NewRecorder("node-a", 8, 1)
+	var names []string
+	r.SetHooks(func(s Span) { names = append(names, s.Name) }, nil)
+	root := r.StartRoot("client", "locate")
+	r.StartSpan(root.Context(), "client", "whois").End(nil)
+	root.End(nil)
+	if len(names) != 2 || names[0] != "whois" || names[1] != "locate" {
+		t.Errorf("hook saw %v", names)
+	}
+}
+
+// TestConcurrentRecorder hammers one recorder from many goroutines; run
+// with -race this is the recorder's thread-safety proof.
+func TestConcurrentRecorder(t *testing.T) {
+	r := NewRecorder("node-a", 64, 2)
+	r.SetHooks(func(Span) {}, func() {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := r.StartRoot("client", "op")
+				sp.Annotate("i", "x")
+				child := r.StartSpan(sp.Context(), "client", "sub")
+				child.End(nil)
+				sp.End(nil)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+			r.Dump()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Total() == 0 {
+		t.Error("nothing recorded")
+	}
+}
+
+func buildSpan(trace, span, parent uint64, node, tier, name string, start time.Time, d time.Duration) Span {
+	return Span{TraceID: trace, SpanID: span, Parent: parent, Node: node, Tier: tier,
+		Name: name, Start: start, Duration: d}
+}
+
+func TestAssembleAttributeAndRender(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	spans := []Span{
+		buildSpan(1, 10, 0, "node-2", "client", "locate", t0, 10*time.Millisecond),
+		buildSpan(1, 11, 10, "node-2", "client", "whois", t0.Add(time.Millisecond), 3*time.Millisecond),
+		buildSpan(1, 12, 11, "node-0", "server", "hash.fetch", t0.Add(2*time.Millisecond), time.Millisecond),
+		buildSpan(1, 13, 10, "node-2", "client", "iagent.locate", t0.Add(5*time.Millisecond), 4*time.Millisecond),
+		buildSpan(1, 13, 10, "node-2", "client", "iagent.locate", t0.Add(5*time.Millisecond), 4*time.Millisecond), // scraped twice
+		buildSpan(1, 14, 13, "node-1", "server", "core.locate", t0.Add(6*time.Millisecond), 2*time.Millisecond),
+		buildSpan(2, 20, 0, "node-2", "client", "update", t0, time.Millisecond), // other trace
+	}
+	roots := Assemble(spans, 1)
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Span.Name != "locate" || len(root.Children) != 2 {
+		t.Fatalf("root %q with %d children", root.Span.Name, len(root.Children))
+	}
+	if root.Children[0].Span.Name != "whois" || root.Children[1].Span.Name != "iagent.locate" {
+		t.Errorf("children out of start order: %q, %q", root.Children[0].Span.Name, root.Children[1].Span.Name)
+	}
+
+	if got := Nodes(roots); len(got) != 3 || got[0] != "node-0" || got[2] != "node-2" {
+		t.Errorf("Nodes = %v", got)
+	}
+
+	a := Attribute(root)
+	if a.Total != 10*time.Millisecond {
+		t.Errorf("total = %v", a.Total)
+	}
+	if a.Phases["whois"] != 3*time.Millisecond || a.Phases["iagent.locate"] != 4*time.Millisecond {
+		t.Errorf("phases = %v", a.Phases)
+	}
+	if a.Unattributed() != 3*time.Millisecond {
+		t.Errorf("unattributed = %v", a.Unattributed())
+	}
+
+	out := RenderTree(roots)
+	for _, want := range []string{"locate", "whois", "hash.fetch", "node-1", "core.locate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAssembleOrphansBecomeRoots(t *testing.T) {
+	t0 := time.Now()
+	spans := []Span{
+		// Parent span 99 was never scraped: the child must surface as a
+		// root instead of vanishing.
+		buildSpan(1, 11, 99, "node-1", "server", "core.locate", t0, time.Millisecond),
+	}
+	roots := Assemble(spans, 1)
+	if len(roots) != 1 || roots[0].Span.SpanID != 11 {
+		t.Fatalf("orphan not surfaced: %+v", roots)
+	}
+}
+
+func TestLatestClientTraceID(t *testing.T) {
+	t0 := time.Now()
+	spans := []Span{
+		buildSpan(1, 10, 0, "n", "client", "locate", t0, time.Millisecond),
+		buildSpan(2, 20, 0, "n", "client", "locate", t0.Add(time.Second), time.Millisecond),
+		buildSpan(3, 30, 0, "n", "server", "serve", t0.Add(2*time.Second), time.Millisecond),  // wrong tier
+		buildSpan(4, 40, 30, "n", "client", "whois", t0.Add(3*time.Second), time.Millisecond), // not a root
+	}
+	if got := LatestClientTraceID(spans); got != 2 {
+		t.Errorf("LatestClientTraceID = %d, want 2", got)
+	}
+	if got := LatestClientTraceID(nil); got != 0 {
+		t.Errorf("empty span set must yield 0, got %d", got)
+	}
+}

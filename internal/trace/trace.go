@@ -39,6 +39,12 @@ type Log struct {
 	count  int
 	total  uint64
 	onEmit func(Event)
+	// hookActive marks a goroutine currently draining the emit hook;
+	// further events arriving meanwhile (including re-entrant Emit calls
+	// from inside the hook itself) queue onto hookQueue instead of
+	// recursing, and the active drainer delivers them in order.
+	hookActive bool
+	hookQueue  []Event
 }
 
 // NewLog returns a Log retaining the most recent capacity events.
@@ -78,19 +84,46 @@ func (l *Log) emitAt(at time.Time, actor, kind, detail string) {
 	}
 	l.total++
 	hook := l.onEmit
+	if hook == nil {
+		l.mu.Unlock()
+		return
+	}
+	if l.hookActive {
+		// Someone is already inside the hook — possibly this very
+		// goroutine, emitting from within it. Queue instead of recursing;
+		// the active drainer delivers the event.
+		l.hookQueue = append(l.hookQueue, e)
+		l.mu.Unlock()
+		return
+	}
+	l.hookActive = true
 	l.mu.Unlock()
-	// The hook runs outside the lock so it may inspect the log (or emit —
-	// though that recurses) without deadlocking.
-	if hook != nil {
+
+	// Drain outside the lock so the hook may inspect the log (or emit —
+	// which now queues rather than recurses) without deadlocking.
+	for {
 		hook(e)
+		l.mu.Lock()
+		if len(l.hookQueue) == 0 || l.onEmit == nil {
+			l.hookQueue = nil
+			l.hookActive = false
+			l.mu.Unlock()
+			return
+		}
+		e = l.hookQueue[0]
+		l.hookQueue = l.hookQueue[1:]
+		hook = l.onEmit
+		l.mu.Unlock()
 	}
 }
 
 // SetOnEmit registers a hook observing every subsequently emitted event —
 // push-based subscription for metrics bridges and tests, replacing
 // Snapshot polling. Pass nil to remove the hook. The hook is invoked
-// synchronously on the emitter's goroutine (possibly concurrently from
-// several emitters) and must be fast. A nil log ignores the call.
+// synchronously on an emitter's goroutine and must be fast. Emitting from
+// inside the hook is safe: re-entrant (and concurrent) events queue and are
+// delivered in order by the goroutine already running the hook, so the hook
+// never recurses. A nil log ignores the call.
 func (l *Log) SetOnEmit(hook func(Event)) {
 	if l == nil {
 		return

@@ -146,3 +146,43 @@ func TestConcurrentEmit(t *testing.T) {
 		t.Errorf("retained = %d, want 64", got)
 	}
 }
+
+// TestSetOnEmitReentrantEmit pins the fix for a stack blow-up: a hook that
+// emits into its own log (a metrics bridge cascading into a traced counter,
+// say) used to recurse through emitAt -> hook -> emitAt without bound. The
+// re-entrant event must queue and be delivered in order by the goroutine
+// already draining the hook.
+func TestSetOnEmitReentrantEmit(t *testing.T) {
+	l := NewLog(16)
+	var seen []string
+	l.SetOnEmit(func(e Event) {
+		seen = append(seen, e.Kind)
+		if e.Kind == "outer" {
+			l.Emit("hook", "inner", "emitted from inside the hook")
+		}
+	})
+	l.Emit("test", "outer", "")
+	if len(seen) != 2 || seen[0] != "outer" || seen[1] != "inner" {
+		t.Fatalf("hook saw %v, want [outer inner]", seen)
+	}
+	// Both events landed in the ring too.
+	if got := l.Snapshot(); len(got) != 2 || got[1].Kind != "inner" {
+		t.Errorf("snapshot = %+v", got)
+	}
+
+	// A hook that emits on EVERY event must still terminate: clearing the
+	// hook from inside itself stops the drain loop.
+	n := 0
+	l.SetOnEmit(func(Event) {
+		n++
+		if n >= 5 {
+			l.SetOnEmit(nil)
+			return
+		}
+		l.Emit("hook", "again", "")
+	})
+	l.Emit("test", "first", "")
+	if n != 5 {
+		t.Errorf("self-feeding hook fired %d times, want 5 (then cleared)", n)
+	}
+}

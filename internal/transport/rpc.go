@@ -9,11 +9,14 @@ import (
 	"time"
 
 	"agentloc/internal/metrics"
+	"agentloc/internal/trace"
 )
 
 // RequestHandler processes one inbound request and returns the response
-// body (any gob-encodable value, or nil for an empty response).
-type RequestHandler func(from Addr, kind string, payload []byte) (any, error)
+// body (any gob-encodable value, or nil for an empty response). ctx carries
+// the envelope's trace context (trace.FromContext) so handlers can parent
+// their spans under the caller's.
+type RequestHandler func(ctx context.Context, from Addr, kind string, payload []byte) (any, error)
 
 // Peer is a request/response endpoint over a Link. One Peer serves one
 // address; it matches replies to outstanding calls by correlation id and
@@ -87,6 +90,12 @@ func (p *Peer) Call(ctx context.Context, to Addr, kind string, req, resp any) er
 	}()
 
 	env := Envelope{From: p.addr, To: to, Kind: kind, Corr: corr, Payload: payload}
+	// Stamp the caller's trace context onto the wire, charging one network
+	// hop. The receiver parents its spans under env.Trace.SpanID.
+	if sc := trace.FromContext(ctx); sc.Valid() {
+		sc.Hop++
+		env.Trace = sc
+	}
 	start := time.Now()
 	// Send on its own goroutine so the call honours ctx even while the
 	// link blocks (a TCP write to a stalled peer holds Send until its
@@ -193,7 +202,7 @@ func (p *Peer) serve(env Envelope) {
 		err  error
 	)
 	if p.h != nil {
-		body, err = p.h(env.From, env.Kind, env.Payload)
+		body, err = p.h(trace.ContextWith(context.Background(), env.Trace), env.From, env.Kind, env.Payload)
 	} else {
 		err = fmt.Errorf("no handler at %s", p.addr)
 	}
@@ -235,3 +244,5 @@ func Decode(data []byte, v any) error {
 	}
 	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
 }
+
+// TEMP instrumentation

@@ -15,6 +15,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"agentloc/internal/trace"
 )
 
 // Addr names an endpoint. In-memory networks use free-form names ("node-3");
@@ -33,6 +35,10 @@ type Envelope struct {
 	Reply bool
 	// ErrMsg carries a remote error on a reply.
 	ErrMsg string
+	// Trace is the causal trace context riding the envelope across the
+	// wire: both Link implementations carry it verbatim, so a receiver can
+	// parent its spans under the sender's. The zero value means untraced.
+	Trace trace.SpanContext
 	// Payload is the gob-encoded message body.
 	Payload []byte
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"agentloc/internal/clock"
+	"agentloc/internal/trace"
 )
 
 func TestNetworkDeliver(t *testing.T) {
@@ -211,7 +212,7 @@ func newPeerPair(t *testing.T, h RequestHandler) (*Peer, *Peer, *Network) {
 }
 
 func TestPeerCall(t *testing.T) {
-	client, _, _ := newPeerPair(t, func(from Addr, kind string, payload []byte) (any, error) {
+	client, _, _ := newPeerPair(t, func(_ context.Context, from Addr, kind string, payload []byte) (any, error) {
 		var req echoReq
 		if err := Decode(payload, &req); err != nil {
 			return nil, err
@@ -233,7 +234,7 @@ func TestPeerCall(t *testing.T) {
 }
 
 func TestPeerCallRemoteError(t *testing.T) {
-	client, _, _ := newPeerPair(t, func(Addr, string, []byte) (any, error) {
+	client, _, _ := newPeerPair(t, func(context.Context, Addr, string, []byte) (any, error) {
 		return nil, errors.New("boom")
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -254,7 +255,7 @@ func TestPeerCallRemoteError(t *testing.T) {
 func TestPeerCallTimeout(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
-	client, _, _ := newPeerPair(t, func(Addr, string, []byte) (any, error) {
+	client, _, _ := newPeerPair(t, func(context.Context, Addr, string, []byte) (any, error) {
 		<-block
 		return nil, nil
 	})
@@ -277,7 +278,7 @@ func TestPeerCallToUnknownAddr(t *testing.T) {
 func TestPeerCallNilHandler(t *testing.T) {
 	// The client peer has no handler; calling *it* must return a remote
 	// error rather than hang.
-	_, server, _ := newPeerPair(t, func(Addr, string, []byte) (any, error) { return nil, nil })
+	_, server, _ := newPeerPair(t, func(context.Context, Addr, string, []byte) (any, error) { return nil, nil })
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	err := server.Call(ctx, "client", "x", nil, nil)
@@ -289,7 +290,7 @@ func TestPeerCallNilHandler(t *testing.T) {
 
 func TestPeerNotify(t *testing.T) {
 	got := make(chan string, 1)
-	client, _, _ := newPeerPair(t, func(_ Addr, kind string, _ []byte) (any, error) {
+	client, _, _ := newPeerPair(t, func(_ context.Context, _ Addr, kind string, _ []byte) (any, error) {
 		got <- kind
 		return nil, nil
 	})
@@ -307,7 +308,7 @@ func TestPeerNotify(t *testing.T) {
 }
 
 func TestPeerConcurrentCalls(t *testing.T) {
-	client, _, _ := newPeerPair(t, func(_ Addr, _ string, payload []byte) (any, error) {
+	client, _, _ := newPeerPair(t, func(_ context.Context, _ Addr, _ string, payload []byte) (any, error) {
 		var req echoReq
 		if err := Decode(payload, &req); err != nil {
 			return nil, err
@@ -379,7 +380,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	defer clientLink.Close()
 	serverLink.AddRoute("client", clientLink.ListenAddr())
 
-	server, err := NewPeer(serverLink, "server", func(_ Addr, _ string, payload []byte) (any, error) {
+	server, err := NewPeer(serverLink, "server", func(_ context.Context, _ Addr, _ string, payload []byte) (any, error) {
 		var req echoReq
 		if err := Decode(payload, &req); err != nil {
 			return nil, err
@@ -415,7 +416,7 @@ func TestTCPLoopback(t *testing.T) {
 	}
 	defer link.Close()
 
-	server, err := NewPeer(link, "s", func(Addr, string, []byte) (any, error) {
+	server, err := NewPeer(link, "s", func(context.Context, Addr, string, []byte) (any, error) {
 		return echoResp{Text: "local"}, nil
 	})
 	if err != nil {
@@ -487,7 +488,7 @@ func TestTCPLearnedRouteReply(t *testing.T) {
 	}
 	defer clientLink.Close()
 
-	server, err := NewPeer(serverLink, "server", func(_ Addr, _ string, payload []byte) (any, error) {
+	server, err := NewPeer(serverLink, "server", func(_ context.Context, _ Addr, _ string, payload []byte) (any, error) {
 		var req echoReq
 		if err := Decode(payload, &req); err != nil {
 			return nil, err
@@ -682,5 +683,39 @@ func TestPeerCallReturnsPromptlyWhenCtxExpiresMidRedial(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Call did not return after its context expired mid-redial")
+	}
+}
+
+// TestPeerCallPropagatesTrace pins the tracing wire contract: a span
+// context on the caller's ctx rides the envelope with its hop count
+// incremented, reaches the handler through ITS ctx, and an untraced call
+// delivers the zero context.
+func TestPeerCallPropagatesTrace(t *testing.T) {
+	got := make(chan trace.SpanContext, 1)
+	client, _, _ := newPeerPair(t, func(ctx context.Context, _ Addr, _ string, _ []byte) (any, error) {
+		got <- trace.FromContext(ctx)
+		return echoResp{}, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	sc := trace.SpanContext{TraceID: 42, SpanID: 7, Hop: 3, Sampled: true}
+	var resp echoResp
+	if err := client.Call(trace.ContextWith(ctx, sc), "server", "echo", echoReq{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := sc
+	want.Hop = 4 // one network crossing
+	if g := <-got; g != want {
+		t.Errorf("handler saw %+v, want %+v", g, want)
+	}
+
+	// No trace on the caller's ctx -> zero context at the handler, so the
+	// receiving node starts no spans.
+	if err := client.Call(ctx, "server", "echo", echoReq{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if g := <-got; g.Valid() {
+		t.Errorf("untraced call delivered %+v", g)
 	}
 }
