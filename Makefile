@@ -1,6 +1,7 @@
 GO ?= go
 GOLANGCI ?= golangci-lint
 BENCH_OUT ?= BENCH_read_path.json
+COMIGRATE_OUT ?= BENCH_comigrate.json
 
 .PHONY: all build test short race vet lint bench benchdiff chaos ci clean
 
@@ -36,16 +37,20 @@ lint:
 		$(GO) vet ./...; \
 	fi
 
-# Read-path benchmark: fixed iteration count for run-to-run comparability,
-# measurements written to $(BENCH_OUT) for benchdiff.
+# Read-path and co-migration benchmarks: fixed iteration counts for
+# run-to-run comparability, measurements written to $(BENCH_OUT) and
+# $(COMIGRATE_OUT) for benchdiff.
 bench:
 	BENCH_OUT=$(abspath $(BENCH_OUT)) $(GO) test ./internal/bench -bench ReadPath -benchtime 4000x -run '^$$'
+	COMIGRATE_OUT=$(abspath $(COMIGRATE_OUT)) $(GO) test ./internal/bench -bench CoMigrate -benchtime 200x -run '^$$'
 
-# Compare a fresh benchmark run against the committed baseline; non-zero
-# exit on >15% p99 regression.
+# Compare fresh benchmark runs against the committed baselines; non-zero
+# exit on >15% p99 regression or >20% update-RPCs-per-migration regression.
 benchdiff:
 	BENCH_OUT=/tmp/BENCH_current.json $(GO) test ./internal/bench -bench ReadPath -benchtime 4000x -run '^$$'
+	COMIGRATE_OUT=/tmp/BENCH_comigrate_current.json $(GO) test ./internal/bench -bench CoMigrate -benchtime 200x -run '^$$'
 	$(GO) run ./cmd/benchdiff -baseline BENCH_read_path.json -current /tmp/BENCH_current.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_comigrate.json -current /tmp/BENCH_comigrate_current.json
 
 # Crash-tolerance soak: the failover, chaos and fault-injection suites under
 # the race detector.

@@ -56,7 +56,14 @@ type (
 	AgentID = ids.AgentID
 	// NodeID names a platform node; it doubles as its transport address.
 	NodeID = platform.NodeID
+	// ResidenceID names a residence handle: a node-centric indirection a
+	// swarm of co-resident agents binds to, so one RPC re-points them all
+	// when they migrate together.
+	ResidenceID = ids.ResidenceID
 )
+
+// NodeResidence returns the conventional residence handle of a node.
+func NodeResidence(node NodeID) ResidenceID { return ids.NodeResidence(string(node)) }
 
 // Transport layer.
 type (
@@ -134,6 +141,10 @@ type (
 	Client = core.Client
 	// Assignment caches which IAgent serves an agent.
 	Assignment = core.Assignment
+	// ResidenceGroup tracks a residence handle's members client-side and
+	// migrates them all with one RPC per responsible IAgent (see
+	// Client.ResidenceGroup).
+	ResidenceGroup = core.ResidenceGroup
 	// Caller abstracts who is speaking to the service.
 	Caller = core.Caller
 	// NodeCaller adapts a *Node to Caller.

@@ -12,12 +12,16 @@
 //   - p99 retry-attributed latency: time spent in backoff waits per
 //     operation; a rise past -max-retry-regress-us (default 500µs absolute)
 //     means requests are colliding with staleness far more often.
+//   - update RPCs per migration: the co-migration benchmark's headline
+//     number (BENCH_comigrate.json); a rise past -max-update-rpcs-regress
+//     (default 20%) means swarm moves stopped being O(1) on the wire.
 //
-// The hop and retry gates only engage when the baseline carries the fields
-// (older baselines predate trace attribution), so the tool keeps working
-// against files written by older binaries.
+// The hop, retry and update-RPC gates only engage when the baseline
+// carries the fields (older baselines predate them), so the tool keeps
+// working against files written by older binaries.
 //
 //	benchdiff -baseline BENCH_read_path.json -current /tmp/bench.json
+//	benchdiff -baseline BENCH_comigrate.json -current /tmp/comigrate.json
 package main
 
 import (
@@ -39,6 +43,7 @@ type result struct {
 	P99Us      float64  `json:"p99_us"`
 	MeanHops   *float64 `json:"mean_hops_per_op,omitempty"`
 	P99RetryUs *float64 `json:"p99_retry_us,omitempty"`
+	UpdateRPCs *float64 `json:"update_rpcs_per_migration,omitempty"`
 }
 
 type file struct {
@@ -51,18 +56,19 @@ func main() {
 	maxP99 := flag.Float64("max-p99-regress", 0.15, "maximum tolerated relative p99 increase (0.15 = +15%)")
 	maxHops := flag.Float64("max-hops-regress", 0.20, "maximum tolerated relative mean-chase-hops increase")
 	maxRetryUs := flag.Float64("max-retry-regress-us", 500, "maximum tolerated absolute p99 retry-attributed latency increase, µs")
+	maxUpdateRPCs := flag.Float64("max-update-rpcs-regress", 0.20, "maximum tolerated relative update-RPCs-per-migration increase")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
 		os.Exit(2)
 	}
-	if err := run(*baselinePath, *currentPath, *maxP99, *maxHops, *maxRetryUs); err != nil {
+	if err := run(*baselinePath, *currentPath, *maxP99, *maxHops, *maxRetryUs, *maxUpdateRPCs); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs float64) error {
+func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs, maxUpdateRPCs float64) error {
 	baseline, err := load(baselinePath)
 	if err != nil {
 		return err
@@ -77,8 +83,8 @@ func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs float64) 
 	}
 
 	var failures []string
-	fmt.Printf("%-22s %12s %12s %8s %14s %14s %10s %12s\n",
-		"benchmark", "base p99µs", "cur p99µs", "Δp99", "base ops/s", "cur ops/s", "Δhops", "Δretry-p99")
+	fmt.Printf("%-22s %12s %12s %8s %14s %14s %10s %12s %10s\n",
+		"benchmark", "base p99µs", "cur p99µs", "Δp99", "base ops/s", "cur ops/s", "Δhops", "Δretry-p99", "Δupd-rpc")
 	for _, base := range baseline.Benchmarks {
 		c, ok := cur[base.Name]
 		if !ok {
@@ -89,7 +95,7 @@ func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs float64) 
 		if base.P99Us > 0 {
 			delta = (c.P99Us - base.P99Us) / base.P99Us
 		}
-		hopsCol, retryCol := "n/a", "n/a"
+		hopsCol, retryCol, rpcsCol := "n/a", "n/a", "n/a"
 
 		if base.MeanHops != nil && c.MeanHops != nil {
 			hopDelta := 0.0
@@ -112,8 +118,20 @@ func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs float64) 
 						base.Name, *base.P99RetryUs, *c.P99RetryUs, retryDelta, maxRetryUs))
 			}
 		}
-		fmt.Printf("%-22s %12.0f %12.0f %+7.1f%% %14.0f %14.0f %10s %12s\n",
-			base.Name, base.P99Us, c.P99Us, delta*100, base.Throughput, c.Throughput, hopsCol, retryCol)
+		if base.UpdateRPCs != nil && c.UpdateRPCs != nil {
+			rpcDelta := 0.0
+			if *base.UpdateRPCs > 0 {
+				rpcDelta = (*c.UpdateRPCs - *base.UpdateRPCs) / *base.UpdateRPCs
+			}
+			rpcsCol = fmt.Sprintf("%+.1f%%", rpcDelta*100)
+			if rpcDelta > maxUpdateRPCs {
+				failures = append(failures,
+					fmt.Sprintf("%s: update RPCs per migration %.2f -> %.2f (%+.1f%%, limit %+.1f%%)",
+						base.Name, *base.UpdateRPCs, *c.UpdateRPCs, rpcDelta*100, maxUpdateRPCs*100))
+			}
+		}
+		fmt.Printf("%-22s %12.0f %12.0f %+7.1f%% %14.0f %14.0f %10s %12s %10s\n",
+			base.Name, base.P99Us, c.P99Us, delta*100, base.Throughput, c.Throughput, hopsCol, retryCol, rpcsCol)
 		if delta > maxP99 {
 			failures = append(failures,
 				fmt.Sprintf("%s: p99 %.0fµs -> %.0fµs (%+.1f%%, limit %+.1f%%)",
@@ -124,9 +142,9 @@ func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs float64) 
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", f)
 		}
-		return fmt.Errorf("%d regression(s) past the p99/hops/retry gates", len(failures))
+		return fmt.Errorf("%d regression(s) past the p99/hops/retry/update-rpc gates", len(failures))
 	}
-	fmt.Println("benchdiff: within the p99, chase-hop and retry gates")
+	fmt.Println("benchdiff: within the p99, chase-hop, retry and update-RPC gates")
 	return nil
 }
 

@@ -119,6 +119,9 @@ type Result struct {
 	// PhaseMeanUs attributes mean latency to client phases (whois,
 	// iagent.locate, backoff, ...).
 	PhaseMeanUs map[string]float64 `json:"phase_mean_us,omitempty"`
+	// UpdateRPCs is the mean update-path RPC count per swarm migration —
+	// the co-migration benchmark's headline number (zero elsewhere).
+	UpdateRPCs float64 `json:"update_rpcs_per_migration,omitempty"`
 }
 
 // Harness is a deployed cluster ready to be driven. Create with NewHarness,

@@ -31,12 +31,26 @@ type File struct {
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if out := os.Getenv("BENCH_OUT"); out != "" && len(collected) > 0 {
+	outs := []struct {
+		env   string
+		names []string
+	}{
+		{"BENCH_OUT", []string{"read_path/serial", "read_path/sharded", "read_path/cached"}},
+		{"COMIGRATE_OUT", []string{"comigrate/per_agent", "comigrate/residence"}},
+	}
+	for _, o := range outs {
+		out := os.Getenv(o.env)
+		if out == "" {
+			continue
+		}
 		var f File
-		for _, name := range []string{"read_path/serial", "read_path/sharded", "read_path/cached"} {
+		for _, name := range o.names {
 			if r, ok := collected[name]; ok {
 				f.Benchmarks = append(f.Benchmarks, r)
 			}
+		}
+		if len(f.Benchmarks) == 0 {
+			continue
 		}
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err == nil {

@@ -1,0 +1,213 @@
+// Co-migration benchmark: a swarm of agents that always travels together —
+// the workload the residence handle exists for. Two variants move the same
+// swarm back and forth across nodes:
+//
+//   - per_agent:  every member reports its own move, the paper's §4.3
+//     baseline — update RPCs grow linearly with the swarm size.
+//   - residence:  the swarm is bound to one residence handle and each
+//     migration re-points the handle with a single KindResidenceMove RPC —
+//     update traffic is O(1) per migration regardless of swarm size.
+//
+// The headline measurement is update-path RPCs per migration, counted at
+// the caller so batching or retries cannot hide traffic; benchdiff gates
+// on it via BENCH_comigrate.json.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// ComigrateConfig shapes one co-migration run. Zero fields select the
+// defaults noted on each.
+type ComigrateConfig struct {
+	// Nodes is the platform node count (default 3); migrations rotate the
+	// swarm across all of them.
+	Nodes int
+	// Swarm is the co-resident agent count (default 16).
+	Swarm int
+}
+
+func (c *ComigrateConfig) fillDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Swarm <= 0 {
+		c.Swarm = 16
+	}
+}
+
+// rpcCounter wraps a Caller and tallies RPCs by kind, so the benchmark can
+// report exactly how many update-path messages each migration cost.
+type rpcCounter struct {
+	inner core.Caller
+
+	mu     sync.Mutex
+	byKind map[string]int
+}
+
+func newRPCCounter(inner core.Caller) *rpcCounter {
+	return &rpcCounter{inner: inner, byKind: make(map[string]int)}
+}
+
+func (r *rpcCounter) Call(ctx context.Context, at platform.NodeID, agent ids.AgentID, kind string, req, resp any) error {
+	r.mu.Lock()
+	r.byKind[kind]++
+	r.mu.Unlock()
+	return r.inner.Call(ctx, at, agent, kind, req, resp)
+}
+
+func (r *rpcCounter) LocalNode() platform.NodeID { return r.inner.LocalNode() }
+
+func (r *rpcCounter) reset() {
+	r.mu.Lock()
+	r.byKind = make(map[string]int)
+	r.mu.Unlock()
+}
+
+// updateRPCs is the count of location-update messages: everything a swarm
+// migration puts on the wire to keep the mechanism current.
+func (r *rpcCounter) updateRPCs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byKind[core.KindUpdate] + r.byKind[core.KindUpdateBatch] + r.byKind[core.KindResidenceMove]
+}
+
+// ComigrateHarness is a deployed cluster with a registered swarm, ready to
+// be migrated by either variant. Create with NewComigrateHarness, drive
+// with RunPerAgent / RunResidence (repeatable, either order), release with
+// Close.
+type ComigrateHarness struct {
+	cfg     ComigrateConfig
+	net     *transport.Network
+	nodes   []*platform.Node
+	service *core.Service
+	counter *rpcCounter
+	client  *core.Client
+	members []ids.AgentID
+	assigns []core.Assignment
+}
+
+// NewComigrateHarness deploys the cluster and registers the swarm on the
+// single hot leaf (rehash thresholds pushed out of reach, as in the read
+// bench, so the update path itself is what gets measured).
+func NewComigrateHarness(cfg ComigrateConfig) (*ComigrateHarness, error) {
+	cfg.fillDefaults()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	nodes := make([]*platform.Node, cfg.Nodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("node-%d", i)), Link: net})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		nodes[i] = n
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.TMax = 1e12
+	ccfg.TMin = 0
+	ccfg.CheckInterval = time.Hour
+
+	svc, err := core.Deploy(context.Background(), ccfg, nodes)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+
+	h := &ComigrateHarness{cfg: cfg, net: net, nodes: nodes, service: svc}
+	h.counter = newRPCCounter(core.NodeCaller{N: nodes[0]})
+	h.client = core.NewClient(h.counter, ccfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	h.members = make([]ids.AgentID, cfg.Swarm)
+	h.assigns = make([]core.Assignment, cfg.Swarm)
+	for i := range h.members {
+		h.members[i] = ids.AgentID(fmt.Sprintf("swarm-%d", i))
+		assign, err := h.client.Register(ctx, h.members[i])
+		if err != nil {
+			h.Close()
+			return nil, fmt.Errorf("bench: register %s: %w", h.members[i], err)
+		}
+		h.assigns[i] = assign
+	}
+	return h, nil
+}
+
+// Close tears the cluster down.
+func (h *ComigrateHarness) Close() { h.net.Close() }
+
+// RunPerAgent migrates the swarm with one MoveNotify per member per
+// migration — the baseline every location mechanism in the paper family
+// pays when agents travel independently.
+func (h *ComigrateHarness) RunPerAgent(migrations int) (Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	run := func(m int) error {
+		dest := h.nodes[(m+1)%len(h.nodes)]
+		for i, member := range h.members {
+			if _, err := h.client.MoveNotifyTo(ctx, member, dest.ID(), h.assigns[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return h.measure("comigrate/per_agent", migrations, run)
+}
+
+// RunResidence binds the swarm to one residence handle, then migrates it
+// with a single handle re-point per migration.
+func (h *ComigrateHarness) RunResidence(migrations int) (Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	group := h.client.ResidenceGroup("res@bench-swarm")
+	for _, member := range h.members {
+		if err := group.Join(ctx, member); err != nil {
+			return Result{}, err
+		}
+	}
+	run := func(m int) error {
+		return group.MoveTo(ctx, h.nodes[(m+1)%len(h.nodes)].ID())
+	}
+	return h.measure("comigrate/residence", migrations, run)
+}
+
+// measure drives migrations through run, timing each and counting the
+// update RPCs it put on the wire. Setup traffic (registration, joins) is
+// excluded by resetting the counter at the start.
+func (h *ComigrateHarness) measure(name string, migrations int, run func(m int) error) (Result, error) {
+	if migrations <= 0 {
+		migrations = 1
+	}
+	h.counter.reset()
+	lats := make([]time.Duration, 0, migrations)
+	start := time.Now()
+	for m := 0; m < migrations; m++ {
+		mStart := time.Now()
+		if err := run(m); err != nil {
+			return Result{}, fmt.Errorf("bench: migration %d: %w", m, err)
+		}
+		lats = append(lats, time.Since(mStart))
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return Result{
+		Name:       name,
+		Workers:    1,
+		Ops:        migrations,
+		Seconds:    elapsed.Seconds(),
+		Throughput: float64(migrations) / elapsed.Seconds(),
+		P50Us:      percentileMicros(lats, 0.50),
+		P99Us:      percentileMicros(lats, 0.99),
+		UpdateRPCs: float64(h.counter.updateRPCs()) / float64(migrations),
+	}, nil
+}

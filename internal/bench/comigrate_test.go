@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+)
+
+// BenchmarkCoMigrate migrates a 16-agent swarm under both update
+// disciplines. Run with a fixed iteration count for comparable JSON:
+//
+//	COMIGRATE_OUT=BENCH_comigrate.json go test ./internal/bench \
+//	    -bench CoMigrate -benchtime 200x -run '^$'
+func BenchmarkCoMigrate(b *testing.B) {
+	variants := []struct {
+		name string
+		run  func(h *ComigrateHarness, n int) (Result, error)
+	}{
+		{"per_agent", (*ComigrateHarness).RunPerAgent},
+		{"residence", (*ComigrateHarness).RunResidence},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			h, err := NewComigrateHarness(ComigrateConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ResetTimer()
+			res, err := v.run(h, b.N)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Name = "comigrate/" + v.name
+			b.ReportMetric(res.UpdateRPCs, "update-rpcs/migration")
+			b.ReportMetric(res.Throughput, "migrations/s")
+			record(res)
+		})
+	}
+}
+
+// TestResidenceComigrationReduction pins the PR's headline claim: at a
+// swarm size of 16, the residence handle cuts update RPCs per migration by
+// at least 5x versus per-agent reporting (measured: 16 vs 1). RPCs are
+// counted at the caller, so retries or batching cannot flatter the result.
+func TestResidenceComigrationReduction(t *testing.T) {
+	h, err := NewComigrateHarness(ComigrateConfig{Swarm: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const migrations = 20
+	perAgent, err := h.RunPerAgent(migrations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residence, err := h.RunResidence(migrations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("update RPCs per migration: per-agent %.1f, residence %.1f",
+		perAgent.UpdateRPCs, residence.UpdateRPCs)
+
+	if perAgent.UpdateRPCs < 16 {
+		t.Errorf("per-agent variant sent %.1f update RPCs per migration, want >= 16 (one per member)", perAgent.UpdateRPCs)
+	}
+	// The residence count must be independent of swarm size: one handle
+	// re-point per migration.
+	if residence.UpdateRPCs > 1 {
+		t.Errorf("residence variant sent %.1f update RPCs per migration, want 1", residence.UpdateRPCs)
+	}
+	if ratio := perAgent.UpdateRPCs / residence.UpdateRPCs; ratio < 5 {
+		t.Errorf("update RPC reduction = %.1fx at swarm=16, want >= 5x", ratio)
+	}
+}

@@ -17,6 +17,11 @@ import (
 // ErrBatcherClosed is returned by Do after Close.
 var ErrBatcherClosed = errors.New("core: update batcher closed")
 
+// defaultFlushTimeout bounds a flush RPC when Config.CallTimeout is unset.
+// Without it a single stalled peer would wedge the flush goroutine — and
+// therefore Close — forever on a deadline-less call.
+const defaultFlushTimeout = 2 * time.Second
+
 // UpdateBatcher coalesces move-update traffic: updates bound for the same
 // IAgent within one flush tick travel as a single KindUpdateBatch RPC
 // instead of one RPC each. Heavy TAgent churn against a hot leaf is mostly
@@ -36,9 +41,10 @@ type UpdateBatcher struct {
 	clk    clock.Clock
 	tick   time.Duration
 
-	batches *metrics.Counter
-	coal    *metrics.Counter
-	tracer  *trace.Recorder
+	batchesOK  *metrics.Counter
+	batchesErr *metrics.Counter
+	coal       *metrics.Counter
+	tracer     *trace.Recorder
 
 	mu     sync.Mutex
 	queues map[batchKey][]pendingUpdate
@@ -86,20 +92,22 @@ func NewUpdateBatcher(caller Caller, cfg Config, tick time.Duration) *UpdateBatc
 		done:   make(chan struct{}),
 	}
 	if reg := CallerRegistry(caller); reg != nil {
-		reg.Describe("agentloc_core_update_batches_total", "Coalesced update batches flushed.")
+		reg.Describe("agentloc_core_update_batches_total", "Coalesced update batch RPCs flushed, by result.")
 		reg.Describe("agentloc_core_update_batched_total", "Individual updates carried inside batches.")
-		b.batches = reg.Counter("agentloc_core_update_batches_total")
+		b.batchesOK = reg.Counter("agentloc_core_update_batches_total", "result", "ok")
+		b.batchesErr = reg.Counter("agentloc_core_update_batches_total", "result", "error")
 		b.coal = reg.Counter("agentloc_core_update_batched_total")
 	}
 	go b.flushLoop()
 	return b
 }
 
-// Do submits one update and blocks until its individual ack arrives with
-// the next flush, the context expires, or the batcher closes.
-func (b *UpdateBatcher) Do(ctx context.Context, assign Assignment, agent ids.AgentID, node platform.NodeID) (Ack, error) {
+// Do submits one update — residence binding included, batches carry full
+// UpdateReqs — and blocks until its individual ack arrives with the next
+// flush, the context expires, or the batcher closes.
+func (b *UpdateBatcher) Do(ctx context.Context, assign Assignment, req UpdateReq) (Ack, error) {
 	p := pendingUpdate{
-		req:    UpdateReq{Agent: agent, Node: node},
+		req:    req,
 		result: make(chan batchResult, 1),
 	}
 	key := batchKey{node: assign.Node, iagent: assign.IAgent}
@@ -152,46 +160,68 @@ func (b *UpdateBatcher) flushLoop() {
 }
 
 // flush sends one KindUpdateBatch RPC per destination with queued entries
-// and fans the per-entry acks back out.
+// and fans the per-entry acks back out. Destinations flush concurrently: a
+// stalled IAgent costs only its own batch a timeout instead of head-of-line
+// blocking every other peer's batch for the tick.
 func (b *UpdateBatcher) flush() {
 	b.mu.Lock()
 	queues := b.queues
 	b.queues = make(map[batchKey][]pendingUpdate)
 	b.mu.Unlock()
 
+	var wg sync.WaitGroup
 	for key, pending := range queues {
-		req := UpdateBatchReq{Updates: make([]UpdateReq, len(pending))}
-		for i, p := range pending {
-			req.Updates[i] = p.req
-		}
-		var resp UpdateBatchResp
-		ctx := context.Background()
-		var cancel context.CancelFunc = func() {}
-		if b.cfg.CallTimeout > 0 {
-			ctx, cancel = context.WithTimeout(ctx, b.cfg.CallTimeout)
-		}
-		// The flush runs on the batcher's own goroutine, outside any one
-		// caller's trace, so it records as a root control span.
-		sp := b.tracer.StartRoot("control", "batch.flush")
-		sp.Annotate("dest", string(key.iagent))
-		sp.Annotate("entries", fmt.Sprintf("%d", len(pending)))
-		if sp != nil {
-			ctx = trace.ContextWith(ctx, sp.Context())
-		}
-		err := b.caller.Call(ctx, key.node, key.iagent, KindUpdateBatch, req, &resp)
-		sp.End(err)
-		cancel()
-		b.batches.Inc()
-		b.coal.Add(uint64(len(pending)))
-		for i, p := range pending {
-			switch {
-			case err != nil:
-				p.result <- batchResult{err: err}
-			case i >= len(resp.Acks):
-				p.result <- batchResult{err: fmt.Errorf("core: batch ack missing entry %d of %d", i, len(pending))}
-			default:
-				p.result <- batchResult{ack: resp.Acks[i]}
-			}
+		wg.Add(1)
+		go func(key batchKey, pending []pendingUpdate) {
+			defer wg.Done()
+			b.flushDest(key, pending)
+		}(key, pending)
+	}
+	wg.Wait()
+}
+
+// flushDest sends one destination's batch RPC and fans the per-entry acks
+// back out. The RPC is always deadline-bounded — CallTimeout when set, a
+// small default otherwise — so a stalled peer cannot wedge the flush
+// goroutine (and with it Close) forever.
+func (b *UpdateBatcher) flushDest(key batchKey, pending []pendingUpdate) {
+	req := UpdateBatchReq{Updates: make([]UpdateReq, len(pending))}
+	for i, p := range pending {
+		req.Updates[i] = p.req
+	}
+	var resp UpdateBatchResp
+	timeout := b.cfg.CallTimeout
+	if timeout <= 0 {
+		timeout = defaultFlushTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	// The flush runs on the batcher's own goroutines, outside any one
+	// caller's trace, so it records as a root control span.
+	sp := b.tracer.StartRoot("control", "batch.flush")
+	sp.Annotate("dest", string(key.iagent))
+	sp.Annotate("entries", fmt.Sprintf("%d", len(pending)))
+	if sp != nil {
+		ctx = trace.ContextWith(ctx, sp.Context())
+	}
+	err := b.caller.Call(ctx, key.node, key.iagent, KindUpdateBatch, req, &resp)
+	sp.End(err)
+	// Only successful batch RPCs count as flushed; failures are tallied
+	// separately so the ok series stays an honest delivery count.
+	if err != nil {
+		b.batchesErr.Inc()
+	} else {
+		b.batchesOK.Inc()
+	}
+	b.coal.Add(uint64(len(pending)))
+	for i, p := range pending {
+		switch {
+		case err != nil:
+			p.result <- batchResult{err: err}
+		case i >= len(resp.Acks):
+			p.result <- batchResult{err: fmt.Errorf("core: batch ack missing entry %d of %d", i, len(pending))}
+		default:
+			p.result <- batchResult{ack: resp.Acks[i]}
 		}
 	}
 }

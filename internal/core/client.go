@@ -210,6 +210,11 @@ type Client struct {
 	// batcher, when set, carries MoveNotify traffic as coalesced
 	// one-RPC-per-peer-per-tick batches. See batch.go.
 	batcher *UpdateBatcher
+
+	// resFallback counts residence moves that degraded to per-member bound
+	// updates (stale grouping after a rehash or takeover); nil without
+	// metrics.
+	resFallback *metrics.Counter
 }
 
 // NewClient builds a Client for the given caller. When the caller exposes a
@@ -250,6 +255,8 @@ func NewClient(caller Caller, cfg Config) *Client {
 			KindRegister:   reg.Counter("agentloc_core_client_retries_total", "op", "register"),
 			KindDeregister: reg.Counter("agentloc_core_client_retries_total", "op", "deregister"),
 		}
+		reg.Describe("agentloc_core_residence_fallback_total", "Residence moves degraded to per-member bound updates (stale grouping).")
+		c.resFallback = reg.Counter("agentloc_core_residence_fallback_total")
 	}
 	return c
 }
@@ -349,14 +356,38 @@ func (c *Client) refreshLocal(ctx context.Context, minVersion uint64) error {
 // Register announces a newly created agent's location (the caller's node)
 // and returns the assignment the agent should cache.
 func (c *Client) Register(ctx context.Context, self ids.AgentID) (Assignment, error) {
-	return c.reportLocation(ctx, KindRegister, self, Assignment{})
+	return c.reportLocation(ctx, KindRegister, self, "", Assignment{})
 }
 
 // MoveNotify informs the agent's IAgent that it now resides at the
 // caller's node. The cached assignment (possibly zero) is used first; the
-// returned assignment reflects any rehashing discovered on the way.
+// returned assignment reflects any rehashing discovered on the way. A plain
+// MoveNotify also clears any residence binding the agent had — an
+// individually-reported move means it left its group.
 func (c *Client) MoveNotify(ctx context.Context, self ids.AgentID, cached Assignment) (Assignment, error) {
-	return c.reportLocation(ctx, KindUpdate, self, cached)
+	return c.reportLocation(ctx, KindUpdate, self, "", cached)
+}
+
+// MoveNotifyTo is MoveNotify reporting an explicit destination node instead
+// of the caller's own — for reporters (benchmarks, relocation services)
+// announcing a move on an agent's behalf. Like MoveNotify it clears any
+// residence binding the agent had.
+func (c *Client) MoveNotifyTo(ctx context.Context, self ids.AgentID, node platform.NodeID, cached Assignment) (Assignment, error) {
+	return c.reportLocationAt(ctx, KindUpdate, self, "", node, cached)
+}
+
+// MoveNotifyBound is MoveNotify with a residence binding: besides recording
+// the agent at the caller's node, the IAgent binds it to the handle so a
+// later ResidenceGroup.MoveTo covers it with one RPC.
+func (c *Client) MoveNotifyBound(ctx context.Context, self ids.AgentID, res ids.ResidenceID, cached Assignment) (Assignment, error) {
+	return c.reportLocation(ctx, KindUpdate, self, res, cached)
+}
+
+// moveNotifyBoundAt is MoveNotifyBound reporting an explicit node instead
+// of the caller's own — the per-member fallback of a residence move reports
+// the group's destination, wherever the reporting client runs.
+func (c *Client) moveNotifyBoundAt(ctx context.Context, self ids.AgentID, res ids.ResidenceID, node platform.NodeID, cached Assignment) (Assignment, error) {
+	return c.reportLocationAt(ctx, KindUpdate, self, res, node, cached)
 }
 
 // Deregister removes the agent's entry (agent disposal).
@@ -475,14 +506,19 @@ func (c *Client) InvalidateLocation(target ids.AgentID) {
 	c.cache.invalidate(target)
 }
 
-// reportLocation implements register/update with the shared retry loop.
-func (c *Client) reportLocation(ctx context.Context, kind string, self ids.AgentID, cached Assignment) (Assignment, error) {
+// reportLocation implements register/update with the shared retry loop,
+// reporting the caller's own node.
+func (c *Client) reportLocation(ctx context.Context, kind string, self ids.AgentID, res ids.ResidenceID, cached Assignment) (Assignment, error) {
+	return c.reportLocationAt(ctx, kind, self, res, c.caller.LocalNode(), cached)
+}
+
+// reportLocationAt is reportLocation with an explicit reported node.
+func (c *Client) reportLocationAt(ctx context.Context, kind string, self ids.AgentID, res ids.ResidenceID, node platform.NodeID, cached Assignment) (Assignment, error) {
 	opName := "register"
 	if kind == KindUpdate {
 		opName = "update"
 	}
 	sp, ctx, rpcs := c.startOp(ctx, opName)
-	node := c.caller.LocalNode()
 	assign := cached
 	var err error
 	start := time.Now()
@@ -502,18 +538,19 @@ func (c *Client) reportLocation(ctx context.Context, kind string, self ids.Agent
 			}
 		}
 		var ack Ack
+		req := UpdateReq{Agent: self, Node: node, Residence: res}
 		if kind == KindUpdate && c.batcher != nil {
 			// The batch span covers the full queue-to-ack delay: time parked
 			// in the outgoing batch plus the coalesced RPC's round trip.
 			csp, cctx := c.childSpan(ctx, "batch.wait")
-			ack, err = c.batcher.Do(cctx, assign, self, node)
+			ack, err = c.batcher.Do(cctx, assign, req)
 			csp.End(err)
 		} else {
 			csp, cctx := c.childSpan(ctx, "iagent."+opName)
 			if attempt > 0 {
 				csp.Annotate("attempt", strconv.Itoa(attempt))
 			}
-			err = c.call(cctx, assign.Node, assign.IAgent, kind, UpdateReq{Agent: self, Node: node}, &ack)
+			err = c.call(cctx, assign.Node, assign.IAgent, kind, req, &ack)
 			csp.End(err)
 		}
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)

@@ -462,12 +462,19 @@ func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
 	req := CheckpointReq{From: ctx.Self(), HashVersion: st.Version(), Seq: b.ckSeq, Full: b.ckFull}
 	if b.ckFull {
 		// Snapshot locks one stripe at a time; locates on other stripes
-		// proceed while the checkpoint is being assembled.
+		// proceed while the checkpoint is being assembled. Residence-bound
+		// entries are overlaid with their handle's address: checkpoints carry
+		// final addresses, so the schema (and takeover restore) is unchanged
+		// — a restored swarm re-forms its bindings at its next move.
 		req.Entries = b.Table.Snapshot()
+		b.Residence.OverlayResolved(req.Entries)
 	} else {
 		req.Entries = make(map[ids.AgentID]platform.NodeID, len(b.ckDirty))
 		for a := range b.ckDirty {
 			if n, ok := b.Table.Get(a); ok {
+				if rn, bound := b.Residence.Resolve(a); bound {
+					n = rn
+				}
 				req.Entries[a] = n
 			}
 		}

@@ -32,6 +32,11 @@ type IAgentBehavior struct {
 	// gob-encodes as a plain map, so migration snapshots kept their wire
 	// format when the field stopped being one.
 	Table *loctable.Table
+	// Residence records which served agents are bound to which residence
+	// handle and where each handle currently is; locate resolves through it
+	// so a group migration re-pointing the handle covers every bound member
+	// (see residence.go).
+	Residence *ResidenceTable
 	// StateSnapshot is the IAgent's copy of the hash state, kept current
 	// by the HAgent for every rehash the IAgent is involved in.
 	StateSnapshot StateDTO
@@ -91,6 +96,9 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 		if b.Table == nil {
 			b.Table = loctable.New()
 		}
+		if b.Residence == nil {
+			b.Residence = NewResidenceTable()
+		}
 		st, err := FromDTO(b.StateSnapshot)
 		if err != nil {
 			b.initErr = fmt.Errorf("IAgent %s: %w", ctx.Self(), err)
@@ -121,10 +129,11 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 		reg.Describe("agentloc_checkpoint_lag_entries", "Location-table updates not yet checkpointed to the sibling leaf, by IAgent.")
 		self := string(ctx.Self())
 		b.metReq = map[string]*metrics.Counter{
-			KindRegister:   reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "register"),
-			KindUpdate:     reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "update"),
-			KindDeregister: reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "deregister"),
-			KindLocate:     reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "locate"),
+			KindRegister:      reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "register"),
+			KindUpdate:        reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "update"),
+			KindDeregister:    reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "deregister"),
+			KindLocate:        reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "locate"),
+			KindResidenceMove: reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "residence-move"),
 		}
 		b.metStale = reg.Counter("agentloc_core_iagent_stale_total", "iagent", self)
 		b.metTable = reg.Gauge("agentloc_core_iagent_table_entries", "iagent", self)
@@ -190,13 +199,13 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.recordLocation(ctx, req.Agent, req.Node), nil
+		return b.recordLocation(ctx, req.Agent, req.Node, ""), nil
 	case KindUpdate:
 		var req UpdateReq
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.recordLocation(ctx, req.Agent, req.Node), nil
+		return b.recordLocation(ctx, req.Agent, req.Node, req.Residence), nil
 	case KindUpdateBatch:
 		var req UpdateBatchReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -205,9 +214,15 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		resp := UpdateBatchResp{Acks: make([]Ack, len(req.Updates))}
 		for i, u := range req.Updates {
 			b.metReq[KindUpdate].Inc()
-			resp.Acks[i] = b.recordLocation(ctx, u.Agent, u.Node)
+			resp.Acks[i] = b.recordLocation(ctx, u.Agent, u.Node, u.Residence)
 		}
 		return resp, nil
+	case KindResidenceMove:
+		var req ResidenceMoveReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.residenceMove(req), nil
 	case KindDeregister:
 		var req DeregisterReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -255,8 +270,11 @@ func (b *IAgentBehavior) responsible(ctx *platform.Context, agent ids.AgentID) (
 }
 
 // recordLocation serves register and update requests (paper §2.3: "each
-// time A moves, it informs its IAgent about its new location").
-func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID, node platform.NodeID) Ack {
+// time A moves, it informs its IAgent about its new location"). A non-empty
+// res binds the agent to that residence handle at node; an empty res clears
+// any binding — an individually-reported move means the agent left its
+// group.
+func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID, node platform.NodeID, res ids.ResidenceID) Ack {
 	b.est.Record()
 	ok, version := b.responsible(ctx, agent)
 	if !ok {
@@ -265,12 +283,46 @@ func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID
 	}
 	b.loads.Add(agent)
 	b.Table.Put(agent, node)
+	if res != "" {
+		b.Residence.Bind(agent, res, node)
+	} else {
+		b.Residence.Unbind(agent)
+	}
 	b.mu.Lock()
 	b.ckDirty[agent] = true
 	delete(b.ckRemoved, agent)
 	b.mu.Unlock()
 	b.metTable.Set(int64(b.Table.Len()))
 	return Ack{Status: StatusOK, HashVersion: version}
+}
+
+// residenceMove serves KindResidenceMove: re-point a residence handle at
+// its group's new node, covering every bound member this IAgent serves with
+// one request. Residence ids are not hashed, so there is no responsibility
+// check on the handle itself; the members' bindings only exist here while
+// their entries do (adoptState unbinds what it hands off). An unknown
+// handle answers StatusUnknownAgent and the sender falls back to per-member
+// bound updates, which re-create the record wherever the members live now.
+func (b *IAgentBehavior) residenceMove(req ResidenceMoveReq) ResidenceMoveResp {
+	b.est.Record()
+	version := b.state.Load().Version()
+	members, known := b.Residence.Move(req.Residence, req.Node)
+	if !known {
+		return ResidenceMoveResp{Status: StatusUnknownAgent, HashVersion: version}
+	}
+	// Every member's resolved address changed: their checkpointed entries
+	// must be re-pushed, and the load account sees the activity so split
+	// decisions stay informed.
+	b.mu.Lock()
+	for _, a := range members {
+		b.ckDirty[a] = true
+		delete(b.ckRemoved, a)
+	}
+	b.mu.Unlock()
+	for _, a := range members {
+		b.loads.Add(a)
+	}
+	return ResidenceMoveResp{Status: StatusOK, HashVersion: version, Bound: len(members)}
 }
 
 // deregister forgets a disposed agent.
@@ -282,6 +334,7 @@ func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) Ac
 		return Ack{Status: StatusNotResponsible, HashVersion: version}
 	}
 	b.Table.Delete(agent)
+	b.Residence.Unbind(agent)
 	b.mu.Lock()
 	b.ckRemoved[agent] = true
 	delete(b.ckDirty, agent)
@@ -305,6 +358,13 @@ func (b *IAgentBehavior) locate(ctx *platform.Context, agent ids.AgentID) Locate
 	node, found := b.Table.Get(agent)
 	if !found {
 		return LocateResp{Status: StatusUnknownAgent, HashVersion: version}
+	}
+	// A bound agent's authoritative address is its handle's: the handle
+	// moved with the group even when the member's direct entry is older.
+	// Resolve takes only a read lock, so the concurrent fast path keeps its
+	// parallelism — and the client receives (and caches) a final address.
+	if rn, ok := b.Residence.Resolve(agent); ok {
+		node = rn
 	}
 	return LocateResp{Status: StatusOK, Node: node, HashVersion: version}
 }
@@ -339,8 +399,12 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 		b.activateCheckpoint(ctx, req.PromoteCheckpointOf)
 	}
 
-	// Group entries this IAgent no longer owns by their new owner.
+	// Group entries this IAgent no longer owns by their new owner. The
+	// snapshot is overlaid with residence-resolved addresses first, so a
+	// receiver that never learns a binding still starts from the group's
+	// current node, not a stale per-member entry.
 	entries := b.Table.Snapshot()
+	b.Residence.OverlayResolved(entries)
 	moved := make(map[ids.AgentID]*HandoffReq)
 	for agent, node := range entries {
 		owner, _, err := st.OwnerOf(agent)
@@ -350,14 +414,20 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 		h := moved[owner]
 		if h == nil {
 			h = &HandoffReq{
-				Entries: make(map[ids.AgentID]platform.NodeID),
-				Load:    make(map[ids.AgentID]uint64),
-				Pending: make(map[ids.AgentID][]Deposited),
+				Entries:    make(map[ids.AgentID]platform.NodeID),
+				Load:       make(map[ids.AgentID]uint64),
+				Pending:    make(map[ids.AgentID][]Deposited),
+				Bindings:   make(map[ids.AgentID]ids.ResidenceID),
+				Residences: make(map[ids.ResidenceID]platform.NodeID),
 			}
 			moved[owner] = h
 		}
 		h.Entries[agent] = node
 		h.Load[agent] = b.loads.Load(agent)
+		if r, bound := b.Residence.BindingOf(agent); bound {
+			h.Bindings[agent] = r
+			h.Residences[r] = node
+		}
 		b.mu.Lock()
 		if msgs := b.Pending[agent]; len(msgs) > 0 {
 			h.Pending[agent] = msgs
@@ -379,6 +449,7 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 		b.mu.Unlock()
 		for agent := range h.Entries {
 			b.Table.Delete(agent)
+			b.Residence.Unbind(agent)
 			b.loads.Remove(agent)
 		}
 		b.metTable.Set(int64(b.Table.Len()))
@@ -400,6 +471,9 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 
 // handoff merges entries transferred from another IAgent during rehashing.
 func (b *IAgentBehavior) handoff(req HandoffReq) Ack {
+	if len(req.Bindings) > 0 {
+		b.Residence.Adopt(req.Bindings, req.Residences)
+	}
 	b.mu.Lock()
 	for agent := range req.Entries {
 		b.ckDirty[agent] = true

@@ -25,6 +25,9 @@ const (
 	KindDeregister = "loc.deregister"
 	// Batcher → IAgent: coalesced move updates, one RPC per peer per tick.
 	KindUpdateBatch = "loc.update-batch"
+	// Residence group → IAgent: re-point a residence handle after a group
+	// migration, covering every member the IAgent serves with one RPC.
+	KindResidenceMove = "loc.residence-move"
 
 	// HAgent → IAgent.
 	KindAdoptState = "loc.adopt-state"
@@ -106,6 +109,11 @@ type RegisterReq struct {
 type UpdateReq struct {
 	Agent ids.AgentID
 	Node  platform.NodeID
+	// Residence, when non-empty, binds the agent to a residence handle at
+	// Node (see residence.go); when empty, the update clears any existing
+	// binding — an individually-reported move means the agent left its
+	// group.
+	Residence ids.ResidenceID
 }
 
 // DeregisterReq removes a disposed agent's entry.
@@ -131,6 +139,24 @@ type Ack struct {
 	// HashVersion lets the caller detect how stale its copy is when
 	// Status is StatusNotResponsible.
 	HashVersion uint64
+}
+
+// ResidenceMoveReq re-points a residence handle to a new node. The IAgent
+// answers for every member it serves in one step; the sender checks Bound
+// against its own member list and falls back to per-member bound updates if
+// the IAgent's record went stale (rehash, takeover, restart).
+type ResidenceMoveReq struct {
+	Residence ids.ResidenceID
+	Node      platform.NodeID
+}
+
+// ResidenceMoveResp acks a residence move. StatusUnknownAgent means the
+// IAgent has no record of the handle.
+type ResidenceMoveResp struct {
+	Status      Status
+	HashVersion uint64
+	// Bound is the number of agents the handle covered at this IAgent.
+	Bound int
 }
 
 // LocateReq asks an IAgent for the current location of an agent it serves.
@@ -214,6 +240,11 @@ type HandoffReq struct {
 	// Pending carries undelivered deposited messages (guaranteed-delivery
 	// extension) so rehashing cannot lose mail.
 	Pending map[ids.AgentID][]Deposited
+	// Bindings and Residences carry the residence record for the handed-off
+	// agents (see residence.go), so a rehash does not degrade a bound swarm
+	// back to per-agent updates.
+	Bindings   map[ids.AgentID]ids.ResidenceID
+	Residences map[ids.ResidenceID]platform.NodeID
 }
 
 // register the protocol's concrete types and behaviours with gob so agents

@@ -58,6 +58,27 @@ func fmix64(v uint64) uint64 {
 	return v
 }
 
+// ResidenceID names a residence handle: a group of co-resident mobile
+// agents that travel together (all agents at one node, or a swarm on a
+// shared itinerary). Agents bound to a handle share one recorded address,
+// so a group migration is reported by re-pointing the handle once instead
+// of updating every member (the node-centric locator idea). Residence ids
+// are opaque strings and are NOT hashed: a handle lives wherever its
+// members' bindings live, so resolving member → handle → address never
+// costs an extra network hop.
+type ResidenceID string
+
+// String implements fmt.Stringer.
+func (r ResidenceID) String() string { return string(r) }
+
+// NodeResidence returns the canonical residence handle of a platform node:
+// the group of "everything currently hosted here". Deriving it from the
+// node name keeps the handle stable across restarts and discoverable by
+// every co-resident agent without coordination.
+func NodeResidence(node string) ResidenceID {
+	return ResidenceID("res@" + node)
+}
+
 // Generator hands out unique agent ids with a common prefix. It is safe for
 // concurrent use.
 type Generator struct {

@@ -196,6 +196,10 @@ func (c *Context) Self() ids.AgentID { return c.host.id }
 // Node returns the id of the node currently hosting the agent.
 func (c *Context) Node() NodeID { return c.host.node.id }
 
+// Residence returns the hosting node's canonical residence handle; a
+// co-resident agent joins it to ride node-level group moves.
+func (c *Context) Residence() ids.ResidenceID { return c.host.node.residence }
+
 // Clock returns the hosting node's clock.
 func (c *Context) Clock() clock.Clock { return c.host.node.clk }
 

@@ -158,16 +158,23 @@ type Config struct {
 	// hosted-agent population, migrations, transfers — and instruments the
 	// node's RPC peer. Nil disables metrics (the default).
 	Metrics *metrics.Registry
+	// Residence is the node's canonical residence handle: the group of
+	// "everything currently hosted here", which co-resident agents may join
+	// so a node migration is reported as one handle move (see
+	// ids.NodeResidence and core's residence support). Defaults to
+	// ids.NodeResidence(ID).
+	Residence ids.ResidenceID
 }
 
 // Node hosts agents and serves the platform's wire protocol.
 type Node struct {
-	id     NodeID
-	clk    clock.Clock
-	peer   *transport.Peer
-	trace  *trace.Log
-	tracer *trace.Recorder
-	reg    *metrics.Registry
+	id        NodeID
+	clk       clock.Clock
+	peer      *transport.Peer
+	trace     *trace.Log
+	tracer    *trace.Recorder
+	reg       *metrics.Registry
+	residence ids.ResidenceID
 
 	// Handles cached off the hot paths; all are nil-safe no-ops when the
 	// node has no registry.
@@ -194,13 +201,17 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
+	if cfg.Residence == "" {
+		cfg.Residence = ids.NodeResidence(string(cfg.ID))
+	}
 	n := &Node{
-		id:     cfg.ID,
-		clk:    cfg.Clock,
-		trace:  cfg.Trace,
-		tracer: cfg.Tracer,
-		reg:    cfg.Metrics,
-		agents: make(map[ids.AgentID]*hosted),
+		id:        cfg.ID,
+		clk:       cfg.Clock,
+		trace:     cfg.Trace,
+		tracer:    cfg.Tracer,
+		reg:       cfg.Metrics,
+		residence: cfg.Residence,
+		agents:    make(map[ids.AgentID]*hosted),
 	}
 	if r := cfg.Metrics; r != nil {
 		r.Describe("agentloc_platform_agents_hosted", "Agents currently hosted, by node.")
@@ -228,6 +239,10 @@ func (n *Node) ID() NodeID { return n.id }
 
 // Clock returns the node's clock.
 func (n *Node) Clock() clock.Clock { return n.clk }
+
+// Residence returns the node's canonical residence handle, which hosted
+// agents may join to be covered by node-level group moves.
+func (n *Node) Residence() ids.ResidenceID { return n.residence }
 
 // Trace returns the node's event log; nil when tracing is disabled.
 func (n *Node) Trace() *trace.Log { return n.trace }

@@ -114,6 +114,12 @@ type TAgent struct {
 	// with each location update (the guaranteed-delivery extension;
 	// hashed scheme only).
 	UseCheckIn bool
+	// UseResidence makes the agent report each arrival as a bound update
+	// joining the hosting node's residence handle (hashed scheme only), so
+	// a later node-level group move covers it with one RPC instead of a
+	// per-agent update (the node-centric extension; see core's
+	// ResidenceGroup).
+	UseResidence bool
 
 	// Assign caches the agent's IAgent assignment across moves.
 	Assign core.Assignment
@@ -245,6 +251,16 @@ func (t *TAgent) notify(ctx *platform.Context, client LocationClient) error {
 		}
 		t.Assign = assign
 		t.Registered = true
+	case t.UseResidence && t.Mech.Scheme == SchemeHashed:
+		// Bound update: besides recording the new location, the IAgent binds
+		// the agent to the hosting node's handle, so co-residents are moved
+		// as a group from here on.
+		hc := core.NewClient(core.CtxCaller{Ctx: ctx}, t.Mech.Hashed)
+		assign, err := hc.MoveNotifyBound(cctx, ctx.Self(), ctx.Residence(), t.Assign)
+		if err != nil {
+			return fmt.Errorf("tagent %s: bound move notify: %w", ctx.Self(), err)
+		}
+		t.Assign = assign
 	case t.UseCheckIn && t.Mech.Scheme == SchemeHashed:
 		hc := core.NewClient(core.CtxCaller{Ctx: ctx}, t.Mech.Hashed)
 		assign, pending, err := hc.CheckIn(cctx, ctx.Self(), t.Assign)
