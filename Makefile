@@ -52,10 +52,12 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_read_path.json -current /tmp/BENCH_current.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_comigrate.json -current /tmp/BENCH_comigrate_current.json
 
-# Crash-tolerance soak: the failover, chaos and fault-injection suites under
-# the race detector.
+# Crash-tolerance soak: the failover, chaos, fault-injection and restart-
+# recovery suites under the race detector, then the full-cluster kill-and-
+# cold-start scenario on the simulated LAN.
 chaos:
-	$(GO) test -race -run 'Chaos|Fault|Crash|Failover|Takeover|Checkpoint|Promot|Fallback' ./...
+	$(GO) test -race -run 'Chaos|Fault|Crash|Failover|Takeover|Checkpoint|Promot|Fallback|Recover|Torn' ./...
+	$(GO) run ./cmd/locsim restart -chaos-restart-all -quick
 
 ci: build vet lint short race
 

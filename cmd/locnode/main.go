@@ -39,6 +39,7 @@ import (
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
+	"agentloc/internal/snapshot"
 	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 
@@ -75,6 +76,8 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 	service := fs.Duration("service", time.Millisecond, "IAgent per-request service time")
 	heartbeat := fs.Duration("heartbeat", 0, "IAgent heartbeat interval; enables crash tolerance (0 = off)")
 	suspectMisses := fs.Int("suspect-misses", 0, "missed heartbeats before an IAgent is suspected (0 = default 3)")
+	dataDir := fs.String("data-dir", "", "directory for the durable WAL and snapshots; enables crash-safe persistence and cold-start recovery (off when empty)")
+	snapInterval := fs.Duration("snapshot-interval", 30*time.Second, "how often the node writes a full snapshot (needs -data-dir)")
 	metricsAddr := fs.String("metrics-addr", "", "host:port for the /metrics, /varz, /healthz, /trace, /events and /debug/pprof HTTP endpoints (off when empty)")
 	traceCapacity := fs.Int("trace-capacity", 2048, "completed spans the node retains for /trace")
 	traceSample := fs.Int("trace-sample", 1, "record every Nth trace (1 = every request)")
@@ -108,12 +111,22 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 	defer link.Close()
 	fmt.Fprintf(w, "locnode %s listening on %s\n", *id, link.ListenAddr())
 
+	var store *snapshot.Store
+	if *dataDir != "" {
+		store, err = snapshot.Open(*dataDir, reg)
+		if err != nil {
+			return fmt.Errorf("open data dir: %w", err)
+		}
+		defer store.Close()
+	}
+
 	node, err := platform.NewNode(platform.Config{
 		ID:      platform.NodeID(*id),
 		Link:    transport.Instrument(link, reg),
 		Trace:   log,
 		Metrics: reg,
 		Tracer:  tracer,
+		Durable: store,
 	})
 	if err != nil {
 		return err
@@ -139,12 +152,38 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 		return err
 	}
 
-	// Every node runs its own LHAgent (paper §2.2: one per node).
-	if err := node.Launch(core.LHAgentID(node.ID()), &core.LHAgentBehavior{Cfg: cfg}); err != nil {
-		return err
+	// Cold-start recovery: rebuild whatever location infrastructure this
+	// node hosted before its last crash from the snapshot store. Recovered
+	// state wins over -bootstrap — rebootstrapping a node that already has
+	// durable state would fork the directory.
+	recovered := false
+	if store != nil {
+		rep, err := core.RecoverNode(node, cfg)
+		if err != nil {
+			return fmt.Errorf("recover from %s: %w", *dataDir, err)
+		}
+		if len(rep.HAgents) > 0 || len(rep.IAgents) > 0 {
+			recovered = true
+			fmt.Fprintf(w, "locnode %s recovered gen %d: %d HAgent(s), %d IAgent(s), %d entries, %d WAL records replayed\n",
+				*id, rep.Generation, len(rep.HAgents), len(rep.IAgents), rep.Entries, rep.Replayed)
+			if rep.Skipped > 0 {
+				fmt.Fprintf(w, "locnode %s recovery skipped %d corrupt/unreadable frames\n", *id, rep.Skipped)
+			}
+		}
 	}
 
-	if *bootstrap {
+	// Every node runs its own LHAgent (paper §2.2: one per node); recovery
+	// may have launched it already.
+	if !node.Hosts(core.LHAgentID(node.ID())) {
+		if err := node.Launch(core.LHAgentID(node.ID()), &core.LHAgentBehavior{Cfg: cfg}); err != nil {
+			return err
+		}
+	}
+
+	if *bootstrap && recovered {
+		fmt.Fprintf(w, "locnode %s: -bootstrap ignored, durable state recovered\n", *id)
+	}
+	if *bootstrap && !recovered {
 		firstIAgent := ids.AgentID("iagent-1")
 		initial := &core.State{
 			Ver:       1,
@@ -160,6 +199,15 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "locnode %s bootstrapped the location mechanism (HAgent + iagent-1)\n", *id)
+	}
+
+	var persister *core.Persister
+	if store != nil && *snapInterval > 0 {
+		persister, err = core.StartPersister(node, cfg, *snapInterval)
+		if err != nil {
+			return fmt.Errorf("start persister: %w", err)
+		}
+		fmt.Fprintf(w, "locnode %s persisting to %s every %s\n", *id, *dataDir, *snapInterval)
 	}
 
 	var httpSrv *http.Server
@@ -185,6 +233,11 @@ func run(args []string, stop <-chan struct{}, w io.Writer) error {
 
 	<-stop
 	fmt.Fprintf(w, "locnode %s shutting down\n", *id)
+	if persister != nil {
+		// Stop writes a final full snapshot so the next cold start replays
+		// as little WAL as possible.
+		persister.Stop()
+	}
 	if httpSrv != nil {
 		// Drain in-flight scrapes before tearing the node down, bounded so
 		// a stuck client cannot wedge shutdown.

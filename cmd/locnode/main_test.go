@@ -185,3 +185,66 @@ func TestRunValidatesFlags(t *testing.T) {
 		t.Error("missing hagent designation accepted")
 	}
 }
+
+// TestColdStartRecovery boots a durable bootstrap node, shuts it down (the
+// persister writes a final full snapshot), then boots a second process over
+// the same data directory and checks it rebuilds the HAgent and IAgent from
+// disk instead of rebootstrapping.
+func TestColdStartRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	boot := func(waitFor string) string {
+		t.Helper()
+		stop := make(chan struct{})
+		var out syncBuffer
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{
+				"-id", "node-0",
+				"-listen", "127.0.0.1:0",
+				"-bootstrap",
+				"-data-dir", dir,
+			}, stop, &out)
+		}()
+		deadline := time.Now().Add(10 * time.Second)
+		for !strings.Contains(out.String(), waitFor) {
+			if time.Now().After(deadline) {
+				t.Fatalf("%q never printed:\n%s", waitFor, out.String())
+			}
+			select {
+			case err := <-done:
+				t.Fatalf("run exited early: %v\n%s", err, out.String())
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("node did not shut down")
+		}
+		return out.String()
+	}
+
+	first := boot("bootstrapped the location mechanism")
+	if !strings.Contains(first, "persisting to") {
+		t.Fatalf("persister never started:\n%s", first)
+	}
+
+	second := boot("persisting to")
+	if !strings.Contains(second, "recovered gen") {
+		t.Fatalf("second boot did not recover from disk:\n%s", second)
+	}
+	if !strings.Contains(second, "1 HAgent(s), 1 IAgent(s)") {
+		t.Fatalf("second boot recovered the wrong agents:\n%s", second)
+	}
+	if !strings.Contains(second, "-bootstrap ignored") {
+		t.Fatalf("second boot rebootstrapped over durable state:\n%s", second)
+	}
+	if strings.Contains(second, "bootstrapped the location mechanism") {
+		t.Fatalf("second boot rebootstrapped:\n%s", second)
+	}
+}

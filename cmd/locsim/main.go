@@ -74,6 +74,41 @@ func run(args []string, w io.Writer) int {
 			}
 		}
 		return 0
+	case "restart":
+		fs := flag.NewFlagSet("restart", flag.ContinueOnError)
+		restartAll := fs.Bool("chaos-restart-all", false, "kill every node and cold-start the whole cluster from its data dirs")
+		dataDir := fs.String("data-dir", "", "root directory for the per-node WALs and snapshots (default: a fresh temp dir)")
+		quick := fs.Bool("quick", false, "scaled-down scenario")
+		nodes := fs.Int("nodes", 0, "LAN size (0 = preset)")
+		seed := fs.Int64("seed", 0, "workload seed (0 = preset)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
+		p := experiment.PaperParams()
+		if *quick {
+			p = experiment.QuickParams()
+		}
+		if *nodes > 0 {
+			p.NumNodes = *nodes
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		dir := *dataDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "locsim-restart-*")
+			if err != nil {
+				fmt.Fprintln(w, "error:", err)
+				return 1
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		if _, err := experiment.RunRestart(context.Background(), p, dir, *restartAll, w); err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return 1
+		}
+		return 0
 	case "tree":
 		fs := flag.NewFlagSet("tree", flag.ContinueOnError)
 		dot := fs.Bool("dot", false, "emit graphviz dot of the Figure-1 tree instead of the walkthrough")
@@ -202,13 +237,17 @@ func renderTreeDemo(w io.Writer) {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: locsim <exp1|exp2|all|adapt|tree> [flags]
-  exp1   Experiment I  — location time vs number of TAgents (Figure 7)
-  exp2   Experiment II — location time vs TAgent mobility  (Figure 8)
-  all    both experiments
-  adapt  adaptation timeline: burst of agents into an idle system
-  tree   render the hash tree and the rehashing operations (Figures 1, 3-6)
-         (tree -dot emits graphviz)
+	fmt.Fprintln(w, `usage: locsim <exp1|exp2|all|adapt|restart|tree> [flags]
+  exp1     Experiment I  — location time vs number of TAgents (Figure 7)
+  exp2     Experiment II — location time vs TAgent mobility  (Figure 8)
+  all      both experiments
+  adapt    adaptation timeline: burst of agents into an idle system
+  restart  durability scenario: a cluster with per-node WALs and snapshots;
+           with -chaos-restart-all every node is killed and cold-started
+           from disk, and every agent must still resolve to its exact home
+           (restart flags: -chaos-restart-all -data-dir d -quick -nodes n -seed n)
+  tree     render the hash tree and the rehashing operations (Figures 1, 3-6)
+           (tree -dot emits graphviz)
 flags: -quick -scale f -queries n -nodes n -seed n -csv
 chaos: -chaos-drop p (random message loss) -chaos-jitter d (random extra delay)
        -chaos-kill r (crash-restart random nodes at r crashes/second; enables

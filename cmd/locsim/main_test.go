@@ -109,3 +109,20 @@ func TestRunTreeDot(t *testing.T) {
 		t.Errorf("missing dot output:\n%s", sb.String())
 	}
 }
+
+// TestRunChaosRestartAll drives the durability scenario end to end through
+// the CLI: full-cluster kill, cold start from the per-node data dirs, zero
+// stale answers.
+func TestRunChaosRestartAll(t *testing.T) {
+	var sb strings.Builder
+	code := run([]string{"restart", "-chaos-restart-all", "-quick", "-nodes", "3", "-data-dir", t.TempDir()}, &sb)
+	if code != 0 {
+		t.Fatalf("exit code = %d:\n%s", code, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"killing all 3 nodes", "WAL records replayed", "fenced", "0 stale answers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

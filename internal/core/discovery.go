@@ -84,16 +84,19 @@ func (b *IAgentBehavior) deposit(ctx *platform.Context, req DepositReq) Ack {
 }
 
 // checkIn serves KindCheckIn on the IAgent: an update plus mail delivery.
-func (b *IAgentBehavior) checkIn(ctx *platform.Context, req CheckInReq) CheckInResp {
-	ack := b.recordLocation(ctx, req.Agent, req.Node, "")
+func (b *IAgentBehavior) checkIn(ctx *platform.Context, req CheckInReq) (CheckInResp, error) {
+	ack, err := b.recordLocation(ctx, req.Agent, req.Node, "")
+	if err != nil {
+		return CheckInResp{}, err
+	}
 	if ack.Status != StatusOK {
-		return CheckInResp{Ack: ack}
+		return CheckInResp{Ack: ack}, nil
 	}
 	b.mu.Lock()
 	pending := b.Pending[req.Agent]
 	delete(b.Pending, req.Agent)
 	b.mu.Unlock()
-	return CheckInResp{Ack: ack, Pending: pending}
+	return CheckInResp{Ack: ack, Pending: pending}, nil
 }
 
 // Deposit leaves a message for the target agent at its IAgent; the target
@@ -169,7 +172,8 @@ func (b *IAgentBehavior) decodeDiscovery(ctx *platform.Context, kind string, pay
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, true, err
 		}
-		return b.checkIn(ctx, req), true, nil
+		resp, err := b.checkIn(ctx, req)
+		return resp, true, err
 	default:
 		return nil, false, nil
 	}

@@ -8,6 +8,7 @@ import (
 
 	"agentloc/internal/ids"
 	"agentloc/internal/platform"
+	"agentloc/internal/snapshot"
 	"agentloc/internal/transport"
 )
 
@@ -302,6 +303,7 @@ func (b *HAgentBehavior) takeover(ctx *platform.Context, failed ids.AgentID) err
 	b.reg.Counter("agentloc_failover_total", "tier", "iagent").Inc()
 	b.reg.Counter("agentloc_core_rehash_total", "op", "failover", "kind", res.Kind.String()).Inc()
 	b.updateTreeGauges()
+	b.persistState(ctx)
 	ctx.Emit("failover.takeover", fmt.Sprintf("%s failed; %v absorb (%v merge), v%d",
 		failed, res.Absorbers, res.Kind, newState.Ver))
 
@@ -400,6 +402,7 @@ func (b *HAgentBehavior) standbySweep(ctx *platform.Context) {
 	b.Standby = false
 	b.failovers++
 	b.reg.Counter("agentloc_failover_total", "tier", "hagent").Inc()
+	b.persistState(ctx)
 	ctx.Emit("failover.promote", fmt.Sprintf("promoted to primary at v%d with %d/%d votes", b.state.Ver, votes, len(refs)))
 }
 
@@ -491,6 +494,13 @@ func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
 	buddyNode := st.Locations[buddy]
 	b.mu.Unlock()
 
+	// On a durable node the sibling checkpoint doubles as the incremental
+	// on-disk snapshot: the very delta shipped to the buddy lands in the
+	// local store too, best effort (the WAL already holds every update).
+	if store := ctx.Durable(); store != nil {
+		_ = store.AppendDelta(checkpointSection(req))
+	}
+
 	var resp CheckpointResp
 	cctx, cancel := context.WithTimeout(context.Background(), b.Cfg.CallTimeout)
 	err := ctx.Call(cctx, buddyNode, buddy, KindCheckpoint, req, &resp)
@@ -577,6 +587,9 @@ func (b *IAgentBehavior) activateCheckpoint(ctx *platform.Context, failed ids.Ag
 			if _, exists := b.Table.Get(agent); exists {
 				continue
 			}
+			// Best effort: a restored entry that misses the WAL re-heals
+			// exactly as the checkpoint scheme already tolerates.
+			walAppendBestEffort(ctx, snapshot.OpPut, agent, node, st.Version())
 			b.Table.Put(agent, node)
 			b.ckDirty[agent] = true
 			restored++

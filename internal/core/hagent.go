@@ -51,6 +51,12 @@ type HAgentBehavior struct {
 	// Standby marks a replica: it accepts state pushes and serves reads
 	// but declines rehash and relocation requests until promoted.
 	Standby bool
+	// NotifyOnRecover marks an HAgent relaunched from a snapshot store with
+	// its hash version fenced (bumped past anything a pre-crash client
+	// holds): every IAgent in the recovered state is queued for a state
+	// push, delivered by the sweep's pendingNotify retry loop, so the whole
+	// cluster converges on the fenced version. Set by RecoverNode.
+	NotifyOnRecover bool
 
 	once    sync.Once
 	initErr error
@@ -93,6 +99,13 @@ func (b *HAgentBehavior) ensureRuntime() error {
 		b.lastBeat = make(map[ids.AgentID]time.Time)
 		b.suspect = make(map[ids.AgentID]bool)
 		b.pendingNotify = make(map[ids.AgentID]ids.AgentID)
+		if b.NotifyOnRecover {
+			// An empty checkpoint id means "adopt the state, promote
+			// nothing" — the adopt path already guards on it.
+			for ia := range st.Locations {
+				b.pendingNotify[ia] = ""
+			}
+		}
 	})
 	return b.initErr
 }
@@ -163,6 +176,12 @@ func (b *HAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 			return nil, err
 		}
 		return b.relocate(ctx, req)
+	case KindSnapshotDump:
+		sec, err := hagentSection(ctx.Self(), b.state, b.NextIAgentSeq, b.Standby)
+		if err != nil {
+			return nil, fmt.Errorf("HAgent: snapshot dump: %w", err)
+		}
+		return SnapshotDumpResp{Status: StatusOK, HashVersion: b.state.Ver, Section: sec}, nil
 	default:
 		return nil, fmt.Errorf("HAgent: unknown request kind %q", kind)
 	}
@@ -194,6 +213,9 @@ func (b *HAgentBehavior) ensureMetrics(ctx *platform.Context) {
 		b.reg.Gauge("agentloc_iagent_suspect", "iagent", string(ia)).Set(0)
 	}
 	b.updateTreeGauges()
+	// First contact on this node: persist the birth (or post-recovery)
+	// section so the store always holds a decodable HAgent base.
+	b.persistState(ctx)
 }
 
 // suspectsSorted lists the currently suspect IAgents in stable order.
@@ -270,6 +292,7 @@ func (b *HAgentBehavior) split(ctx *platform.Context, req RequestSplitReq) (Reha
 	}
 	b.reg.Counter("agentloc_core_rehash_total", "op", "split", "kind", cand.Kind.String()).Inc()
 	b.updateTreeGauges()
+	b.persistState(ctx)
 	ctx.Emit("rehash.split", fmt.Sprintf("%s (%v rate %.0f/s) → new %s at %s, v%d",
 		req.IAgent, cand.Kind, req.Rate, newID, newNode, newState.Ver))
 
@@ -303,6 +326,7 @@ func (b *HAgentBehavior) merge(ctx *platform.Context, req RequestMergeReq) (Reha
 	b.clearSuspect(ctx, req.IAgent)
 	b.reg.Counter("agentloc_core_rehash_total", "op", "merge", "kind", res.Kind.String()).Inc()
 	b.updateTreeGauges()
+	b.persistState(ctx)
 	ctx.Emit("rehash.merge", fmt.Sprintf("%s (rate %.1f/s) absorbed, v%d", req.IAgent, req.Rate, newState.Ver))
 
 	// The merged IAgent is notified like every other affected IAgent; on

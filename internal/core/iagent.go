@@ -11,6 +11,7 @@ import (
 	"agentloc/internal/loctable"
 	"agentloc/internal/metrics"
 	"agentloc/internal/platform"
+	"agentloc/internal/snapshot"
 	"agentloc/internal/stats"
 	"agentloc/internal/transport"
 )
@@ -140,6 +141,10 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 		b.metTable.Set(int64(b.Table.Len()))
 		b.metCkLag = reg.Gauge("agentloc_checkpoint_lag_entries", "iagent", self)
 		b.metCkLag.Set(0)
+
+		// Durable nodes get a full section at birth (and after migration):
+		// the base every later checkpoint delta and WAL record applies to.
+		b.persistSelf(ctx)
 	})
 	return b.initErr
 }
@@ -199,13 +204,13 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.recordLocation(ctx, req.Agent, req.Node, ""), nil
+		return b.recordLocation(ctx, req.Agent, req.Node, "")
 	case KindUpdate:
 		var req UpdateReq
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.recordLocation(ctx, req.Agent, req.Node, req.Residence), nil
+		return b.recordLocation(ctx, req.Agent, req.Node, req.Residence)
 	case KindUpdateBatch:
 		var req UpdateBatchReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -214,7 +219,11 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		resp := UpdateBatchResp{Acks: make([]Ack, len(req.Updates))}
 		for i, u := range req.Updates {
 			b.metReq[KindUpdate].Inc()
-			resp.Acks[i] = b.recordLocation(ctx, u.Agent, u.Node, u.Residence)
+			ack, err := b.recordLocation(ctx, u.Agent, u.Node, u.Residence)
+			if err != nil {
+				return nil, err
+			}
+			resp.Acks[i] = ack
 		}
 		return resp, nil
 	case KindResidenceMove:
@@ -222,13 +231,13 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.residenceMove(req), nil
+		return b.residenceMove(ctx, req)
 	case KindDeregister:
 		var req DeregisterReq
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.deregister(ctx, req.Agent), nil
+		return b.deregister(ctx, req.Agent)
 	case KindLocate:
 		var req LocateReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -250,9 +259,15 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 			return nil, err
 		}
 		sp := ctx.StartSpan("control", "iagent.handoff")
-		ack := b.handoff(req)
-		sp.End(nil)
-		return ack, nil
+		ack, err := b.handoff(ctx, req)
+		sp.End(err)
+		return ack, err
+	case KindSnapshotDump:
+		sec, err := b.durableSection(ctx.Self())
+		if err != nil {
+			return nil, fmt.Errorf("IAgent %s: snapshot dump: %w", ctx.Self(), err)
+		}
+		return SnapshotDumpResp{Status: StatusOK, HashVersion: b.state.Load().Version(), Section: sec}, nil
 	default:
 		return nil, fmt.Errorf("IAgent %s: unknown request kind %q", ctx.Self(), kind)
 	}
@@ -273,13 +288,17 @@ func (b *IAgentBehavior) responsible(ctx *platform.Context, agent ids.AgentID) (
 // time A moves, it informs its IAgent about its new location"). A non-empty
 // res binds the agent to that residence handle at node; an empty res clears
 // any binding — an individually-reported move means the agent left its
-// group.
-func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID, node platform.NodeID, res ids.ResidenceID) Ack {
+// group. On a durable node the update is WAL-logged before it is applied or
+// acknowledged; a failed append fails the request.
+func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID, node platform.NodeID, res ids.ResidenceID) (Ack, error) {
 	b.est.Record()
 	ok, version := b.responsible(ctx, agent)
 	if !ok {
 		b.metStale.Inc()
-		return Ack{Status: StatusNotResponsible, HashVersion: version}
+		return Ack{Status: StatusNotResponsible, HashVersion: version}, nil
+	}
+	if err := walAppend(ctx, snapshot.OpPut, agent, node, version); err != nil {
+		return Ack{}, err
 	}
 	b.loads.Add(agent)
 	b.Table.Put(agent, node)
@@ -293,7 +312,7 @@ func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID
 	delete(b.ckRemoved, agent)
 	b.mu.Unlock()
 	b.metTable.Set(int64(b.Table.Len()))
-	return Ack{Status: StatusOK, HashVersion: version}
+	return Ack{Status: StatusOK, HashVersion: version}, nil
 }
 
 // residenceMove serves KindResidenceMove: re-point a residence handle at
@@ -303,12 +322,21 @@ func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID
 // their entries do (adoptState unbinds what it hands off). An unknown
 // handle answers StatusUnknownAgent and the sender falls back to per-member
 // bound updates, which re-create the record wherever the members live now.
-func (b *IAgentBehavior) residenceMove(req ResidenceMoveReq) ResidenceMoveResp {
+func (b *IAgentBehavior) residenceMove(ctx *platform.Context, req ResidenceMoveReq) (ResidenceMoveResp, error) {
 	b.est.Record()
 	version := b.state.Load().Version()
 	members, known := b.Residence.Move(req.Residence, req.Node)
 	if !known {
-		return ResidenceMoveResp{Status: StatusUnknownAgent, HashVersion: version}
+		return ResidenceMoveResp{Status: StatusUnknownAgent, HashVersion: version}, nil
+	}
+	// WAL records carry final addresses, so a one-message group move logs
+	// one put per member — the durable mirror of what the checkpoint
+	// re-push below does for the sibling copy. A failed append fails the
+	// request; the sender's retry repeats the (idempotent) move.
+	for _, a := range members {
+		if err := walAppend(ctx, snapshot.OpPut, a, req.Node, version); err != nil {
+			return ResidenceMoveResp{}, err
+		}
 	}
 	// Every member's resolved address changed: their checkpointed entries
 	// must be re-pushed, and the load account sees the activity so split
@@ -322,16 +350,20 @@ func (b *IAgentBehavior) residenceMove(req ResidenceMoveReq) ResidenceMoveResp {
 	for _, a := range members {
 		b.loads.Add(a)
 	}
-	return ResidenceMoveResp{Status: StatusOK, HashVersion: version, Bound: len(members)}
+	return ResidenceMoveResp{Status: StatusOK, HashVersion: version, Bound: len(members)}, nil
 }
 
-// deregister forgets a disposed agent.
-func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) Ack {
+// deregister forgets a disposed agent. The delete is WAL-logged before it
+// is applied, like every acknowledged mutation.
+func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) (Ack, error) {
 	b.est.Record()
 	ok, version := b.responsible(ctx, agent)
 	if !ok {
 		b.metStale.Inc()
-		return Ack{Status: StatusNotResponsible, HashVersion: version}
+		return Ack{Status: StatusNotResponsible, HashVersion: version}, nil
+	}
+	if err := walAppend(ctx, snapshot.OpDelete, agent, "", version); err != nil {
+		return Ack{}, err
 	}
 	b.Table.Delete(agent)
 	b.Residence.Unbind(agent)
@@ -341,7 +373,7 @@ func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) Ac
 	b.mu.Unlock()
 	b.metTable.Set(int64(b.Table.Len()))
 	b.loads.Remove(agent)
-	return Ack{Status: StatusOK, HashVersion: version}
+	return Ack{Status: StatusOK, HashVersion: version}, nil
 }
 
 // locate serves location queries (paper §2.3: the IAgent first checks
@@ -448,12 +480,17 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 		}
 		b.mu.Unlock()
 		for agent := range h.Entries {
+			// Best effort: the full section persisted below is the durable
+			// authority for the post-handoff table, and a resurrected entry
+			// would only draw not-responsible answers anyway.
+			walAppendBestEffort(ctx, snapshot.OpDelete, agent, "", st.Version())
 			b.Table.Delete(agent)
 			b.Residence.Unbind(agent)
 			b.loads.Remove(agent)
 		}
 		b.metTable.Set(int64(b.Table.Len()))
 	}
+	b.persistSelf(ctx)
 
 	if !stillPresent {
 		b.mu.Lock()
@@ -470,7 +507,17 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 }
 
 // handoff merges entries transferred from another IAgent during rehashing.
-func (b *IAgentBehavior) handoff(req HandoffReq) Ack {
+// Adopted entries are WAL-logged before the handoff is acknowledged — once
+// the sender deletes its copies, this log is their only durable home until
+// the next full section. A failed append fails the request and the sender
+// retries the (idempotent) handoff.
+func (b *IAgentBehavior) handoff(ctx *platform.Context, req HandoffReq) (Ack, error) {
+	version := b.state.Load().Version()
+	for agent, node := range req.Entries {
+		if err := walAppend(ctx, snapshot.OpPut, agent, node, version); err != nil {
+			return Ack{}, err
+		}
+	}
 	if len(req.Bindings) > 0 {
 		b.Residence.Adopt(req.Bindings, req.Residences)
 	}
@@ -493,7 +540,7 @@ func (b *IAgentBehavior) handoff(req HandoffReq) Ack {
 		}
 	}
 	b.metTable.Set(int64(b.Table.Len()))
-	return Ack{Status: StatusOK, HashVersion: b.state.Load().Version()}
+	return Ack{Status: StatusOK, HashVersion: b.state.Load().Version()}, nil
 }
 
 // callWithRetry retries transient call failures a few times; handoffs must

@@ -53,6 +53,7 @@ func (b *HAgentBehavior) relocate(ctx *platform.Context, req RequestRelocateReq)
 	b.relocations++
 	b.reg.Counter("agentloc_core_relocations_total").Inc()
 	b.updateTreeGauges()
+	b.persistState(ctx)
 	ctx.Emit("rehash.relocate", fmt.Sprintf("%s: %s → %s, v%d", req.IAgent, req.From, req.To, newState.Ver))
 	b.propagate(ctx)
 	return RehashResp{Status: StatusOK, HashVersion: b.state.Ver}, nil

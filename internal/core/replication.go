@@ -69,6 +69,9 @@ func (b *HAgentBehavior) handleReplication(ctx *platform.Context, kind string, p
 		if st.Ver > b.state.Ver {
 			b.state = st
 			b.updateTreeGauges()
+			// A durable standby persists each adopted state, so the node it
+			// lives on can cold-start the replica at the version it held.
+			b.persistState(ctx)
 		}
 		// A state push proves the primary alive just as well as a beat.
 		b.lastPrimaryBeat = ctx.Clock().Now()

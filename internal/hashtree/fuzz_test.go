@@ -38,6 +38,42 @@ func FuzzDecodeJSON(f *testing.F) {
 	})
 }
 
+// FuzzDeserialize hardens the binary snapshot decoder the same way: any
+// input must be rejected with a typed error or produce a valid tree —
+// corrupt, truncated and version-skewed bytes must never panic.
+func FuzzDeserialize(f *testing.F) {
+	seed, err := PaperTree().Serialize()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	solo, _ := New("A").Serialize()
+	f.Add(solo)
+	f.Add(seed[:len(seed)/2])                    // truncated
+	f.Add([]byte("AHTR garbage"))                // right magic, wrong body
+	f.Add([]byte{})                              // empty
+	f.Add(append([]byte(nil), seed[4:]...))      // missing magic
+	skew := append([]byte(nil), seed...)
+	skew[5] = 0xFF // version bytes live after the magic
+	f.Add(skew)
+	id := bitstr.FromUint64(0xDEADBEEF, 64)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := Deserialize(data)
+		if err != nil {
+			return // typed rejection is fine; panics are not
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("Deserialize accepted invalid tree: %v", err)
+		}
+		if _, err := tree.Lookup(id); err == nil {
+			// Accepted trees must also survive re-serialization.
+			if _, err := tree.Serialize(); err != nil {
+				t.Fatalf("re-serialize: %v", err)
+			}
+		}
+	})
+}
+
 // FuzzSplitSequence applies fuzzer-chosen split/merge sequences and checks
 // the structural invariants survive.
 func FuzzSplitSequence(f *testing.F) {

@@ -1,0 +1,133 @@
+package hashtree
+
+import (
+	"errors"
+	"testing"
+
+	"agentloc/internal/bitstr"
+	"agentloc/internal/wire"
+)
+
+// serializeTestTrees builds a spread of shapes: single leaf, the paper's
+// running example, a collapsed root (non-empty RootLabel), and a deep tree
+// grown by repeated splits.
+func serializeTestTrees(t *testing.T) []*Tree {
+	t.Helper()
+	trees := []*Tree{New("solo"), PaperTree()}
+
+	// Merge a root child so the RootLabel path is exercised.
+	collapsed := PaperTree()
+	for collapsed.NumLeaves() > 1 {
+		nt, _, err := collapsed.Merge(collapsed.IAgents()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		collapsed = nt
+		if !collapsed.RootLabel().IsEmpty() {
+			break
+		}
+	}
+
+	deep := New("ia-0")
+	for i := 1; i <= 12; i++ {
+		agents := deep.IAgents()
+		cands, err := deep.SplitCandidates(agents[i%len(agents)], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nt, err := deep.ApplySplit(cands[0], "ia-"+itoa(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		deep = nt
+	}
+	return append(trees, collapsed, deep)
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, tree := range serializeTestTrees(t) {
+		data, err := tree.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Deserialize(data)
+		if err != nil {
+			t.Fatalf("deserialize: %v", err)
+		}
+		if got.Version() != tree.Version() {
+			t.Fatalf("version %d != %d", got.Version(), tree.Version())
+		}
+		if !got.RootLabel().Equal(tree.RootLabel()) {
+			t.Fatalf("root label %s != %s", got.RootLabel(), tree.RootLabel())
+		}
+		// Structural identity via the JSON DTO (a canonical rendering).
+		a, _ := tree.EncodeJSON()
+		b, _ := got.EncodeJSON()
+		if string(a) != string(b) {
+			t.Fatalf("round trip changed tree:\n%s\n%s", a, b)
+		}
+		// Behavioral identity on a probe of lookups.
+		for _, v := range []uint64{0, ^uint64(0), 0x0123456789ABCDEF, 0xAAAAAAAAAAAAAAAA} {
+			id := bitstr.FromUint64(v, 64)
+			w1, e1 := tree.Lookup(id)
+			w2, e2 := got.Lookup(id)
+			if w1 != w2 || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("lookup diverged: %v/%v vs %v/%v", w1, e1, w2, e2)
+			}
+		}
+	}
+}
+
+func TestDeserializeTypedErrors(t *testing.T) {
+	data, err := PaperTree().Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation at every prefix: typed, never a panic, never accepted.
+	for cut := 0; cut < len(data); cut++ {
+		_, err := Deserialize(data[:cut])
+		if err == nil {
+			t.Fatalf("accepted %d-byte prefix", cut)
+		}
+		if !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrCorrupt) {
+			t.Fatalf("cut %d: untyped error %v", cut, err)
+		}
+	}
+
+	// Every single-byte corruption is caught by the CRC.
+	for i := range data {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x10
+		if _, err := Deserialize(mutated); err == nil {
+			t.Fatalf("accepted flip at byte %d", i)
+		}
+	}
+
+	// A frame declaring a future format version is refused as such.
+	future := wire.AppendFrame(nil, SerializeMagic, SerializeVersion+1, 0, []byte("whatever"))
+	if _, err := Deserialize(future); !errors.Is(err, wire.ErrUnsupportedVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+
+	// A structurally valid frame holding an invalid tree (duplicate leaf)
+	// is corrupt: the CRC protects bytes, Validate protects semantics.
+	payload := wire.AppendUvarint(nil, 1)
+	payload = wire.AppendString(payload, "")
+	payload = append(payload, tagInternal)
+	payload = wire.AppendString(payload, "0")
+	payload = append(payload, tagLeaf)
+	payload = wire.AppendString(payload, "dup")
+	payload = wire.AppendString(payload, "1")
+	payload = append(payload, tagLeaf)
+	payload = wire.AppendString(payload, "dup")
+	bad := wire.AppendFrame(nil, SerializeMagic, SerializeVersion, 0, payload)
+	if _, err := Deserialize(bad); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("duplicate-leaf tree: %v", err)
+	}
+
+	// Trailing bytes after the frame are rejected.
+	if _, err := Deserialize(append(append([]byte(nil), data...), 0x00)); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+}

@@ -7,13 +7,16 @@
 // time — readers and writers on other stripes proceed while a snapshot or a
 // checkpoint iteration is in flight; there is no global pause.
 //
-// A Table gob-encodes as a plain map, so behaviours that carry one in their
-// migrating state serialize exactly as they did when the field was a map.
+// A Table gob-encodes stripe-by-stripe (one lock at a time, parallel
+// key/value slices per stripe) so migrating a behaviour never materializes
+// the whole table as a single map, and binary Serialize/Deserialize (see
+// serialize.go) give it a durable framed form for snapshot files.
 package loctable
 
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -136,22 +139,57 @@ func (t *Table) Range(f func(agent ids.AgentID, node platform.NodeID) bool) {
 	}
 }
 
-// GobEncode implements gob.GobEncoder: the table serializes as the plain
-// map form, keeping behaviour snapshots identical to the pre-sharding wire
-// format.
+// stripeChunk is the gob wire form of one stripe: parallel slices, so the
+// encoder never builds a whole-table map and the chunk's backing arrays are
+// reused across stripes.
+type stripeChunk struct {
+	Agents []ids.AgentID
+	Nodes  []platform.NodeID
+}
+
+// maxGobStripes bounds the stripe count a decoded header may claim; real
+// tables have a handful of stripes, so anything larger is a mangled stream.
+const maxGobStripes = 1 << 16
+
+// GobEncode implements gob.GobEncoder. The table serializes as a stripe
+// count followed by one chunk per stripe, each copied out under only that
+// stripe's read lock — readers and writers on other stripes proceed while a
+// migration snapshot is encoding, and no whole-table map is ever built.
 func (t *Table) GobEncode() ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(t.Snapshot()); err != nil {
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(len(t.stripes)); err != nil {
 		return nil, err
+	}
+	var chunk stripeChunk
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		chunk.Agents = chunk.Agents[:0]
+		chunk.Nodes = chunk.Nodes[:0]
+		for a, n := range s.m {
+			chunk.Agents = append(chunk.Agents, a)
+			chunk.Nodes = append(chunk.Nodes, n)
+		}
+		s.mu.RUnlock()
+		if err := enc.Encode(chunk); err != nil {
+			return nil, err
+		}
 	}
 	return buf.Bytes(), nil
 }
 
-// GobDecode implements gob.GobDecoder.
+// GobDecode implements gob.GobDecoder. The stripe count of the encoding
+// side is only a chunk count — entries rehash into this table's own
+// stripes, so tables with different stripe configurations interoperate.
 func (t *Table) GobDecode(data []byte) error {
-	var m map[ids.AgentID]platform.NodeID
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	var stripes int
+	if err := dec.Decode(&stripes); err != nil {
 		return err
+	}
+	if stripes <= 0 || stripes > maxGobStripes {
+		return fmt.Errorf("loctable: gob: impossible stripe count %d", stripes)
 	}
 	if t.stripes == nil {
 		// Initialize in place; assigning a whole Table would copy its locks.
@@ -159,8 +197,17 @@ func (t *Table) GobDecode(data []byte) error {
 		t.stripes = fresh.stripes
 		t.mask = fresh.mask
 	}
-	for a, n := range m {
-		t.Put(a, n)
+	for i := 0; i < stripes; i++ {
+		var chunk stripeChunk
+		if err := dec.Decode(&chunk); err != nil {
+			return err
+		}
+		if len(chunk.Agents) != len(chunk.Nodes) {
+			return fmt.Errorf("loctable: gob: chunk %d has %d agents, %d nodes", i, len(chunk.Agents), len(chunk.Nodes))
+		}
+		for j, a := range chunk.Agents {
+			t.Put(a, chunk.Nodes[j])
+		}
 	}
 	return nil
 }

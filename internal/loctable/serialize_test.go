@@ -1,0 +1,184 @@
+package loctable
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"testing"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/wire"
+)
+
+func populated(n int) *Table {
+	tbl := New()
+	for i := 0; i < n; i++ {
+		tbl.Put(ids.AgentID(fmt.Sprintf("agent-%d", i)), platform.NodeID(fmt.Sprintf("node-%d", i%5)))
+	}
+	return tbl
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 300} {
+		tbl := populated(n)
+		data, err := tbl.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Deserialize(data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Len() != tbl.Len() {
+			t.Fatalf("n=%d: decoded %d entries, want %d", n, got.Len(), tbl.Len())
+		}
+		for a, want := range tbl.Snapshot() {
+			if node, ok := got.Get(a); !ok || node != want {
+				t.Fatalf("decoded[%s] = %q, %v; want %q", a, node, ok, want)
+			}
+		}
+	}
+}
+
+// TestSerializeCrossStripeConfig checks a dump from a non-default stripe
+// layout loads into the default one: entries rehash on Deserialize.
+func TestSerializeCrossStripeConfig(t *testing.T) {
+	tbl := NewWithStripes(2)
+	for i := 0; i < 64; i++ {
+		tbl.Put(ids.AgentID(fmt.Sprintf("x-%d", i)), "n")
+	}
+	data, err := tbl.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Deserialize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 64 {
+		t.Fatalf("decoded %d entries, want 64", got.Len())
+	}
+}
+
+func TestDeserializeTypedErrors(t *testing.T) {
+	data, err := populated(20).Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation at every prefix is typed, never accepted, never a panic.
+	for cut := 0; cut < len(data); cut++ {
+		_, err := Deserialize(data[:cut])
+		if err == nil {
+			t.Fatalf("accepted %d-byte prefix", cut)
+		}
+		if !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrCorrupt) {
+			t.Fatalf("cut %d: untyped error %v", cut, err)
+		}
+	}
+
+	// Any flipped byte fails the CRC.
+	for i := range data {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x08
+		if _, err := Deserialize(mutated); err == nil {
+			t.Fatalf("accepted flip at byte %d", i)
+		}
+	}
+
+	// Future format version is refused as such, not as corruption.
+	future := wire.AppendFrame(nil, SerializeMagic, SerializeVersion+1, 0, nil)
+	if _, err := Deserialize(future); !errors.Is(err, wire.ErrUnsupportedVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+
+	// Structurally valid frames with semantic nonsense are corrupt: an
+	// empty agent id, a duplicate entry, an impossible stripe count.
+	mk := func(payload []byte) []byte {
+		return wire.AppendFrame(nil, SerializeMagic, SerializeVersion, 0, payload)
+	}
+	empty := wire.AppendUvarint(nil, 1)
+	empty = wire.AppendUvarint(empty, 1)
+	empty = wire.AppendString(empty, "")
+	empty = wire.AppendString(empty, "node")
+	if _, err := Deserialize(mk(empty)); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("empty agent id: %v", err)
+	}
+	dup := wire.AppendUvarint(nil, 1)
+	dup = wire.AppendUvarint(dup, 2)
+	for i := 0; i < 2; i++ {
+		dup = wire.AppendString(dup, "same")
+		dup = wire.AppendString(dup, "node")
+	}
+	if _, err := Deserialize(mk(dup)); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("duplicate agent: %v", err)
+	}
+	if _, err := Deserialize(mk(wire.AppendUvarint(nil, 0))); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("zero stripes: %v", err)
+	}
+	if _, err := Deserialize(mk(wire.AppendUvarint(nil, 1<<40))); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("absurd stripe count: %v", err)
+	}
+}
+
+// FuzzDeserialize: arbitrary bytes either produce a valid table or a typed
+// error; never a panic or an unbounded allocation.
+func FuzzDeserialize(f *testing.F) {
+	seed, _ := populated(10).Serialize()
+	f.Add(seed)
+	emptyTbl, _ := New().Serialize()
+	f.Add(emptyTbl)
+	f.Add(seed[:len(seed)/3])
+	f.Add([]byte("ALOC junk"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := Deserialize(data)
+		if err != nil {
+			if !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrCorrupt) && !errors.Is(err, wire.ErrUnsupportedVersion) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		// An accepted table must survive re-serialization.
+		if _, err := tbl.Serialize(); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+	})
+}
+
+// TestGobStripeStreaming asserts the stripe-by-stripe gob form: the header
+// carries the stripe count, decode rehashes across layouts, and a mangled
+// header is rejected instead of allocating.
+func TestGobStripeStreaming(t *testing.T) {
+	tbl := NewWithStripes(4)
+	for i := 0; i < 40; i++ {
+		tbl.Put(ids.AgentID(fmt.Sprintf("s-%d", i)), platform.NodeID("n"))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tbl); err != nil {
+		t.Fatal(err)
+	}
+	decoded := new(Table)
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != 40 || len(decoded.stripes) != DefaultStripes {
+		t.Fatalf("decoded %d entries over %d stripes", decoded.Len(), len(decoded.stripes))
+	}
+	for a, n := range tbl.Snapshot() {
+		if got, ok := decoded.Get(a); !ok || got != n {
+			t.Fatalf("decoded[%s] = %q, %v", a, got, ok)
+		}
+	}
+
+	// A bogus stripe count in the header errors out up front.
+	var bad bytes.Buffer
+	if err := gob.NewEncoder(&bad).Encode(maxGobStripes + 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := new(Table).GobDecode(bad.Bytes()); err == nil {
+		t.Fatal("accepted impossible stripe count")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"agentloc/internal/clock"
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
+	"agentloc/internal/snapshot"
 	"agentloc/internal/trace"
 )
 
@@ -216,6 +217,11 @@ func (c *Context) Metrics() *metrics.Registry { return c.host.node.reg }
 // Tracer returns the hosting node's span recorder; nil (still safe to use)
 // when the node records no spans.
 func (c *Context) Tracer() *trace.Recorder { return c.host.node.tracer }
+
+// Durable returns the hosting node's snapshot/WAL store, or nil when the
+// node runs without durability. The store belongs to the node, not the
+// agent: a behaviour that migrates writes to its new host's store.
+func (c *Context) Durable() *snapshot.Store { return c.host.node.durable }
 
 // TraceContext returns the trace context of the request being served (the
 // zero value from a Run goroutine or an untraced request).

@@ -27,6 +27,7 @@ import (
 	"agentloc/internal/clock"
 	"agentloc/internal/ids"
 	"agentloc/internal/metrics"
+	"agentloc/internal/snapshot"
 	"agentloc/internal/trace"
 	"agentloc/internal/transport"
 )
@@ -164,6 +165,11 @@ type Config struct {
 	// ids.NodeResidence and core's residence support). Defaults to
 	// ids.NodeResidence(ID).
 	Residence ids.ResidenceID
+	// Durable is the node's snapshot/WAL store. Hosted behaviours reach it
+	// through Context.Durable and append location updates before acking
+	// them. Nil (the default) disables durability: the node runs purely in
+	// memory, as before.
+	Durable *snapshot.Store
 }
 
 // Node hosts agents and serves the platform's wire protocol.
@@ -175,6 +181,7 @@ type Node struct {
 	tracer    *trace.Recorder
 	reg       *metrics.Registry
 	residence ids.ResidenceID
+	durable   *snapshot.Store
 
 	// Handles cached off the hot paths; all are nil-safe no-ops when the
 	// node has no registry.
@@ -211,6 +218,7 @@ func NewNode(cfg Config) (*Node, error) {
 		tracer:    cfg.Tracer,
 		reg:       cfg.Metrics,
 		residence: cfg.Residence,
+		durable:   cfg.Durable,
 		agents:    make(map[ids.AgentID]*hosted),
 	}
 	if r := cfg.Metrics; r != nil {
@@ -255,6 +263,10 @@ func (n *Node) Tracer() *trace.Recorder { return n.tracer }
 // disabled. A nil registry still hands out usable no-op handles, so callers
 // never need to guard.
 func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Durable returns the node's snapshot/WAL store; nil when the node runs
+// without durability.
+func (n *Node) Durable() *snapshot.Store { return n.durable }
 
 // LaunchOption tunes an agent launch.
 type LaunchOption func(*hosted)

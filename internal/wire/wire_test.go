@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+var testMagic = [4]byte{'T', 'E', 'S', 'T'}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	var buf bytes.Buffer
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, testMagic, 3, byte(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, p := range payloads {
+		f, err := ReadFrame(r, testMagic, 3)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Version != 3 || f.Kind != byte(i) || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("frame %d: got %+v", i, f)
+		}
+	}
+	if _, err := ReadFrame(r, testMagic, 3); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestFrameTypedErrors(t *testing.T) {
+	frame := AppendFrame(nil, testMagic, 1, 7, []byte("payload"))
+
+	// Every single-bit-flip of the frame must be detected as corrupt (or,
+	// for a flipped high length byte, as an impossible length), never
+	// accepted and never a panic.
+	for i := range frame {
+		mutated := append([]byte(nil), frame...)
+		mutated[i] ^= 0x40
+		_, _, err := DecodeFrame(mutated, testMagic, 1)
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrUnsupportedVersion) {
+			t.Fatalf("flip at byte %d: untyped error %v", i, err)
+		}
+	}
+
+	// Truncation at every boundary.
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, err := DecodeFrame(frame[:cut], testMagic, 1)
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: got %v", cut, err)
+		}
+	}
+
+	// A valid frame with a future version: structurally intact, refused by
+	// version, detectable as such.
+	future := AppendFrame(nil, testMagic, 9, 0, []byte("new format"))
+	if _, _, err := DecodeFrame(future, testMagic, 1); !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("future version: got %v", err)
+	}
+	// The same frame reads fine when the build understands version 9.
+	if _, _, err := DecodeFrame(future, testMagic, 9); err != nil {
+		t.Fatalf("same-version read: %v", err)
+	}
+
+	// Wrong magic is corruption, not truncation.
+	if _, _, err := DecodeFrame(frame, [4]byte{'N', 'O', 'P', 'E'}, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong magic: got %v", err)
+	}
+}
+
+func TestDecTypedErrors(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 42)
+	b = AppendString(b, "hello")
+	b = AppendBytes(b, []byte{1, 2, 3})
+
+	d := NewDec(b)
+	if v, err := d.Uvarint(); err != nil || v != 42 {
+		t.Fatalf("uvarint = %d, %v", v, err)
+	}
+	if s, err := d.String(1 << 20); err != nil || s != "hello" {
+		t.Fatalf("string = %q, %v", s, err)
+	}
+	if bs, err := d.Bytes(1 << 20); err != nil || !bytes.Equal(bs, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v, %v", bs, err)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Over-read on an empty decoder.
+	e := NewDec(nil)
+	if _, err := e.Byte(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("byte on empty: %v", err)
+	}
+	if _, err := e.Uvarint(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("uvarint on empty: %v", err)
+	}
+
+	// A declared length far beyond the limit is corrupt, not an allocation.
+	huge := AppendUvarint(nil, 1<<40)
+	if _, err := NewDec(huge).String(1 << 20); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge string length: %v", err)
+	}
+	// A declared length within the limit but beyond the data is truncated.
+	short := AppendUvarint(nil, 100)
+	if _, err := NewDec(short).Bytes(1 << 20); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short bytes: %v", err)
+	}
+
+	// Trailing garbage after a full read is corruption.
+	trailing := NewDec([]byte{0x01, 0xFF})
+	if _, err := trailing.Byte(); err != nil {
+		t.Fatal(err)
+	}
+	if err := trailing.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
