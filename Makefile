@@ -2,8 +2,12 @@ GO ?= go
 GOLANGCI ?= golangci-lint
 BENCH_OUT ?= BENCH_read_path.json
 COMIGRATE_OUT ?= BENCH_comigrate.json
+MILLION_OUT ?= BENCH_million.json
+MILLION_AGENTS ?= 1048576
+# Fuzz budget per target for `make fuzz`.
+FUZZTIME ?= 30s
 
-.PHONY: all build test short race vet lint bench benchdiff chaos ci clean
+.PHONY: all build test short race vet lint fmt-check tidy-check fuzz bench benchdiff chaos ci clean
 
 all: build
 
@@ -37,20 +41,49 @@ lint:
 		$(GO) vet ./...; \
 	fi
 
-# Read-path and co-migration benchmarks: fixed iteration counts for
-# run-to-run comparability, measurements written to $(BENCH_OUT) and
-# $(COMIGRATE_OUT) for benchdiff.
+# Formatting drift fails fast: gofmt must be a no-op over the whole tree.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Module drift: go.mod/go.sum must already be tidy.
+tidy-check:
+	$(GO) mod tidy -diff
+
+# Short fuzzing sweep over every codec and table fuzz target; CI's fuzz
+# workflow runs the same list on a schedule. Committed corpora live in each
+# package's testdata/fuzz.
+fuzz:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzMsgHeader -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hashtree -run '^$$' -fuzz FuzzDeserialize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hashtree -run '^$$' -fuzz FuzzDecodeJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/loctable -run '^$$' -fuzz FuzzDeserialize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/loctable -run '^$$' -fuzz FuzzDenseOps -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzHotMsgDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzEnvelopeDecode -fuzztime $(FUZZTIME)
+
+# Read-path, co-migration and million-agent benchmarks: fixed iteration
+# counts for run-to-run comparability, measurements written to $(BENCH_OUT),
+# $(COMIGRATE_OUT) and $(MILLION_OUT) for benchdiff.
 bench:
 	BENCH_OUT=$(abspath $(BENCH_OUT)) $(GO) test ./internal/bench -bench ReadPath -benchtime 4000x -run '^$$'
 	COMIGRATE_OUT=$(abspath $(COMIGRATE_OUT)) $(GO) test ./internal/bench -bench CoMigrate -benchtime 200x -run '^$$'
+	MILLION_OUT=$(abspath $(MILLION_OUT)) MILLION_AGENTS=$(MILLION_AGENTS) \
+		$(GO) test ./internal/bench -bench Million -benchtime 1x -run '^$$' -timeout 20m
 
 # Compare fresh benchmark runs against the committed baselines; non-zero
-# exit on >15% p99 regression or >20% update-RPCs-per-migration regression.
+# exit on regressions past the p99, chase-hop, retry, update-RPC, alloc
+# budget, or throughput gates.
 benchdiff:
 	BENCH_OUT=/tmp/BENCH_current.json $(GO) test ./internal/bench -bench ReadPath -benchtime 4000x -run '^$$'
 	COMIGRATE_OUT=/tmp/BENCH_comigrate_current.json $(GO) test ./internal/bench -bench CoMigrate -benchtime 200x -run '^$$'
+	MILLION_OUT=/tmp/BENCH_million_current.json MILLION_AGENTS=$(MILLION_AGENTS) \
+		$(GO) test ./internal/bench -bench Million -benchtime 1x -run '^$$' -timeout 20m
 	$(GO) run ./cmd/benchdiff -baseline BENCH_read_path.json -current /tmp/BENCH_current.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_comigrate.json -current /tmp/BENCH_comigrate_current.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_million.json -current /tmp/BENCH_million_current.json
 
 # Crash-tolerance soak: the failover, chaos, fault-injection and restart-
 # recovery suites under the race detector, then the full-cluster kill-and-
@@ -59,7 +92,7 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Crash|Failover|Takeover|Checkpoint|Promot|Fallback|Recover|Torn' ./...
 	$(GO) run ./cmd/locsim restart -chaos-restart-all -quick
 
-ci: build vet lint short race
+ci: build fmt-check tidy-check vet lint short race
 
 clean:
 	$(GO) clean ./...

@@ -15,13 +15,23 @@
 //   - update RPCs per migration: the co-migration benchmark's headline
 //     number (BENCH_comigrate.json); a rise past -max-update-rpcs-regress
 //     (default 20%) means swarm moves stopped being O(1) on the wire.
+//   - allocations: a variant whose baseline already meets the absolute
+//     -max-allocs-per-op budget (default 50) must keep meeting it — the
+//     codec and dense-table work bought those budgets and the gate keeps
+//     them bought. High-alloc rows (the un-cached read paths) are exempt;
+//     the budget is for the rows engineered under it.
+//   - throughput: a variant whose current throughput falls more than
+//     -max-throughput-regress (default 20%) below the baseline fails; this
+//     is the gate that watches the million-agent rows, whose latency
+//     percentiles are meaningless (they are closed tight loops).
 //
-// The hop, retry and update-RPC gates only engage when the baseline
-// carries the fields (older baselines predate them), so the tool keeps
-// working against files written by older binaries.
+// The hop, retry, update-RPC, alloc and throughput gates only engage when
+// the baseline carries the fields (older baselines predate them), so the
+// tool keeps working against files written by older binaries.
 //
 //	benchdiff -baseline BENCH_read_path.json -current /tmp/bench.json
 //	benchdiff -baseline BENCH_comigrate.json -current /tmp/comigrate.json
+//	benchdiff -baseline BENCH_million.json -current /tmp/million.json
 package main
 
 import (
@@ -36,14 +46,15 @@ import (
 // trace-derived fields are pointers so a baseline that predates them is
 // distinguishable from a measured zero.
 type result struct {
-	Name       string   `json:"name"`
-	Ops        int      `json:"ops"`
-	Throughput float64  `json:"throughput_ops_per_sec"`
-	P50Us      float64  `json:"p50_us"`
-	P99Us      float64  `json:"p99_us"`
-	MeanHops   *float64 `json:"mean_hops_per_op,omitempty"`
-	P99RetryUs *float64 `json:"p99_retry_us,omitempty"`
-	UpdateRPCs *float64 `json:"update_rpcs_per_migration,omitempty"`
+	Name        string   `json:"name"`
+	Ops         int      `json:"ops"`
+	Throughput  float64  `json:"throughput_ops_per_sec"`
+	P50Us       float64  `json:"p50_us"`
+	P99Us       float64  `json:"p99_us"`
+	MeanHops    *float64 `json:"mean_hops_per_op,omitempty"`
+	P99RetryUs  *float64 `json:"p99_retry_us,omitempty"`
+	UpdateRPCs  *float64 `json:"update_rpcs_per_migration,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 type file struct {
@@ -57,18 +68,38 @@ func main() {
 	maxHops := flag.Float64("max-hops-regress", 0.20, "maximum tolerated relative mean-chase-hops increase")
 	maxRetryUs := flag.Float64("max-retry-regress-us", 500, "maximum tolerated absolute p99 retry-attributed latency increase, µs")
 	maxUpdateRPCs := flag.Float64("max-update-rpcs-regress", 0.20, "maximum tolerated relative update-RPCs-per-migration increase")
+	maxAllocs := flag.Float64("max-allocs-per-op", 50, "absolute allocs/op budget, enforced for rows whose baseline already meets it")
+	maxThroughput := flag.Float64("max-throughput-regress", 0.20, "maximum tolerated relative throughput decrease (0.20 = -20%)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
 		os.Exit(2)
 	}
-	if err := run(*baselinePath, *currentPath, *maxP99, *maxHops, *maxRetryUs, *maxUpdateRPCs); err != nil {
+	lim := limits{
+		maxP99:        *maxP99,
+		maxHops:       *maxHops,
+		maxRetryUs:    *maxRetryUs,
+		maxUpdateRPCs: *maxUpdateRPCs,
+		maxAllocs:     *maxAllocs,
+		maxThroughput: *maxThroughput,
+	}
+	if err := run(*baselinePath, *currentPath, lim); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs, maxUpdateRPCs float64) error {
+// limits bundles the gate thresholds.
+type limits struct {
+	maxP99        float64
+	maxHops       float64
+	maxRetryUs    float64
+	maxUpdateRPCs float64
+	maxAllocs     float64
+	maxThroughput float64
+}
+
+func run(baselinePath, currentPath string, lim limits) error {
 	baseline, err := load(baselinePath)
 	if err != nil {
 		return err
@@ -83,8 +114,8 @@ func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs, maxUpdat
 	}
 
 	var failures []string
-	fmt.Printf("%-22s %12s %12s %8s %14s %14s %10s %12s %10s\n",
-		"benchmark", "base p99µs", "cur p99µs", "Δp99", "base ops/s", "cur ops/s", "Δhops", "Δretry-p99", "Δupd-rpc")
+	fmt.Printf("%-24s %12s %12s %8s %14s %14s %8s %10s %12s %10s %10s\n",
+		"benchmark", "base p99µs", "cur p99µs", "Δp99", "base ops/s", "cur ops/s", "Δops/s", "Δhops", "Δretry-p99", "Δupd-rpc", "allocs")
 	for _, base := range baseline.Benchmarks {
 		c, ok := cur[base.Name]
 		if !ok {
@@ -95,27 +126,36 @@ func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs, maxUpdat
 		if base.P99Us > 0 {
 			delta = (c.P99Us - base.P99Us) / base.P99Us
 		}
-		hopsCol, retryCol, rpcsCol := "n/a", "n/a", "n/a"
+		hopsCol, retryCol, rpcsCol, allocCol := "n/a", "n/a", "n/a", "n/a"
 
+		tputDelta := 0.0
+		if base.Throughput > 0 {
+			tputDelta = (c.Throughput - base.Throughput) / base.Throughput
+			if -tputDelta > lim.maxThroughput {
+				failures = append(failures,
+					fmt.Sprintf("%s: throughput %.0f -> %.0f ops/s (%+.1f%%, limit %+.1f%%)",
+						base.Name, base.Throughput, c.Throughput, tputDelta*100, -lim.maxThroughput*100))
+			}
+		}
 		if base.MeanHops != nil && c.MeanHops != nil {
 			hopDelta := 0.0
 			if *base.MeanHops > 0 {
 				hopDelta = (*c.MeanHops - *base.MeanHops) / *base.MeanHops
 			}
 			hopsCol = fmt.Sprintf("%+.1f%%", hopDelta*100)
-			if hopDelta > maxHops {
+			if hopDelta > lim.maxHops {
 				failures = append(failures,
 					fmt.Sprintf("%s: mean chase hops %.2f -> %.2f (%+.1f%%, limit %+.1f%%)",
-						base.Name, *base.MeanHops, *c.MeanHops, hopDelta*100, maxHops*100))
+						base.Name, *base.MeanHops, *c.MeanHops, hopDelta*100, lim.maxHops*100))
 			}
 		}
 		if base.P99RetryUs != nil && c.P99RetryUs != nil {
 			retryDelta := *c.P99RetryUs - *base.P99RetryUs
 			retryCol = fmt.Sprintf("%+.0fµs", retryDelta)
-			if retryDelta > maxRetryUs {
+			if retryDelta > lim.maxRetryUs {
 				failures = append(failures,
 					fmt.Sprintf("%s: p99 retry-attributed latency %.0fµs -> %.0fµs (+%.0fµs, limit +%.0fµs)",
-						base.Name, *base.P99RetryUs, *c.P99RetryUs, retryDelta, maxRetryUs))
+						base.Name, *base.P99RetryUs, *c.P99RetryUs, retryDelta, lim.maxRetryUs))
 			}
 		}
 		if base.UpdateRPCs != nil && c.UpdateRPCs != nil {
@@ -124,27 +164,38 @@ func run(baselinePath, currentPath string, maxP99, maxHops, maxRetryUs, maxUpdat
 				rpcDelta = (*c.UpdateRPCs - *base.UpdateRPCs) / *base.UpdateRPCs
 			}
 			rpcsCol = fmt.Sprintf("%+.1f%%", rpcDelta*100)
-			if rpcDelta > maxUpdateRPCs {
+			if rpcDelta > lim.maxUpdateRPCs {
 				failures = append(failures,
 					fmt.Sprintf("%s: update RPCs per migration %.2f -> %.2f (%+.1f%%, limit %+.1f%%)",
-						base.Name, *base.UpdateRPCs, *c.UpdateRPCs, rpcDelta*100, maxUpdateRPCs*100))
+						base.Name, *base.UpdateRPCs, *c.UpdateRPCs, rpcDelta*100, lim.maxUpdateRPCs*100))
 			}
 		}
-		fmt.Printf("%-22s %12.0f %12.0f %+7.1f%% %14.0f %14.0f %10s %12s %10s\n",
-			base.Name, base.P99Us, c.P99Us, delta*100, base.Throughput, c.Throughput, hopsCol, retryCol, rpcsCol)
-		if delta > maxP99 {
+		// The alloc gate is an absolute budget, enforced only where the
+		// baseline already honors it: rows engineered under the budget must
+		// stay under it, legacy high-alloc rows are reported but exempt.
+		if base.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			allocCol = fmt.Sprintf("%.1f", *c.AllocsPerOp)
+			if *base.AllocsPerOp <= lim.maxAllocs && *c.AllocsPerOp > lim.maxAllocs {
+				failures = append(failures,
+					fmt.Sprintf("%s: allocs/op %.1f -> %.1f, past the absolute budget of %.0f",
+						base.Name, *base.AllocsPerOp, *c.AllocsPerOp, lim.maxAllocs))
+			}
+		}
+		fmt.Printf("%-24s %12.0f %12.0f %+7.1f%% %14.0f %14.0f %+7.1f%% %10s %12s %10s %10s\n",
+			base.Name, base.P99Us, c.P99Us, delta*100, base.Throughput, c.Throughput, tputDelta*100, hopsCol, retryCol, rpcsCol, allocCol)
+		if delta > lim.maxP99 {
 			failures = append(failures,
 				fmt.Sprintf("%s: p99 %.0fµs -> %.0fµs (%+.1f%%, limit %+.1f%%)",
-					base.Name, base.P99Us, c.P99Us, delta*100, maxP99*100))
+					base.Name, base.P99Us, c.P99Us, delta*100, lim.maxP99*100))
 		}
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", f)
 		}
-		return fmt.Errorf("%d regression(s) past the p99/hops/retry/update-rpc gates", len(failures))
+		return fmt.Errorf("%d regression(s) past the p99/hops/retry/update-rpc/alloc/throughput gates", len(failures))
 	}
-	fmt.Println("benchdiff: within the p99, chase-hop, retry and update-RPC gates")
+	fmt.Println("benchdiff: within the p99, chase-hop, retry, update-RPC, alloc and throughput gates")
 	return nil
 }
 

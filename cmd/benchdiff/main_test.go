@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name string, f file) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fp(v float64) *float64 { return &v }
+
+func defLimits() limits {
+	return limits{maxP99: 0.15, maxHops: 0.20, maxRetryUs: 500, maxUpdateRPCs: 0.20, maxAllocs: 50, maxThroughput: 0.20}
+}
+
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", file{Benchmarks: []result{
+		{Name: "million/cached_locate", Throughput: 1000000, AllocsPerOp: fp(2)},
+		{Name: "read_path/sharded", P99Us: 5000, Throughput: 3800, AllocsPerOp: fp(1400)},
+	}})
+	cur := writeFile(t, dir, "cur.json", file{Benchmarks: []result{
+		{Name: "million/cached_locate", Throughput: 950000, AllocsPerOp: fp(3)},
+		{Name: "read_path/sharded", P99Us: 5100, Throughput: 3700, AllocsPerOp: fp(1500)},
+	}})
+	if err := run(base, cur, defLimits()); err != nil {
+		t.Errorf("run failed on a healthy diff: %v", err)
+	}
+}
+
+func TestGateCatchesAllocBudgetBreach(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", file{Benchmarks: []result{
+		{Name: "million/cached_locate", Throughput: 1000000, AllocsPerOp: fp(2)},
+	}})
+	cur := writeFile(t, dir, "cur.json", file{Benchmarks: []result{
+		{Name: "million/cached_locate", Throughput: 1000000, AllocsPerOp: fp(80)},
+	}})
+	err := run(base, cur, defLimits())
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("alloc budget breach not caught: %v", err)
+	}
+}
+
+func TestGateExemptsLegacyHighAllocRows(t *testing.T) {
+	// A row whose baseline never met the budget must not fail on it.
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", file{Benchmarks: []result{
+		{Name: "read_path/serial", P99Us: 13000, Throughput: 900, AllocsPerOp: fp(1439)},
+	}})
+	cur := writeFile(t, dir, "cur.json", file{Benchmarks: []result{
+		{Name: "read_path/serial", P99Us: 13000, Throughput: 900, AllocsPerOp: fp(1500)},
+	}})
+	if err := run(base, cur, defLimits()); err != nil {
+		t.Errorf("legacy row failed the alloc budget it never met: %v", err)
+	}
+}
+
+func TestGateCatchesThroughputRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", file{Benchmarks: []result{
+		{Name: "million/locate", Throughput: 10000000},
+	}})
+	cur := writeFile(t, dir, "cur.json", file{Benchmarks: []result{
+		{Name: "million/locate", Throughput: 6000000},
+	}})
+	err := run(base, cur, defLimits())
+	if err == nil {
+		t.Error("40% throughput drop passed the 20% gate")
+	}
+}
+
+func TestGateCatchesMissingRow(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", file{Benchmarks: []result{
+		{Name: "million/table_fill", Throughput: 1000000},
+		{Name: "million/locate", Throughput: 1000000},
+	}})
+	cur := writeFile(t, dir, "cur.json", file{Benchmarks: []result{
+		{Name: "million/table_fill", Throughput: 1000000},
+	}})
+	if err := run(base, cur, defLimits()); err == nil {
+		t.Error("missing row passed the gate")
+	}
+}

@@ -122,6 +122,9 @@ type Result struct {
 	// UpdateRPCs is the mean update-path RPC count per swarm migration —
 	// the co-migration benchmark's headline number (zero elsewhere).
 	UpdateRPCs float64 `json:"update_rpcs_per_migration,omitempty"`
+	// BytesPerAgent is resident heap per registered agent — the million
+	// benchmark's capacity number (zero elsewhere).
+	BytesPerAgent float64 `json:"bytes_per_agent,omitempty"`
 }
 
 // Harness is a deployed cluster ready to be driven. Create with NewHarness,

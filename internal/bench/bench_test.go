@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -37,6 +38,7 @@ func TestMain(m *testing.M) {
 	}{
 		{"BENCH_OUT", []string{"read_path/serial", "read_path/sharded", "read_path/cached"}},
 		{"COMIGRATE_OUT", []string{"comigrate/per_agent", "comigrate/residence"}},
+		{"MILLION_OUT", []string{"million/table_fill", "million/locate", "million/codec_batch", "million/cached_locate"}},
 	}
 	for _, o := range outs {
 		out := os.Getenv(o.env)
@@ -146,5 +148,96 @@ func TestShardedBeatsSerial(t *testing.T) {
 	t.Logf("serial %.0f ops/s, sharded %.0f ops/s (%.1fx)", serial.Throughput, sharded.Throughput, ratio)
 	if ratio < 3 {
 		t.Errorf("sharded/serial throughput = %.2fx, want >= 3x", ratio)
+	}
+}
+
+// BenchmarkMillion measures single-process capacity at the ROADMAP's
+// million-agent target: dense-table fill and locate throughput with resident
+// bytes per agent, the binary update-batch codec, and the steady-state
+// cached locate over the real client stack. Run with one iteration — the
+// population size, not b.N, is the scale knob:
+//
+//	MILLION_OUT=BENCH_million.json MILLION_AGENTS=1048576 go test \
+//	    ./internal/bench -bench Million -benchtime 1x -run '^$' -timeout 20m
+func BenchmarkMillion(b *testing.B) {
+	agents := 1 << 20
+	if v := os.Getenv("MILLION_AGENTS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			agents = n
+		}
+	}
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fill, locate := MillionTable(agents)
+			b.ReportMetric(fill.BytesPerAgent, "bytes/agent")
+			b.ReportMetric(locate.Throughput, "locates/s")
+			record(fill)
+			record(locate)
+		}
+	})
+	b.Run("codec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := MillionCodec(1024, 256)
+			b.ReportMetric(res.Throughput, "entries/s")
+			b.ReportMetric(res.AllocsPerOp, "allocs/entry")
+			record(res)
+		}
+	})
+	b.Run("cached_locate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := CachedLocate(200000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Errors > 0 {
+				b.Fatalf("%d/%d cached locates failed", res.Errors, res.Ops)
+			}
+			b.ReportMetric(res.Throughput, "ops/s")
+			b.ReportMetric(res.AllocsPerOp, "allocs/op")
+			record(res)
+		}
+	})
+}
+
+// TestCachedLocateAllocs pins the acceptance bound the CI bench lane gates
+// on: the steady-state cached locate must cost at most 50 allocations per
+// operation.
+func TestCachedLocateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not a -short test")
+	}
+	res, err := CachedLocate(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d/%d cached locates failed", res.Errors, res.Ops)
+	}
+	t.Logf("cached locate: %.0f ops/s, %.1f allocs/op, hit rate %.3f",
+		res.Throughput, res.AllocsPerOp, res.CacheHitRate)
+	if res.AllocsPerOp > 50 {
+		t.Errorf("cached locate costs %.1f allocs/op, want <= 50", res.AllocsPerOp)
+	}
+	if res.CacheHitRate < 0.99 && res.CacheHitRate != 0 {
+		t.Errorf("cache hit rate %.3f, want warm (>= 0.99)", res.CacheHitRate)
+	}
+}
+
+// TestMillionSmoke keeps the capacity measurements honest under plain
+// `go test`, at a population small enough for the tier-1 suite.
+func TestMillionSmoke(t *testing.T) {
+	fill, locate := MillionTable(20000)
+	if fill.Throughput <= 0 || locate.Throughput <= 0 {
+		t.Fatalf("degenerate results: fill %+v locate %+v", fill, locate)
+	}
+	if fill.BytesPerAgent <= 0 || fill.BytesPerAgent > 4096 {
+		t.Errorf("bytes per agent = %.0f, want a sane resident footprint", fill.BytesPerAgent)
+	}
+	codec := MillionCodec(256, 4)
+	if codec.Throughput <= 0 {
+		t.Fatalf("degenerate codec result: %+v", codec)
+	}
+	if codec.AllocsPerOp > 16 {
+		t.Errorf("codec allocs per entry = %.2f, want few", codec.AllocsPerOp)
 	}
 }

@@ -330,7 +330,7 @@ func (c *Client) Whois(ctx context.Context, target ids.AgentID) (Assignment, err
 	sp, ctx := c.childSpan(ctx, "whois")
 	local := c.caller.LocalNode()
 	var resp WhoisResp
-	if err := c.call(ctx, local, LHAgentID(local), KindWhois, WhoisReq{Target: target}, &resp); err != nil {
+	if err := c.call(ctx, local, LHAgentID(local), KindWhois, &WhoisReq{Target: target}, &resp); err != nil {
 		sp.End(err)
 		return Assignment{}, fmt.Errorf("whois %s: %w", target, err)
 	}
@@ -345,7 +345,7 @@ func (c *Client) refreshLocal(ctx context.Context, minVersion uint64) error {
 	sp, ctx := c.childSpan(ctx, "refresh")
 	local := c.caller.LocalNode()
 	var resp RefreshResp
-	err := c.call(ctx, local, LHAgentID(local), KindRefresh, RefreshReq{MinVersion: minVersion}, &resp)
+	err := c.call(ctx, local, LHAgentID(local), KindRefresh, &RefreshReq{MinVersion: minVersion}, &resp)
 	sp.End(err)
 	if err != nil {
 		return fmt.Errorf("refresh hash copy: %w", err)
@@ -416,7 +416,7 @@ func (c *Client) Deregister(ctx context.Context, self ids.AgentID, cached Assign
 		if attempt > 0 {
 			csp.Annotate("attempt", strconv.Itoa(attempt))
 		}
-		err = c.call(cctx, assign.Node, assign.IAgent, KindDeregister, DeregisterReq{Agent: self}, &ack)
+		err = c.call(cctx, assign.Node, assign.IAgent, KindDeregister, &DeregisterReq{Agent: self}, &ack)
 		csp.End(err)
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)
 		if err != nil {
@@ -472,7 +472,7 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 		if attempt > 0 {
 			csp.Annotate("attempt", strconv.Itoa(attempt))
 		}
-		err = c.call(cctx, assign.Node, assign.IAgent, KindLocate, LocateReq{Agent: target}, &resp)
+		err = c.call(cctx, assign.Node, assign.IAgent, KindLocate, &LocateReq{Agent: target}, &resp)
 		csp.End(err)
 		if err == nil && resp.Status == StatusUnknownAgent {
 			c.cache.invalidate(target)
@@ -497,6 +497,98 @@ func (c *Client) Locate(ctx context.Context, target ids.AgentID) (platform.NodeI
 	}
 	endOp(sp, rpcs, ErrRetriesExhausted)
 	return "", fmt.Errorf("locate %s: %w", target, ErrRetriesExhausted)
+}
+
+// LocateBatch resolves the locations of several agents with as few RPCs as
+// the hash function allows: cache hits answer locally, and the remaining
+// targets are grouped by responsible IAgent so each group travels as one
+// KindLocateBatch frame. The result maps each successfully located agent to
+// its node; unregistered agents are simply absent. Agents whose batched
+// answer proves the local hash copy stale fall back to the singleton Locate
+// path, which owns the §4.3 refresh-and-retry loop.
+func (c *Client) LocateBatch(ctx context.Context, targets []ids.AgentID) (map[ids.AgentID]platform.NodeID, error) {
+	sp, ctx, rpcs := c.startOp(ctx, "locate-batch")
+	out := make(map[ids.AgentID]platform.NodeID, len(targets))
+	misses := make([]ids.AgentID, 0, len(targets))
+	seen := make(map[ids.AgentID]struct{}, len(targets))
+	for _, t := range targets {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if node, ok := c.cache.get(t); ok {
+			out[t] = node
+			continue
+		}
+		misses = append(misses, t)
+	}
+	if len(misses) == 0 {
+		endOp(sp, rpcs, nil)
+		return out, nil
+	}
+
+	// Group the misses by responsible IAgent. Whois goes to the local
+	// LHAgent, so grouping costs local calls, not network round trips.
+	type group struct {
+		assign Assignment
+		agents []ids.AgentID
+	}
+	groups := make(map[ids.AgentID]*group)
+	for _, t := range misses {
+		assign, err := c.Whois(ctx, t)
+		if err != nil {
+			endOp(sp, rpcs, err)
+			return nil, err
+		}
+		g := groups[assign.IAgent]
+		if g == nil {
+			g = &group{assign: assign}
+			groups[assign.IAgent] = g
+		}
+		g.agents = append(g.agents, t)
+	}
+
+	var retry []ids.AgentID
+	for _, g := range groups {
+		var resp LocateBatchResp
+		csp, cctx := c.childSpan(ctx, "iagent.locate-batch")
+		csp.Annotate("agents", strconv.Itoa(len(g.agents)))
+		err := c.call(cctx, g.assign.Node, g.assign.IAgent, KindLocateBatch, &LocateBatchReq{Agents: g.agents}, &resp)
+		csp.End(err)
+		if err != nil || len(resp.Results) != len(g.agents) {
+			// Transport trouble or a malformed reply; the singleton path
+			// carries the retry logic.
+			retry = append(retry, g.agents...)
+			continue
+		}
+		for i, r := range resp.Results {
+			switch r.Status {
+			case StatusOK:
+				c.cache.put(g.agents[i], r.Node, g.assign.HashVersion)
+				out[g.agents[i]] = r.Node
+			case StatusUnknownAgent:
+				c.cache.invalidate(g.agents[i])
+			default:
+				// NotResponsible: our copy went stale for this slice of
+				// the id space; refresh-and-retry one by one.
+				retry = append(retry, g.agents[i])
+			}
+		}
+	}
+	var firstErr error
+	for _, t := range retry {
+		node, err := c.Locate(ctx, t)
+		switch {
+		case err == nil:
+			out[t] = node
+		case errors.Is(err, ErrNotRegistered):
+			// Absent from the result, like the batched unknown-agent case.
+		case firstErr == nil:
+			firstErr = err
+		}
+	}
+	endOp(sp, rpcs, firstErr)
+	return out, firstErr
 }
 
 // InvalidateLocation drops the client's cached location for the target, if
@@ -550,7 +642,7 @@ func (c *Client) reportLocationAt(ctx context.Context, kind string, self ids.Age
 			if attempt > 0 {
 				csp.Annotate("attempt", strconv.Itoa(attempt))
 			}
-			err = c.call(cctx, assign.Node, assign.IAgent, kind, req, &ack)
+			err = c.call(cctx, assign.Node, assign.IAgent, kind, &req, &ack)
 			csp.End(err)
 		}
 		assign, err = c.interpret(ctx, assign, ack.Status, ack.HashVersion, err)

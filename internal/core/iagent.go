@@ -173,6 +173,15 @@ func (b *IAgentBehavior) HandleConcurrent(ctx *platform.Context, kind string, pa
 			return nil, true, err
 		}
 		return b.locate(ctx, req.Agent), true, nil
+	case KindLocateBatch:
+		if err := b.ensureRuntime(ctx); err != nil {
+			return nil, true, err
+		}
+		var req LocateBatchReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, true, err
+		}
+		return b.locateBatch(ctx, req), true, nil
 	case KindIAgentPing:
 		if err := b.ensureRuntime(ctx); err != nil {
 			return nil, true, err
@@ -200,7 +209,10 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 	}
 	switch kind {
 	case KindRegister:
-		var req RegisterReq
+		// Registration reuses the update shape on the wire (clients send
+		// UpdateReq with an empty Residence), so decode the superset; the
+		// binding stays cleared either way.
+		var req UpdateReq
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
@@ -244,6 +256,12 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 			return nil, err
 		}
 		return b.locate(ctx, req.Agent), nil
+	case KindLocateBatch:
+		var req LocateBatchReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.locateBatch(ctx, req), nil
 	case KindAdoptState:
 		var req AdoptStateReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -399,6 +417,18 @@ func (b *IAgentBehavior) locate(ctx *platform.Context, agent ids.AgentID) Locate
 		node = rn
 	}
 	return LocateResp{Status: StatusOK, Node: node, HashVersion: version}
+}
+
+// locateBatch answers several locates in one frame, each agent judged
+// individually like UpdateBatchReq's entries. It touches only the
+// concurrency-safe read state, so it rides the concurrent fast path.
+func (b *IAgentBehavior) locateBatch(ctx *platform.Context, req LocateBatchReq) LocateBatchResp {
+	resp := LocateBatchResp{Results: make([]LocateResp, len(req.Agents))}
+	for i, a := range req.Agents {
+		b.metReq[KindLocate].Inc()
+		resp.Results[i] = b.locate(ctx, a)
+	}
+	return resp
 }
 
 // adoptState installs a new hash state pushed by the HAgent after a rehash

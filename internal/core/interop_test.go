@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/transport"
+	"agentloc/internal/wire"
+)
+
+// TestMixedVersionClusterInterop deploys the mechanism over real TCP with
+// one node pinned to the gob envelope codec — the shape of a rolling
+// upgrade where an old build lingers in the cluster. Every hot-path
+// operation (locate, move updates, residence moves) must keep working
+// across the version boundary: the binary peers negotiate the codec among
+// themselves and transparently fall back to gob toward the pinned node.
+// Finally, tearing down every cached connection must not surface errors —
+// the transport redials and resends, re-running the handshake (or the gob
+// fallback) per peer.
+func TestMixedVersionClusterInterop(t *testing.T) {
+	f := transport.NewFaults()
+	const gobNode = 2
+	c, links := newTCPCluster(t, quietConfig(), 3, func(i int, tc *transport.TCPConfig) {
+		tc.Faults = f
+		tc.RedialBackoff = time.Millisecond
+		if i == gobNode {
+			tc.Wire = transport.WireGob
+		}
+	})
+	ctx := testCtx(t)
+
+	// The negotiated version is per peer: binary between the two new
+	// nodes, gob toward the pinned one.
+	if got := transport.NegotiatedWireVersion(ctx, links[0], c.nodes[1].ID().Addr()); got != wire.MsgVersion {
+		t.Errorf("binary<->binary negotiated version %d, want %d", got, wire.MsgVersion)
+	}
+	if got := transport.NegotiatedWireVersion(ctx, links[0], c.nodes[gobNode].ID().Addr()); got != 0 {
+		t.Errorf("binary->gob negotiated version %d, want 0 (gob fallback)", got)
+	}
+
+	newSide := c.service.ClientFor(c.nodes[0])
+	bystander := c.service.ClientFor(c.nodes[1])
+	oldSide := c.service.ClientFor(c.nodes[gobNode])
+
+	// Registrations land on both sides of the boundary; locates cross it
+	// in both directions.
+	assignNew, err := newSide.Register(ctx, "interop-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oldSide.Register(ctx, "interop-old"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := oldSide.Locate(ctx, "interop-new"); err != nil || got != c.nodes[0].ID() {
+		t.Fatalf("old-side locate = %v at %s, want %s", err, got, c.nodes[0].ID())
+	}
+	if got, err := newSide.Locate(ctx, "interop-old"); err != nil || got != c.nodes[gobNode].ID() {
+		t.Fatalf("new-side locate = %v at %s, want %s", err, got, c.nodes[gobNode].ID())
+	}
+
+	// A migration reported through the old node: the update RPC leaves a
+	// gob-pinned link, and the fresh location must be visible from a
+	// binary node that never cached it.
+	if _, err := oldSide.MoveNotifyTo(ctx, "interop-new", c.nodes[gobNode].ID(), assignNew); err != nil {
+		t.Fatalf("move via gob node: %v", err)
+	}
+	if got, err := bystander.Locate(ctx, "interop-new"); err != nil || got != c.nodes[gobNode].ID() {
+		t.Fatalf("locate after move = %v at %s, want %s", err, got, c.nodes[gobNode].ID())
+	}
+
+	// A residence group driven from the old node: Join and MoveTo issue
+	// bound updates and residence-move RPCs across the version boundary.
+	group := oldSide.ResidenceGroup("res@interop")
+	members := make([]ids.AgentID, 3)
+	for i := range members {
+		members[i] = ids.AgentID(fmt.Sprintf("interop-member-%d", i))
+		if _, err := oldSide.Register(ctx, members[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := group.Join(ctx, members[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := group.MoveTo(ctx, c.nodes[0].ID()); err != nil {
+		t.Fatalf("residence move from gob node: %v", err)
+	}
+	for _, m := range members {
+		if got, err := bystander.Locate(ctx, m); err != nil || got != c.nodes[0].ID() {
+			t.Fatalf("member %s after residence move = %v at %s, want %s", m, err, got, c.nodes[0].ID())
+		}
+	}
+
+	// Break every cached connection. The next calls must redial, re-run
+	// the negotiation per peer, and resend — no surfaced errors on either
+	// codec flavor.
+	f.ResetAll()
+	eventually(t, 20*time.Second, func(ctx context.Context) error {
+		if _, err := oldSide.Locate(ctx, "interop-new"); err != nil {
+			return err
+		}
+		newSide.InvalidateLocation("interop-old")
+		got, err := newSide.Locate(ctx, "interop-old")
+		if err != nil {
+			return err
+		}
+		if got != c.nodes[gobNode].ID() {
+			return fmt.Errorf("post-reset locate at %s, want %s", got, c.nodes[gobNode].ID())
+		}
+		return nil
+	})
+	if got := transport.NegotiatedWireVersion(ctx, links[0], c.nodes[gobNode].ID().Addr()); got != 0 {
+		t.Errorf("gob peer renegotiated to version %d after reset, want 0", got)
+	}
+}

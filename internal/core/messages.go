@@ -23,6 +23,9 @@ const (
 	KindUpdate     = "loc.update"
 	KindLocate     = "loc.locate"
 	KindDeregister = "loc.deregister"
+	// Client → IAgent: several locates for agents sharing a responsible
+	// IAgent, answered in one frame.
+	KindLocateBatch = "loc.locate-batch"
 	// Batcher → IAgent: coalesced move updates, one RPC per peer per tick.
 	KindUpdateBatch = "loc.update-batch"
 	// Residence group → IAgent: re-point a residence handle after a group
@@ -169,6 +172,18 @@ type LocateResp struct {
 	Status      Status
 	Node        platform.NodeID
 	HashVersion uint64
+}
+
+// LocateBatchReq asks one IAgent for the locations of several agents it
+// serves, in a single frame. Like UpdateBatchReq, a batch is a transport
+// optimization, not a transaction: each agent is answered individually.
+type LocateBatchReq struct {
+	Agents []ids.AgentID
+}
+
+// LocateBatchResp answers each locate, index-aligned with the request.
+type LocateBatchResp struct {
+	Results []LocateResp
 }
 
 // GetHashReq pulls the hash state from the HAgent. If the HAgent's version

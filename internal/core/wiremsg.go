@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/wire"
+)
+
+// Hand-rolled binary codecs for the hot-path DTOs: locate, update (single
+// and batched), residence-move, whois/refresh, and their responses. The
+// cold control plane — hash state pushes, handoffs, split/merge — stays on
+// gob, where flexibility beats cycles. Each codec implements wire.Marshaler
+// and wire.Unmarshaler; transport.EncodeV picks it when the peer has
+// negotiated the binary message version, and transport.Decode dispatches on
+// the payload header, so every build reads both formats.
+//
+// Node and residence ids recur endlessly across messages (a cluster has few
+// nodes but millions of location updates), so decodes run them through a
+// process-wide interner: the steady state resolves them with zero
+// allocations.
+
+// Wire field limits. Identifier lengths beyond these mark corruption, and a
+// batch's declared entry count is sanity-bounded before any allocation.
+const (
+	maxWireIDLen   = 1 << 16
+	maxWireBatch   = 1 << 20
+	wireBatchGuard = "core: batch length %d exceeds limit"
+)
+
+// wireIntern canonicalises node and residence ids seen on the wire.
+var wireIntern = wire.NewInterner()
+
+func appendStatus(dst []byte, s Status) []byte {
+	return wire.AppendUvarint(dst, uint64(s))
+}
+
+func decodeStatus(d *wire.Dec) (Status, error) {
+	v, err := d.Uvarint()
+	return Status(v), err
+}
+
+// batchLen validates a declared batch length against both the hard bound
+// and the bytes actually remaining, so a corrupt count cannot force a huge
+// allocation.
+func batchLen(d *wire.Dec) (int, error) {
+	v, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxWireBatch || v > uint64(d.Remaining()) {
+		return 0, fmt.Errorf("%w: "+wireBatchGuard, wire.ErrCorrupt, v)
+	}
+	return int(v), nil
+}
+
+// --- locate ---------------------------------------------------------------
+
+func (r LocateReq) AppendWire(dst []byte) []byte {
+	return wire.AppendString(dst, string(r.Agent))
+}
+
+func (r *LocateReq) DecodeWire(d *wire.Dec) error {
+	s, err := d.String(maxWireIDLen)
+	r.Agent = ids.AgentID(s)
+	return err
+}
+
+func (r LocateResp) AppendWire(dst []byte) []byte {
+	dst = appendStatus(dst, r.Status)
+	dst = wire.AppendString(dst, string(r.Node))
+	return wire.AppendUvarint(dst, r.HashVersion)
+}
+
+func (r *LocateResp) DecodeWire(d *wire.Dec) error {
+	var err error
+	if r.Status, err = decodeStatus(d); err != nil {
+		return err
+	}
+	node, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	r.Node = platform.NodeID(node)
+	r.HashVersion, err = d.Uvarint()
+	return err
+}
+
+func (r LocateBatchReq) AppendWire(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(r.Agents)))
+	for _, a := range r.Agents {
+		dst = wire.AppendString(dst, string(a))
+	}
+	return dst
+}
+
+func (r *LocateBatchReq) DecodeWire(d *wire.Dec) error {
+	n, err := batchLen(d)
+	if err != nil {
+		return err
+	}
+	r.Agents = make([]ids.AgentID, n)
+	for i := range r.Agents {
+		s, err := d.String(maxWireIDLen)
+		if err != nil {
+			return err
+		}
+		r.Agents[i] = ids.AgentID(s)
+	}
+	return nil
+}
+
+func (r LocateBatchResp) AppendWire(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(r.Results)))
+	for i := range r.Results {
+		dst = r.Results[i].AppendWire(dst)
+	}
+	return dst
+}
+
+func (r *LocateBatchResp) DecodeWire(d *wire.Dec) error {
+	n, err := batchLen(d)
+	if err != nil {
+		return err
+	}
+	r.Results = make([]LocateResp, n)
+	for i := range r.Results {
+		if err := r.Results[i].DecodeWire(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- register / update / deregister ---------------------------------------
+
+func (r RegisterReq) AppendWire(dst []byte) []byte {
+	dst = wire.AppendString(dst, string(r.Agent))
+	return wire.AppendString(dst, string(r.Node))
+}
+
+func (r *RegisterReq) DecodeWire(d *wire.Dec) error {
+	agent, err := d.String(maxWireIDLen)
+	if err != nil {
+		return err
+	}
+	node, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	r.Agent, r.Node = ids.AgentID(agent), platform.NodeID(node)
+	return nil
+}
+
+func (r UpdateReq) AppendWire(dst []byte) []byte {
+	dst = wire.AppendString(dst, string(r.Agent))
+	dst = wire.AppendString(dst, string(r.Node))
+	return wire.AppendString(dst, string(r.Residence))
+}
+
+func (r *UpdateReq) DecodeWire(d *wire.Dec) error {
+	agent, err := d.String(maxWireIDLen)
+	if err != nil {
+		return err
+	}
+	node, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	res, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	r.Agent, r.Node, r.Residence = ids.AgentID(agent), platform.NodeID(node), ids.ResidenceID(res)
+	return nil
+}
+
+func (r DeregisterReq) AppendWire(dst []byte) []byte {
+	return wire.AppendString(dst, string(r.Agent))
+}
+
+func (r *DeregisterReq) DecodeWire(d *wire.Dec) error {
+	s, err := d.String(maxWireIDLen)
+	r.Agent = ids.AgentID(s)
+	return err
+}
+
+func (a Ack) AppendWire(dst []byte) []byte {
+	dst = appendStatus(dst, a.Status)
+	return wire.AppendUvarint(dst, a.HashVersion)
+}
+
+func (a *Ack) DecodeWire(d *wire.Dec) error {
+	var err error
+	if a.Status, err = decodeStatus(d); err != nil {
+		return err
+	}
+	a.HashVersion, err = d.Uvarint()
+	return err
+}
+
+// --- batched updates ------------------------------------------------------
+
+func (r UpdateBatchReq) AppendWire(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(r.Updates)))
+	for i := range r.Updates {
+		dst = r.Updates[i].AppendWire(dst)
+	}
+	return dst
+}
+
+func (r *UpdateBatchReq) DecodeWire(d *wire.Dec) error {
+	n, err := batchLen(d)
+	if err != nil {
+		return err
+	}
+	r.Updates = make([]UpdateReq, n)
+	for i := range r.Updates {
+		if err := r.Updates[i].DecodeWire(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r UpdateBatchResp) AppendWire(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(r.Acks)))
+	for i := range r.Acks {
+		dst = r.Acks[i].AppendWire(dst)
+	}
+	return dst
+}
+
+func (r *UpdateBatchResp) DecodeWire(d *wire.Dec) error {
+	n, err := batchLen(d)
+	if err != nil {
+		return err
+	}
+	r.Acks = make([]Ack, n)
+	for i := range r.Acks {
+		if err := r.Acks[i].DecodeWire(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- residence move -------------------------------------------------------
+
+func (r ResidenceMoveReq) AppendWire(dst []byte) []byte {
+	dst = wire.AppendString(dst, string(r.Residence))
+	return wire.AppendString(dst, string(r.Node))
+}
+
+func (r *ResidenceMoveReq) DecodeWire(d *wire.Dec) error {
+	res, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	node, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	r.Residence, r.Node = ids.ResidenceID(res), platform.NodeID(node)
+	return nil
+}
+
+func (r ResidenceMoveResp) AppendWire(dst []byte) []byte {
+	dst = appendStatus(dst, r.Status)
+	dst = wire.AppendUvarint(dst, r.HashVersion)
+	return wire.AppendUvarint(dst, uint64(r.Bound))
+}
+
+func (r *ResidenceMoveResp) DecodeWire(d *wire.Dec) error {
+	var err error
+	if r.Status, err = decodeStatus(d); err != nil {
+		return err
+	}
+	if r.HashVersion, err = d.Uvarint(); err != nil {
+		return err
+	}
+	bound, err := d.Uvarint()
+	r.Bound = int(bound)
+	return err
+}
+
+// --- whois / refresh ------------------------------------------------------
+
+func (r WhoisReq) AppendWire(dst []byte) []byte {
+	return wire.AppendString(dst, string(r.Target))
+}
+
+func (r *WhoisReq) DecodeWire(d *wire.Dec) error {
+	s, err := d.String(maxWireIDLen)
+	r.Target = ids.AgentID(s)
+	return err
+}
+
+func (r WhoisResp) AppendWire(dst []byte) []byte {
+	dst = wire.AppendString(dst, string(r.IAgent))
+	dst = wire.AppendString(dst, string(r.Node))
+	return wire.AppendUvarint(dst, r.HashVersion)
+}
+
+func (r *WhoisResp) DecodeWire(d *wire.Dec) error {
+	ia, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	node, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	r.IAgent, r.Node = ids.AgentID(ia), platform.NodeID(node)
+	r.HashVersion, err = d.Uvarint()
+	return err
+}
+
+func (r RefreshReq) AppendWire(dst []byte) []byte {
+	return wire.AppendUvarint(dst, r.MinVersion)
+}
+
+func (r *RefreshReq) DecodeWire(d *wire.Dec) error {
+	var err error
+	r.MinVersion, err = d.Uvarint()
+	return err
+}
+
+func (r RefreshResp) AppendWire(dst []byte) []byte {
+	return wire.AppendUvarint(dst, r.HashVersion)
+}
+
+func (r *RefreshResp) DecodeWire(d *wire.Dec) error {
+	var err error
+	r.HashVersion, err = d.Uvarint()
+	return err
+}

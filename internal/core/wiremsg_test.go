@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+	"agentloc/internal/wire"
+)
+
+// hotDTOs enumerates every hot-path DTO with a representative non-zero
+// value. Each must round-trip bit-exactly through the binary codec AND
+// still round-trip through gob (the fallback for old peers), from the same
+// call sites.
+func hotDTOs() []any {
+	return []any{
+		LocateReq{Agent: "agent-7"},
+		LocateResp{Status: StatusOK, Node: "node-3", HashVersion: 42},
+		LocateBatchReq{Agents: []ids.AgentID{"a", "b", "c"}},
+		LocateBatchResp{Results: []LocateResp{
+			{Status: StatusOK, Node: "n1", HashVersion: 7},
+			{Status: StatusUnknownAgent, HashVersion: 7},
+		}},
+		RegisterReq{Agent: "fresh", Node: "node-0"},
+		UpdateReq{Agent: "roamer", Node: "node-9", Residence: "res-2"},
+		UpdateReq{Agent: "loner", Node: "node-9"}, // empty residence clears a binding
+		DeregisterReq{Agent: "done"},
+		Ack{Status: StatusNotResponsible, HashVersion: 99},
+		UpdateBatchReq{Updates: []UpdateReq{
+			{Agent: "x", Node: "n", Residence: "r"},
+			{Agent: "y", Node: "n"},
+		}},
+		UpdateBatchResp{Acks: []Ack{{Status: StatusOK, HashVersion: 1}, {Status: StatusUnknownAgent, HashVersion: 1}}},
+		ResidenceMoveReq{Residence: "res-5", Node: "node-2"},
+		ResidenceMoveResp{Status: StatusOK, HashVersion: 12, Bound: 37},
+		WhoisReq{Target: "whom"},
+		WhoisResp{IAgent: "ia-01", Node: "node-1", HashVersion: 5},
+		RefreshReq{MinVersion: 17},
+		RefreshResp{HashVersion: 18},
+	}
+}
+
+// newZero builds a pointer to a fresh zero value of v's type, for decoding
+// into.
+func newZero(v any) any {
+	return reflect.New(reflect.TypeOf(v)).Interface()
+}
+
+func TestHotDTOBinaryRoundTrip(t *testing.T) {
+	for _, v := range hotDTOs() {
+		t.Run(fmt.Sprintf("%T", v), func(t *testing.T) {
+			payload, err := transport.EncodeV(v, wire.MsgVersion)
+			if err != nil {
+				t.Fatalf("EncodeV: %v", err)
+			}
+			if _, _, ok := wire.MsgHeader(payload); !ok {
+				t.Fatalf("EncodeV(%T) did not produce a binary message — Marshaler not satisfied on the value", v)
+			}
+			got := newZero(v)
+			if err := transport.Decode(payload, got); err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(reflect.ValueOf(got).Elem().Interface(), v) {
+				t.Errorf("round trip: got %+v, want %+v", got, v)
+			}
+		})
+	}
+}
+
+func TestHotDTOGobFallbackRoundTrip(t *testing.T) {
+	for _, v := range hotDTOs() {
+		t.Run(fmt.Sprintf("%T", v), func(t *testing.T) {
+			payload, err := transport.EncodeV(v, 0) // old peer: gob
+			if err != nil {
+				t.Fatalf("EncodeV: %v", err)
+			}
+			if _, _, ok := wire.MsgHeader(payload); ok {
+				t.Fatal("version-0 encode produced a binary message")
+			}
+			got := newZero(v)
+			if err := transport.Decode(payload, got); err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(reflect.ValueOf(got).Elem().Interface(), v) {
+				t.Errorf("round trip: got %+v, want %+v", got, v)
+			}
+		})
+	}
+}
+
+// The registration path reuses the update wire shape (Residence empty), so
+// a binary UpdateReq must decode cleanly where KindRegister is handled.
+func TestRegisterCarriesUpdateShape(t *testing.T) {
+	payload, err := transport.EncodeV(UpdateReq{Agent: "newborn", Node: "node-4"}, wire.MsgVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req UpdateReq
+	if err := transport.Decode(payload, &req); err != nil {
+		t.Fatalf("decode register-as-update: %v", err)
+	}
+	if req.Agent != "newborn" || req.Node != "node-4" || req.Residence != "" {
+		t.Errorf("got %+v", req)
+	}
+}
+
+func TestBatchLenRejectsOversizedCount(t *testing.T) {
+	// A declared count far beyond the remaining bytes must fail before any
+	// allocation, for every batch-carrying DTO.
+	body := wire.AppendUvarint(nil, 1<<30)
+	for _, target := range []wire.Unmarshaler{
+		&LocateBatchReq{}, &LocateBatchResp{}, &UpdateBatchReq{}, &UpdateBatchResp{},
+	} {
+		d := wire.NewDec(body)
+		if err := target.DecodeWire(d); !errors.Is(err, wire.ErrCorrupt) {
+			t.Errorf("%T: err = %v, want ErrCorrupt", target, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	payload, err := transport.EncodeV(LocateReq{Agent: "x"}, wire.MsgVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = append(payload, 0xFF)
+	var req LocateReq
+	if err := transport.Decode(payload, &req); !errors.Is(err, wire.ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestInternReusesNodeIDStorage(t *testing.T) {
+	// Two decodes of the same node id must yield the same backing string —
+	// the interner's job on the million-agent path.
+	payload, err := transport.EncodeV(LocateResp{Status: StatusOK, Node: "node-intern", HashVersion: 1}, wire.MsgVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b LocateResp
+	if err := transport.Decode(payload, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.Decode(payload, &b); err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Node) != string(b.Node) {
+		t.Fatal("decoded different node ids")
+	}
+}
+
+// FuzzHotMsgDecode drives every hot DTO decoder over arbitrary bodies. A
+// successful decode must re-encode and re-decode to the same value
+// (canonical-form round trip); failures must be typed wire errors, never
+// panics.
+func FuzzHotMsgDecode(f *testing.F) {
+	for i, v := range hotDTOs() {
+		if m, ok := v.(wire.Marshaler); ok {
+			f.Add(uint8(i), m.AppendWire(nil))
+		}
+	}
+	factories := []func() wire.Unmarshaler{
+		func() wire.Unmarshaler { return &LocateReq{} },
+		func() wire.Unmarshaler { return &LocateResp{} },
+		func() wire.Unmarshaler { return &LocateBatchReq{} },
+		func() wire.Unmarshaler { return &LocateBatchResp{} },
+		func() wire.Unmarshaler { return &RegisterReq{} },
+		func() wire.Unmarshaler { return &UpdateReq{} },
+		func() wire.Unmarshaler { return &DeregisterReq{} },
+		func() wire.Unmarshaler { return &Ack{} },
+		func() wire.Unmarshaler { return &UpdateBatchReq{} },
+		func() wire.Unmarshaler { return &UpdateBatchResp{} },
+		func() wire.Unmarshaler { return &ResidenceMoveReq{} },
+		func() wire.Unmarshaler { return &ResidenceMoveResp{} },
+		func() wire.Unmarshaler { return &WhoisReq{} },
+		func() wire.Unmarshaler { return &WhoisResp{} },
+		func() wire.Unmarshaler { return &RefreshReq{} },
+		func() wire.Unmarshaler { return &RefreshResp{} },
+	}
+	f.Fuzz(func(t *testing.T, which uint8, body []byte) {
+		target := factories[int(which)%len(factories)]()
+		d := wire.NewDec(body)
+		if err := target.DecodeWire(d); err != nil {
+			return
+		}
+		m, ok := target.(wire.Marshaler)
+		if !ok {
+			// Pointer-receiver marshal via the value.
+			m, ok = reflect.ValueOf(target).Elem().Interface().(wire.Marshaler)
+		}
+		if !ok {
+			t.Fatalf("%T decoded but does not marshal", target)
+		}
+		// Note: DecodeWire may leave trailing bytes (transport.Decode adds
+		// the Done() check); re-encode only what was consumed.
+		enc := m.AppendWire(nil)
+		again := factories[int(which)%len(factories)]()
+		if err := again.DecodeWire(wire.NewDec(enc)); err != nil {
+			t.Fatalf("re-decode of re-encoded %T failed: %v\nbody: %x", target, err, enc)
+		}
+		if !reflect.DeepEqual(target, again) {
+			t.Fatalf("%T not canonical: %+v vs %+v", target, target, again)
+		}
+		if m2, ok := again.(wire.Marshaler); ok {
+			if !bytes.Equal(enc, m2.AppendWire(nil)) {
+				t.Fatalf("%T encoding unstable", target)
+			}
+		}
+	})
+}
+
+// TestLocateBatchEndToEnd exercises the batched locate client API over the
+// in-memory network: cache hits answered locally, misses shipped in grouped
+// frames, unknown agents absent from the result.
+func TestLocateBatchEndToEnd(t *testing.T) {
+	c := newTestCluster(t, quietConfig(), 3)
+	ctx := testCtx(t)
+
+	want := make(map[ids.AgentID]platform.NodeID)
+	var targets []ids.AgentID
+	for i := 0; i < 12; i++ {
+		agent := ids.AgentID(fmt.Sprintf("batch-agent-%02d", i))
+		n := c.nodes[i%len(c.nodes)]
+		if _, err := c.service.ClientFor(n).Register(ctx, agent); err != nil {
+			t.Fatalf("register %s: %v", agent, err)
+		}
+		want[agent] = n.ID()
+		targets = append(targets, agent)
+	}
+	targets = append(targets, "batch-ghost") // unregistered: absent from result
+
+	querier := c.service.ClientFor(c.nodes[0])
+	got, err := querier.LocateBatch(ctx, targets)
+	if err != nil {
+		t.Fatalf("LocateBatch: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LocateBatch = %v, want %v", got, want)
+	}
+
+	// Second round: everything should come from the cache, same answers.
+	got, err = querier.LocateBatch(ctx, targets)
+	if err != nil {
+		t.Fatalf("LocateBatch (cached): %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cached LocateBatch = %v, want %v", got, want)
+	}
+}

@@ -49,10 +49,10 @@ func FuzzDeserialize(f *testing.F) {
 	f.Add(seed)
 	solo, _ := New("A").Serialize()
 	f.Add(solo)
-	f.Add(seed[:len(seed)/2])                    // truncated
-	f.Add([]byte("AHTR garbage"))                // right magic, wrong body
-	f.Add([]byte{})                              // empty
-	f.Add(append([]byte(nil), seed[4:]...))      // missing magic
+	f.Add(seed[:len(seed)/2])               // truncated
+	f.Add([]byte("AHTR garbage"))           // right magic, wrong body
+	f.Add([]byte{})                         // empty
+	f.Add(append([]byte(nil), seed[4:]...)) // missing magic
 	skew := append([]byte(nil), seed...)
 	skew[5] = 0xFF // version bytes live after the magic
 	f.Add(skew)

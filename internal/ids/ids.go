@@ -9,7 +9,6 @@ package ids
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"sync/atomic"
 
@@ -38,13 +37,35 @@ func (id AgentID) Binary() bitstr.Bits {
 	return bitstr.FromUint64(id.Hash64(), BinaryWidth)
 }
 
+// FNV-1a parameters, inlined so the hot hashing paths never allocate a
+// hash.Hash (fnv.New64a escapes to the heap on every call).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Hash64 returns the 64-bit mixed hash behind Binary without materializing
 // the bit string. Hot paths that only need well-distributed id bits (stripe
-// selection, cache keys) use it to avoid the bitstr allocation.
+// selection, table slots, cache keys) use it to avoid any allocation.
 func (id AgentID) Hash64() uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(id)) // hash.Hash.Write never returns an error
-	return fmix64(h.Sum64())
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= fnvPrime64
+	}
+	return fmix64(h)
+}
+
+// HashBytes is Hash64 over a raw byte key, so decode paths holding an id as
+// bytes can hash it without converting to a string first. For any key,
+// HashBytes(b) == AgentID(b).Hash64().
+func HashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return fmix64(h)
 }
 
 // fmix64 is the murmur3 64-bit finalizer: a bijective mixer with full

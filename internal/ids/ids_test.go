@@ -1,6 +1,7 @@
 package ids
 
 import (
+	"hash/fnv"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -105,5 +106,40 @@ func TestQuickBinaryTotal(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHash64MatchesFNV pins the inlined FNV-1a loop to the standard
+// library's implementation: the hash is a persisted-format contract (hash
+// tree prefixes, stripe layouts), so it must never drift.
+func TestHash64MatchesFNV(t *testing.T) {
+	for _, id := range []AgentID{"", "a", "tagent-1", "some/long/agent/name", "\x00\xff"} {
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		want := fmix64(h.Sum64())
+		if got := id.Hash64(); got != want {
+			t.Errorf("Hash64(%q) = %#x, want %#x", id, got, want)
+		}
+	}
+}
+
+// TestHashBytesMatchesHash64 pins the byte-key variant to the string one.
+func TestHashBytesMatchesHash64(t *testing.T) {
+	if err := quick.Check(func(b []byte) bool {
+		return HashBytes(b) == AgentID(b).Hash64()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHash64NoAllocs pins the reason the loop is hand-rolled.
+func TestHash64NoAllocs(t *testing.T) {
+	id := AgentID("alloc-probe-agent")
+	key := []byte(id)
+	if n := testing.AllocsPerRun(100, func() { _ = id.Hash64() }); n != 0 {
+		t.Errorf("Hash64 allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = HashBytes(key) }); n != 0 {
+		t.Errorf("HashBytes allocates %v per call, want 0", n)
 	}
 }

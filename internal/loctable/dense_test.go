@@ -1,0 +1,170 @@
+package loctable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+)
+
+// TestDenseModelEquivalence drives the open-addressed stripes through a
+// long randomized put/replace/delete schedule against a plain map model;
+// any probe-chain or backward-shift bug surfaces as a divergence.
+func TestDenseModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := NewWithStripes(4) // few stripes → long probe chains sooner
+	model := make(map[ids.AgentID]platform.NodeID)
+	idFor := func(i int) ids.AgentID { return ids.AgentID(fmt.Sprintf("m-%d", i)) }
+	nodes := []platform.NodeID{"n0", "n1", "n2"}
+
+	for step := 0; step < 50000; step++ {
+		id := idFor(rng.Intn(2000))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // put / replace
+			node := nodes[rng.Intn(len(nodes))]
+			tbl.Put(id, node)
+			model[id] = node
+		case 5, 6, 7: // delete
+			_, want := model[id]
+			if got := tbl.Delete(id); got != want {
+				t.Fatalf("step %d: Delete(%s) = %v, want %v", step, id, got, want)
+			}
+			delete(model, id)
+		default: // get
+			wantNode, want := model[id]
+			gotNode, got := tbl.Get(id)
+			if got != want || gotNode != wantNode {
+				t.Fatalf("step %d: Get(%s) = %q,%v; want %q,%v", step, id, gotNode, got, wantNode, want)
+			}
+		}
+		if tbl.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", step, tbl.Len(), len(model))
+		}
+	}
+	// Final full sweep both directions.
+	for id, node := range model {
+		if got, ok := tbl.Get(id); !ok || got != node {
+			t.Fatalf("final Get(%s) = %q,%v; want %q", id, got, ok, node)
+		}
+	}
+	snap := tbl.Snapshot()
+	if len(snap) != len(model) {
+		t.Fatalf("snapshot %d entries, model %d", len(snap), len(model))
+	}
+}
+
+// TestDenseShrinkReleasesCapacity pins the shrink path: filling a stripe
+// and deleting nearly everything must hand capacity back.
+func TestDenseShrinkReleasesCapacity(t *testing.T) {
+	tbl := NewWithStripes(1)
+	for i := 0; i < 4096; i++ {
+		tbl.Put(ids.AgentID(fmt.Sprintf("s-%d", i)), "n")
+	}
+	grown := len(tbl.stripes[0].entries)
+	if grown < 4096*loadDen/loadNum/2 {
+		t.Fatalf("stripe capacity %d suspiciously small for 4096 entries", grown)
+	}
+	for i := 0; i < 4090; i++ {
+		if !tbl.Delete(ids.AgentID(fmt.Sprintf("s-%d", i))) {
+			t.Fatalf("Delete(s-%d) missed", i)
+		}
+	}
+	if shrunk := len(tbl.stripes[0].entries); shrunk >= grown {
+		t.Errorf("capacity %d did not shrink from %d after mass delete", shrunk, grown)
+	}
+	for i := 4090; i < 4096; i++ {
+		if node, ok := tbl.Get(ids.AgentID(fmt.Sprintf("s-%d", i))); !ok || node != "n" {
+			t.Fatalf("survivor s-%d lost after shrink: %q, %v", i, node, ok)
+		}
+	}
+}
+
+// TestGetBytesMatchesGet pins the byte-key fast path against the string
+// path, including its zero-allocation contract on hits.
+func TestGetBytesMatchesGet(t *testing.T) {
+	tbl := New()
+	for i := 0; i < 300; i++ {
+		tbl.Put(ids.AgentID(fmt.Sprintf("b-%d", i)), platform.NodeID(fmt.Sprintf("n-%d", i%5)))
+	}
+	for i := 0; i < 300; i++ {
+		key := []byte(fmt.Sprintf("b-%d", i))
+		wantNode, want := tbl.Get(ids.AgentID(key))
+		gotNode, got := tbl.GetBytes(key)
+		if got != want || gotNode != wantNode {
+			t.Fatalf("GetBytes(%s) = %q,%v; Get = %q,%v", key, gotNode, got, wantNode, want)
+		}
+	}
+	if _, ok := tbl.GetBytes([]byte("b-absent")); ok {
+		t.Fatal("GetBytes found an absent key")
+	}
+	key := []byte("b-17")
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := tbl.GetBytes(key); !ok {
+			t.Fatal("lost b-17")
+		}
+	}); allocs != 0 {
+		t.Errorf("GetBytes allocates %v per hit, want 0", allocs)
+	}
+}
+
+// TestNodeInterning pins that entries for the same node share one backing
+// string: the million-agent memory contract.
+func TestNodeInterning(t *testing.T) {
+	tbl := New()
+	for i := 0; i < 100; i++ {
+		// Distinct string allocations with equal content.
+		tbl.Put(ids.AgentID(fmt.Sprintf("i-%d", i)), platform.NodeID("node-"+fmt.Sprint(7)))
+	}
+	if len(tbl.nodes) != 1 {
+		t.Fatalf("intern map has %d node ids, want 1", len(tbl.nodes))
+	}
+	// Replacing an entry with an equal-content node must not grow the map.
+	tbl.Put("i-0", platform.NodeID("node-"+fmt.Sprint(7)))
+	if len(tbl.nodes) != 1 {
+		t.Fatalf("replace grew intern map to %d", len(tbl.nodes))
+	}
+}
+
+// FuzzDenseOps feeds an arbitrary op tape into the table and the model
+// map; every byte pair is one operation on a small key space, so the fuzzer
+// explores dense collision/shift schedules quickly.
+func FuzzDenseOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x22, 0x81, 0x12, 0x83})
+	f.Add([]byte{0xFF, 0x00, 0x42, 0x42, 0x42, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tbl := NewWithStripes(2)
+		model := make(map[ids.AgentID]platform.NodeID)
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, k := tape[i], tape[i+1]
+			id := ids.AgentID(fmt.Sprintf("f-%d", k%64))
+			switch op % 3 {
+			case 0:
+				node := platform.NodeID(fmt.Sprintf("n-%d", op%4))
+				tbl.Put(id, node)
+				model[id] = node
+			case 1:
+				_, want := model[id]
+				if got := tbl.Delete(id); got != want {
+					t.Fatalf("Delete(%s) = %v, want %v", id, got, want)
+				}
+				delete(model, id)
+			case 2:
+				wantNode, want := model[id]
+				gotNode, got := tbl.Get(id)
+				if got != want || gotNode != wantNode {
+					t.Fatalf("Get(%s) = %q,%v; want %q,%v", id, gotNode, got, wantNode, want)
+				}
+			}
+		}
+		if tbl.Len() != len(model) {
+			t.Fatalf("Len = %d, model %d", tbl.Len(), len(model))
+		}
+		for id, node := range model {
+			if got, ok := tbl.Get(id); !ok || got != node {
+				t.Fatalf("final Get(%s) = %q,%v; want %q", id, got, ok, node)
+			}
+		}
+	})
+}

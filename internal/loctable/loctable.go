@@ -7,16 +7,28 @@
 // time — readers and writers on other stripes proceed while a snapshot or a
 // checkpoint iteration is in flight; there is no global pause.
 //
+// Each stripe stores its entries in a dense open-addressed array — flat
+// {hash, agent, node} slots with linear probing and backward-shift deletion
+// — instead of a Go map. At the million-agent scale an IAgent is sized for,
+// the flat layout halves the per-entry overhead (no bucket headers, no
+// tombstones, one pointer-free probe sequence per lookup) and keeps probes
+// on one cache line most of the time. Node ids are interned per table, so a
+// million entries pointing at a handful of nodes share a handful of string
+// allocations.
+//
 // A Table gob-encodes stripe-by-stripe (one lock at a time, parallel
 // key/value slices per stripe) so migrating a behaviour never materializes
 // the whole table as a single map, and binary Serialize/Deserialize (see
-// serialize.go) give it a durable framed form for snapshot files.
+// serialize.go) give it a durable framed form for snapshot files. Both
+// formats are unchanged from the map-backed implementation: dumps and gob
+// streams interoperate across versions in either direction.
 package loctable
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -29,17 +41,47 @@ import (
 // footprint stays negligible.
 const DefaultStripes = 16
 
-// stripe is one lock-plus-map shard of the table.
+// Open-addressing parameters. Stripes grow at 3/4 load — linear probing
+// degrades sharply beyond that — and shrink when they fall below 1/8, so a
+// table that handed off most of its id space after a rehash returns the
+// memory. minStripeCap keeps tiny tables from resizing constantly.
+const (
+	minStripeCap  = 8
+	loadNum       = 3
+	loadDen       = 4
+	shrinkDivisor = 8
+)
+
+// entry is one dense slot: the agent's mixed hash (0 marks a free slot; the
+// hash value 0 itself is remapped to 1, costing one indistinguishable
+// collision per 2^64 ids), the agent id, and its interned node ref.
+type entry struct {
+	hash  uint64
+	agent ids.AgentID
+	node  platform.NodeID
+}
+
+// stripe is one lock-plus-dense-array shard of the table.
 type stripe struct {
-	mu sync.RWMutex
-	m  map[ids.AgentID]platform.NodeID
+	mu      sync.RWMutex
+	entries []entry // power-of-two length, nil until first Put
+	used    int
 }
 
 // Table is a sharded agent-location map, safe for concurrent use.
 type Table struct {
 	stripes []stripe
 	mask    uint64
-	count   atomic.Int64
+	// shift discards the hash bits already consumed by stripe selection, so
+	// slot probing inside a stripe starts from bits that still vary.
+	shift uint
+	count atomic.Int64
+
+	// nodeMu guards nodes, the per-table node-id intern map. A cluster has
+	// few nodes and a table has up to millions of entries; interning makes
+	// every entry's node field share one backing string.
+	nodeMu sync.RWMutex
+	nodes  map[platform.NodeID]platform.NodeID
 }
 
 // New returns an empty table with DefaultStripes stripes.
@@ -52,36 +94,179 @@ func NewWithStripes(n int) *Table {
 	for size < n {
 		size <<= 1
 	}
-	t := &Table{stripes: make([]stripe, size), mask: uint64(size - 1)}
-	for i := range t.stripes {
-		t.stripes[i].m = make(map[ids.AgentID]platform.NodeID)
+	return &Table{
+		stripes: make([]stripe, size),
+		mask:    uint64(size - 1),
+		shift:   uint(bits.TrailingZeros(uint(size))),
+		nodes:   make(map[platform.NodeID]platform.NodeID),
 	}
-	return t
 }
 
-// stripeFor selects the stripe serving the agent. The hash tree consumes
-// the id's leading bits, so a leaf deep in the tree serves ids that share a
-// long prefix; striping by the hash's LOW bits keeps the stripes of a hot
-// leaf uniformly loaded regardless of the leaf's depth.
-func (t *Table) stripeFor(agent ids.AgentID) *stripe {
-	return &t.stripes[agent.Hash64()&t.mask]
+// stripeFor selects the stripe serving the agent and returns the hash bits
+// left for slot probing. The hash tree consumes the id's leading bits, so a
+// leaf deep in the tree serves ids that share a long prefix; striping by
+// the hash's LOW bits keeps the stripes of a hot leaf uniformly loaded
+// regardless of the leaf's depth, and probing starts above them.
+func (t *Table) stripeFor(h uint64) (*stripe, uint64) {
+	sh := h >> t.shift
+	if sh == 0 {
+		sh = 1
+	}
+	return &t.stripes[h&t.mask], sh
+}
+
+// internNode canonicalises a node id, zero-alloc once seen.
+func (t *Table) internNode(node platform.NodeID) platform.NodeID {
+	t.nodeMu.RLock()
+	n, ok := t.nodes[node]
+	t.nodeMu.RUnlock()
+	if ok {
+		return n
+	}
+	t.nodeMu.Lock()
+	if prev, ok := t.nodes[node]; ok {
+		node = prev
+	} else {
+		t.nodes[node] = node
+	}
+	t.nodeMu.Unlock()
+	return node
+}
+
+// find locates the slot for (h, agent): the entry's index if present, else
+// the free slot where it would be inserted. Caller holds the stripe lock.
+// Load is kept strictly below 1, so the probe always terminates.
+func (s *stripe) find(h uint64, agent ids.AgentID) (int, bool) {
+	mask := len(s.entries) - 1
+	i := int(h) & mask
+	for {
+		e := &s.entries[i]
+		if e.hash == 0 {
+			return i, false
+		}
+		if e.hash == h && e.agent == agent {
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// findBytes is find with a raw byte key, comparing id bytes without a
+// string conversion.
+func (s *stripe) findBytes(h uint64, agent []byte) (int, bool) {
+	mask := len(s.entries) - 1
+	i := int(h) & mask
+	for {
+		e := &s.entries[i]
+		if e.hash == 0 {
+			return i, false
+		}
+		if e.hash == h && string(e.agent) == string(agent) { // no alloc: comparison only
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// resize rehashes the stripe into a table of the given power-of-two
+// capacity. Entries are unique, so insertion probes to the first free slot
+// without equality checks.
+func (s *stripe) resize(capacity int) {
+	old := s.entries
+	s.entries = make([]entry, capacity)
+	mask := capacity - 1
+	for i := range old {
+		e := &old[i]
+		if e.hash == 0 {
+			continue
+		}
+		j := int(e.hash) & mask
+		for s.entries[j].hash != 0 {
+			j = (j + 1) & mask
+		}
+		s.entries[j] = *e
+	}
+}
+
+// removeAt deletes the entry at slot i by backward shifting: every
+// displaced successor in the probe chain moves one step closer to its home
+// slot, so the table never needs tombstones and lookups stay O(probe).
+func (s *stripe) removeAt(i int) {
+	mask := len(s.entries) - 1
+	j := i
+	for {
+		j = (j + 1) & mask
+		e := &s.entries[j]
+		if e.hash == 0 {
+			break
+		}
+		home := int(e.hash) & mask
+		// e may fill the hole only if its home slot does not lie strictly
+		// between the hole and its current slot (cyclically): moving it to i
+		// must not place it before its home.
+		if (j-home)&mask >= (j-i)&mask {
+			s.entries[i] = *e
+			i = j
+		}
+	}
+	s.entries[i] = entry{}
+	s.used--
 }
 
 // Get returns the recorded node of an agent.
 func (t *Table) Get(agent ids.AgentID) (platform.NodeID, bool) {
-	s := t.stripeFor(agent)
+	s, h := t.stripeFor(agent.Hash64())
 	s.mu.RLock()
-	node, ok := s.m[agent]
+	if s.entries == nil {
+		s.mu.RUnlock()
+		return "", false
+	}
+	i, ok := s.find(h, agent)
+	var node platform.NodeID
+	if ok {
+		node = s.entries[i].node
+	}
+	s.mu.RUnlock()
+	return node, ok
+}
+
+// GetBytes is Get with a raw byte key: decode paths that hold the agent id
+// as bytes can probe the table without allocating a string.
+func (t *Table) GetBytes(agent []byte) (platform.NodeID, bool) {
+	s, h := t.stripeFor(ids.HashBytes(agent))
+	s.mu.RLock()
+	if s.entries == nil {
+		s.mu.RUnlock()
+		return "", false
+	}
+	i, ok := s.findBytes(h, agent)
+	var node platform.NodeID
+	if ok {
+		node = s.entries[i].node
+	}
 	s.mu.RUnlock()
 	return node, ok
 }
 
 // Put records (or replaces) the agent's node.
 func (t *Table) Put(agent ids.AgentID, node platform.NodeID) {
-	s := t.stripeFor(agent)
+	node = t.internNode(node)
+	s, h := t.stripeFor(agent.Hash64())
 	s.mu.Lock()
-	_, existed := s.m[agent]
-	s.m[agent] = node
+	if loadDen*(s.used+1) > loadNum*len(s.entries) {
+		capacity := len(s.entries) * 2
+		if capacity < minStripeCap {
+			capacity = minStripeCap
+		}
+		s.resize(capacity)
+	}
+	i, existed := s.find(h, agent)
+	if existed {
+		s.entries[i].node = node
+	} else {
+		s.entries[i] = entry{hash: h, agent: agent, node: node}
+		s.used++
+	}
 	s.mu.Unlock()
 	if !existed {
 		t.count.Add(1)
@@ -90,10 +275,18 @@ func (t *Table) Put(agent ids.AgentID, node platform.NodeID) {
 
 // Delete forgets an agent, reporting whether an entry existed.
 func (t *Table) Delete(agent ids.AgentID) bool {
-	s := t.stripeFor(agent)
+	s, h := t.stripeFor(agent.Hash64())
 	s.mu.Lock()
-	_, existed := s.m[agent]
-	delete(s.m, agent)
+	existed := false
+	if s.entries != nil {
+		var i int
+		if i, existed = s.find(h, agent); existed {
+			s.removeAt(i)
+			if len(s.entries) > minStripeCap && s.used < len(s.entries)/shrinkDivisor {
+				s.resize(len(s.entries) / 2)
+			}
+		}
+	}
 	s.mu.Unlock()
 	if existed {
 		t.count.Add(-1)
@@ -105,6 +298,21 @@ func (t *Table) Delete(agent ids.AgentID) bool {
 // stripes, so it never takes a lock.
 func (t *Table) Len() int { return int(t.count.Load()) }
 
+// forEachLocked calls f for every occupied slot of the stripe. Caller holds
+// the stripe lock.
+func (s *stripe) forEachLocked(f func(agent ids.AgentID, node platform.NodeID) bool) bool {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.hash == 0 {
+			continue
+		}
+		if !f(e.agent, e.node) {
+			return false
+		}
+	}
+	return true
+}
+
 // Snapshot copies the table into a plain map, locking one stripe at a time.
 // Entries mutated on already-visited stripes during the copy may be missed —
 // the same weak consistency a concurrent map range would give, and exactly
@@ -114,9 +322,10 @@ func (t *Table) Snapshot() map[ids.AgentID]platform.NodeID {
 	for i := range t.stripes {
 		s := &t.stripes[i]
 		s.mu.RLock()
-		for a, n := range s.m {
+		s.forEachLocked(func(a ids.AgentID, n platform.NodeID) bool {
 			out[a] = n
-		}
+			return true
+		})
 		s.mu.RUnlock()
 	}
 	return out
@@ -129,13 +338,11 @@ func (t *Table) Range(f func(agent ids.AgentID, node platform.NodeID) bool) {
 	for i := range t.stripes {
 		s := &t.stripes[i]
 		s.mu.RLock()
-		for a, n := range s.m {
-			if !f(a, n) {
-				s.mu.RUnlock()
-				return
-			}
-		}
+		more := s.forEachLocked(f)
 		s.mu.RUnlock()
+		if !more {
+			return
+		}
 	}
 }
 
@@ -167,10 +374,11 @@ func (t *Table) GobEncode() ([]byte, error) {
 		s.mu.RLock()
 		chunk.Agents = chunk.Agents[:0]
 		chunk.Nodes = chunk.Nodes[:0]
-		for a, n := range s.m {
+		s.forEachLocked(func(a ids.AgentID, n platform.NodeID) bool {
 			chunk.Agents = append(chunk.Agents, a)
 			chunk.Nodes = append(chunk.Nodes, n)
-		}
+			return true
+		})
 		s.mu.RUnlock()
 		if err := enc.Encode(chunk); err != nil {
 			return nil, err
@@ -196,6 +404,8 @@ func (t *Table) GobDecode(data []byte) error {
 		fresh := New()
 		t.stripes = fresh.stripes
 		t.mask = fresh.mask
+		t.shift = fresh.shift
+		t.nodes = fresh.nodes
 	}
 	for i := 0; i < stripes; i++ {
 		var chunk stripeChunk

@@ -37,11 +37,12 @@ func (t *Table) Serialize() ([]byte, error) {
 	for i := range t.stripes {
 		s := &t.stripes[i]
 		s.mu.RLock()
-		payload = wire.AppendUvarint(payload, uint64(len(s.m)))
-		for a, n := range s.m {
+		payload = wire.AppendUvarint(payload, uint64(s.used))
+		s.forEachLocked(func(a ids.AgentID, n platform.NodeID) bool {
 			payload = wire.AppendString(payload, string(a))
 			payload = wire.AppendString(payload, string(n))
-		}
+			return true
+		})
 		s.mu.RUnlock()
 	}
 	return wire.AppendFrame(nil, SerializeMagic, SerializeVersion, 0, payload), nil

@@ -176,6 +176,7 @@ type Config struct {
 type Node struct {
 	id        NodeID
 	clk       clock.Clock
+	link      transport.Link
 	peer      *transport.Peer
 	trace     *trace.Log
 	tracer    *trace.Recorder
@@ -214,6 +215,7 @@ func NewNode(cfg Config) (*Node, error) {
 	n := &Node{
 		id:        cfg.ID,
 		clk:       cfg.Clock,
+		link:      cfg.Link,
 		trace:     cfg.Trace,
 		tracer:    cfg.Tracer,
 		reg:       cfg.Metrics,
@@ -352,14 +354,16 @@ func (n *Node) CallAgent(ctx context.Context, at NodeID, agent ids.AgentID, kind
 }
 
 // callAgent implements agent-addressed calls with an optional sender id.
+// The inner request body is encoded at the wire version negotiated with the
+// destination, matching the codec the peer layer picks for the wrapper.
 func (n *Node) callAgent(ctx context.Context, from ids.AgentID, at NodeID, agent ids.AgentID, kind string, req, resp any) error {
-	payload, err := transport.Encode(req)
+	payload, err := transport.EncodeV(req, transport.NegotiatedWireVersion(ctx, n.link, at.Addr()))
 	if err != nil {
 		return fmt.Errorf("call %s@%s %s: encode: %w", agent, at, kind, err)
 	}
 	wrapped := agentRequest{Agent: agent, From: from, Kind: kind, Payload: payload}
 	var raw rawResponse
-	if err := n.peer.Call(ctx, at.Addr(), kindAgentRequest, wrapped, &raw); err != nil {
+	if err := n.peer.Call(ctx, at.Addr(), kindAgentRequest, &wrapped, &raw); err != nil {
 		return err
 	}
 	if resp != nil {
@@ -456,7 +460,9 @@ func (n *Node) handle(ctx context.Context, from transport.Addr, kind string, pay
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, fmt.Errorf("node %s: bad agent request: %w", n.id, err)
 		}
-		return n.deliver(trace.FromContext(ctx), req)
+		// The response body must be readable by the requester: encode it at
+		// the version negotiated with that peer (0 — gob — for old builds).
+		return n.deliver(trace.FromContext(ctx), req, transport.NegotiatedWireVersion(ctx, n.link, from))
 	case kindAgentTransfer:
 		var xfer agentTransfer
 		if err := transport.Decode(payload, &xfer); err != nil {
@@ -480,7 +486,7 @@ func (n *Node) handle(ctx context.Context, from transport.Addr, kind string, pay
 // serial mailbox — and waits for the result. For sampled requests a server
 // span wraps the whole delivery (mailbox queueing included), and its context
 // becomes the parent of whatever calls the behaviour makes.
-func (n *Node) deliver(sc trace.SpanContext, req agentRequest) (any, error) {
+func (n *Node) deliver(sc trace.SpanContext, req agentRequest, ver uint16) (any, error) {
 	n.mu.Lock()
 	h, ok := n.agents[req.Agent]
 	n.mu.Unlock()
@@ -497,9 +503,9 @@ func (n *Node) deliver(sc trace.SpanContext, req agentRequest) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := transport.Encode(result)
+	payload, err := transport.EncodeV(result, ver)
 	if err != nil {
 		return nil, fmt.Errorf("agent %s: encode response: %w", req.Agent, err)
 	}
-	return rawResponse{Payload: payload}, nil
+	return &rawResponse{Payload: payload}, nil
 }

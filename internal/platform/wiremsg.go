@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"agentloc/internal/ids"
+	"agentloc/internal/wire"
+)
+
+// Binary codecs for the platform's request wrapper and response carrier,
+// the envelope-adjacent layer every hot RPC rides through. The inner
+// Payload is already encoded by the caller, so both directions pass it as
+// raw bytes — on decode it aliases the received buffer rather than copying.
+
+// maxPlatIDLen bounds agent-id and kind lengths on the wire.
+const maxPlatIDLen = 1 << 16
+
+// kindIntern canonicalises the message-kind strings, a small fixed
+// vocabulary repeated on every request.
+var kindIntern = wire.NewInterner()
+
+func (r *agentRequest) AppendWire(dst []byte) []byte {
+	dst = wire.AppendString(dst, string(r.Agent))
+	dst = wire.AppendString(dst, string(r.From))
+	dst = wire.AppendString(dst, r.Kind)
+	return wire.AppendBytes(dst, r.Payload)
+}
+
+func (r *agentRequest) DecodeWire(d *wire.Dec) error {
+	agent, err := d.String(maxPlatIDLen)
+	if err != nil {
+		return err
+	}
+	from, err := d.String(maxPlatIDLen)
+	if err != nil {
+		return err
+	}
+	kind, err := d.StringIn(maxPlatIDLen, kindIntern)
+	if err != nil {
+		return err
+	}
+	payload, err := d.Bytes(wire.MaxFrameLen)
+	if err != nil {
+		return err
+	}
+	r.Agent, r.From, r.Kind = ids.AgentID(agent), ids.AgentID(from), kind
+	if len(payload) == 0 {
+		payload = nil
+	}
+	r.Payload = payload
+	return nil
+}
+
+func (r *rawResponse) AppendWire(dst []byte) []byte {
+	return wire.AppendBytes(dst, r.Payload)
+}
+
+func (r *rawResponse) DecodeWire(d *wire.Dec) error {
+	payload, err := d.Bytes(wire.MaxFrameLen)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		payload = nil
+	}
+	r.Payload = payload
+	return nil
+}

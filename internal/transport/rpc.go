@@ -10,6 +10,7 @@ import (
 
 	"agentloc/internal/metrics"
 	"agentloc/internal/trace"
+	"agentloc/internal/wire"
 )
 
 // RequestHandler processes one inbound request and returns the response
@@ -67,7 +68,7 @@ func (p *Peer) Addr() Addr { return p.addr }
 // resp are gob-encoded/decoded; either may be nil. A remote handler error
 // is returned as *RemoteError.
 func (p *Peer) Call(ctx context.Context, to Addr, kind string, req, resp any) error {
-	payload, err := Encode(req)
+	payload, err := EncodeV(req, NegotiatedWireVersion(ctx, p.link, to))
 	if err != nil {
 		return fmt.Errorf("call %s %s: encode: %w", to, kind, err)
 	}
@@ -213,7 +214,7 @@ func (p *Peer) serve(env Envelope) {
 	if err != nil {
 		reply.ErrMsg = err.Error()
 	} else {
-		payload, encErr := Encode(body)
+		payload, encErr := EncodeV(body, NegotiatedWireVersion(context.Background(), p.link, env.From))
 		if encErr != nil {
 			reply.ErrMsg = fmt.Sprintf("encode response: %v", encErr)
 		} else {
@@ -225,10 +226,26 @@ func (p *Peer) serve(env Envelope) {
 	_ = p.link.Send(reply)
 }
 
-// Encode gob-encodes a value; nil encodes to an empty payload.
+// Encode gob-encodes a value; nil encodes to an empty payload. Gob is the
+// lowest common denominator every peer understands, so plain Encode is
+// always safe to send; hot paths that have negotiated a version use EncodeV
+// for the binary codec instead.
 func Encode(v any) ([]byte, error) {
+	return EncodeV(v, 0)
+}
+
+// EncodeV encodes a value for a peer that negotiated hot-path message
+// version ver. Values implementing wire.Marshaler get the hand-rolled
+// binary form when ver admits it; everything else — and every payload bound
+// for a gob-only peer — falls back to gob. Nil encodes to an empty payload
+// under either codec.
+func EncodeV(v any, ver uint16) ([]byte, error) {
 	if v == nil {
 		return nil, nil
+	}
+	if m, ok := v.(wire.Marshaler); ok && ver >= wire.MsgVersion {
+		buf := wire.AppendMsgHeader(make([]byte, 0, 64), wire.MsgVersion)
+		return m.AppendWire(buf), nil
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -237,10 +254,28 @@ func Encode(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode gob-decodes a payload into v; an empty payload leaves v untouched.
+// Decode decodes a payload into v, dispatching on the payload itself: the
+// binary-message header (unreachable as a gob prefix) selects the
+// hand-rolled codec, anything else is gob. An empty payload leaves v
+// untouched. Decoders therefore accept both formats at all times, which is
+// what lets version negotiation be per-peer and asymmetric.
 func Decode(data []byte, v any) error {
 	if len(data) == 0 {
 		return nil
+	}
+	if ver, body, ok := wire.MsgHeader(data); ok {
+		u, uok := v.(wire.Unmarshaler)
+		if !uok {
+			return fmt.Errorf("%w: binary payload for %T, which has no wire decoder", wire.ErrCorrupt, v)
+		}
+		if ver > wire.MsgVersion {
+			return fmt.Errorf("%w: message version %d, this build reads ≤ %d", wire.ErrUnsupportedVersion, ver, wire.MsgVersion)
+		}
+		d := wire.NewDec(body)
+		if err := u.DecodeWire(d); err != nil {
+			return err
+		}
+		return d.Done()
 	}
 	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
 }

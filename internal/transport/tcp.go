@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -13,6 +14,7 @@ import (
 
 	"agentloc/internal/metrics"
 	"agentloc/internal/trace"
+	"agentloc/internal/wire"
 )
 
 // Default deadline knobs for TCPConfig. Zero values in the config select
@@ -52,6 +54,15 @@ type TCPConfig struct {
 	// cached connection broken. Zero selects DefaultRedialBackoff;
 	// negative disables the pause.
 	RedialBackoff time.Duration
+	// HandshakeTimeout bounds the wait for the wire-codec hello ack on a
+	// fresh dial; expiry means the peer is an old gob-only build and the
+	// dialer falls back. Zero selects DefaultHandshakeTimeout; negative
+	// disables the bound (then only ctx limits the wait).
+	HandshakeTimeout time.Duration
+	// Wire selects the envelope codec policy: WireAuto (default)
+	// handshakes the binary codec per peer, WireGob pins the link to the
+	// pre-codec gob behaviour.
+	Wire WireMode
 
 	// Metrics, when set, counts connection-level failures into
 	// agentloc_transport_conn_errors_total{reason} (reason is "dial",
@@ -70,12 +81,14 @@ type TCPConfig struct {
 // Link. One TCP instance serves all local endpoints of a process;
 // connections to remote processes are dialed on demand and cached.
 type TCP struct {
-	dialTimeout   time.Duration
-	writeTimeout  time.Duration
-	redialBackoff time.Duration
-	reg           *metrics.Registry
-	trc           *trace.Log
-	faults        *Faults
+	dialTimeout      time.Duration
+	writeTimeout     time.Duration
+	redialBackoff    time.Duration
+	handshakeTimeout time.Duration
+	wireMode         WireMode
+	reg              *metrics.Registry
+	trc              *trace.Log
+	faults           *Faults
 
 	mu        sync.Mutex
 	listener  net.Listener
@@ -87,6 +100,11 @@ type TCP struct {
 	// spoke on, so replies reach peers that have no directory entry
 	// (ephemeral clients).
 	learned map[Addr]*tcpConn
+	// peerVer caches the handshake outcome per dial target (0 = gob-only
+	// peer) so WireVersion can answer without a live connection. Entries
+	// die with their connection: a peer that restarts — possibly upgraded —
+	// gets a fresh handshake on the next dial.
+	peerVer map[string]uint16
 	closed  bool
 	wg      sync.WaitGroup
 }
@@ -94,12 +112,17 @@ type TCP struct {
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	// ver is the negotiated hot-path message version, fixed before the
+	// conn is shared: 0 writes gob envelopes through enc, ≥1 writes binary
+	// frames.
+	ver uint16
+	enc *gob.Encoder
 }
 
 var (
-	_ Link          = (*TCP)(nil)
-	_ ContextSender = (*TCP)(nil)
+	_ Link           = (*TCP)(nil)
+	_ ContextSender  = (*TCP)(nil)
+	_ WireNegotiator = (*TCP)(nil)
 )
 
 // pickTimeout resolves a config knob against its default: zero selects the
@@ -128,22 +151,25 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	// Pre-create the failure series so the family shows up (at zero) in
 	// scrapes of a healthy node — absence means "not instrumented", not
 	// "no errors".
-	for _, reason := range []string{"dial", "write", "decode", "torn", "reset"} {
+	for _, reason := range []string{"dial", "write", "decode", "torn", "reset", "handshake"} {
 		cfg.Metrics.Counter(metricConnErrs, "reason", reason)
 	}
 	t := &TCP{
-		dialTimeout:   pickTimeout(cfg.DialTimeout, DefaultDialTimeout),
-		writeTimeout:  pickTimeout(cfg.WriteTimeout, DefaultWriteTimeout),
-		redialBackoff: pickTimeout(cfg.RedialBackoff, DefaultRedialBackoff),
-		reg:           cfg.Metrics,
-		trc:           cfg.Trace,
-		faults:        cfg.Faults,
-		listener:      ln,
-		directory:     dir,
-		handlers:      make(map[Addr]Handler),
-		conns:         make(map[string]*tcpConn),
-		inbound:       make(map[net.Conn]struct{}),
-		learned:       make(map[Addr]*tcpConn),
+		dialTimeout:      pickTimeout(cfg.DialTimeout, DefaultDialTimeout),
+		writeTimeout:     pickTimeout(cfg.WriteTimeout, DefaultWriteTimeout),
+		redialBackoff:    pickTimeout(cfg.RedialBackoff, DefaultRedialBackoff),
+		handshakeTimeout: pickTimeout(cfg.HandshakeTimeout, DefaultHandshakeTimeout),
+		wireMode:         cfg.Wire,
+		reg:              cfg.Metrics,
+		trc:              cfg.Trace,
+		faults:           cfg.Faults,
+		listener:         ln,
+		directory:        dir,
+		handlers:         make(map[Addr]Handler),
+		conns:            make(map[string]*tcpConn),
+		inbound:          make(map[net.Conn]struct{}),
+		learned:          make(map[Addr]*tcpConn),
+		peerVer:          make(map[string]uint16),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -275,11 +301,19 @@ func (t *TCP) sendVia(ctx context.Context, target string, env Envelope) error {
 }
 
 // writeEnv encodes one envelope onto a connection under the write
-// deadline. The per-connection lock is held for at most the write timeout,
-// so a stalled peer delays — but cannot wedge — other senders to it.
+// deadline, in whichever codec the connection negotiated. The
+// per-connection lock is held for at most the write timeout, so a stalled
+// peer delays — but cannot wedge — other senders to it.
 func (t *TCP) writeEnv(c *tcpConn, env Envelope) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.ver > 0 {
+		body := wire.GetBuf()
+		*body = appendEnvBody(*body, &env)
+		err := t.writeFrame(c.conn, frameEnvelope, *body)
+		wire.PutBuf(body)
+		return err
+	}
 	if t.writeTimeout > 0 {
 		// A deadline-set failure means the conn is already dead; the write
 		// below surfaces that.
@@ -328,13 +362,14 @@ func (t *TCP) connTo(ctx context.Context, target string) (c *tcpConn, cached boo
 	}
 	t.mu.Unlock()
 
-	d := net.Dialer{Timeout: t.dialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", target)
+	conn, ver, dec, err := t.dialAndNegotiate(ctx, target)
 	if err != nil {
-		return nil, false, fmt.Errorf("tcp dial %s: %w", target, err)
+		return nil, false, err
 	}
-	conn = t.faults.wrap(conn)
-	c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	c = &tcpConn{conn: conn, ver: ver}
+	if ver == 0 {
+		c.enc = gob.NewEncoder(conn)
+	}
 
 	t.mu.Lock()
 	if t.closed {
@@ -349,18 +384,110 @@ func (t *TCP) connTo(ctx context.Context, target string) (c *tcpConn, cached boo
 		return existing, true, nil
 	}
 	t.conns[target] = c
+	t.peerVer[target] = ver
 	// Outgoing connections are full duplex: replies (and any traffic the
 	// peer chooses to send us) come back on the same socket.
 	t.inbound[conn] = struct{}{}
 	t.wg.Add(1)
 	t.mu.Unlock()
-	go t.readLoop(conn, c)
+	go t.readLoop(conn, c, dec)
 	return c, false, nil
 }
 
-// readLoop decodes envelopes arriving on a connection, learning reply
-// routes and dispatching to local handlers, until the connection closes.
-func (t *TCP) readLoop(conn net.Conn, back *tcpConn) {
+// dial opens one raw connection to target, bounded by the dial timeout and
+// ctx, with fault injection applied.
+func (t *TCP) dial(ctx context.Context, target string) (net.Conn, error) {
+	d := net.Dialer{Timeout: t.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", target)
+	if err != nil {
+		return nil, fmt.Errorf("tcp dial %s: %w", target, err)
+	}
+	return t.faults.wrap(conn), nil
+}
+
+// dialAndNegotiate dials target and settles the envelope codec for the new
+// connection. Under WireAuto it offers the binary handshake unless the
+// target is already known to be gob-only; a peer that never acks — an old
+// build sitting on the unparseable hello — costs one handshake timeout,
+// after which the target is remembered as gob and the connection re-dialed
+// speaking plain gob from the first byte.
+func (t *TCP) dialAndNegotiate(ctx context.Context, target string) (net.Conn, uint16, envDecoder, error) {
+	conn, err := t.dial(ctx, target)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	t.mu.Lock()
+	knownGob := t.wireMode == WireGob
+	if v, ok := t.peerVer[target]; ok && v == 0 {
+		knownGob = true
+	}
+	t.mu.Unlock()
+	if knownGob {
+		return conn, 0, gobEnvDecoder{gob.NewDecoder(conn)}, nil
+	}
+	ver, br, hsErr := t.clientHandshake(ctx, conn)
+	if hsErr == nil {
+		return conn, ver, binEnvDecoder{br}, nil
+	}
+	conn.Close()
+	if ctx.Err() != nil {
+		// The caller gave up, not the peer; learn nothing from that.
+		return nil, 0, nil, fmt.Errorf("tcp handshake %s: %w", target, ctx.Err())
+	}
+	t.noteConnError("handshake", Addr(target), hsErr)
+	t.mu.Lock()
+	t.peerVer[target] = 0
+	t.mu.Unlock()
+	conn2, err := t.dial(ctx, target)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return conn2, 0, gobEnvDecoder{gob.NewDecoder(conn2)}, nil
+}
+
+// WireVersion implements WireNegotiator: it reports the hot-path message
+// version shared with the target, handshaking a fresh connection when no
+// verdict is cached. Local endpoints trivially share this build's version;
+// unresolvable or unreachable targets report gob, which every peer accepts.
+func (t *TCP) WireVersion(ctx context.Context, to Addr) uint16 {
+	if t.wireMode == WireGob {
+		return 0
+	}
+	t.mu.Lock()
+	if _, ok := t.handlers[to]; ok {
+		t.mu.Unlock()
+		return wire.MsgVersion
+	}
+	target, ok := t.directory[to]
+	if !ok {
+		lc := t.learned[to]
+		t.mu.Unlock()
+		if lc != nil {
+			// ver is fixed before a conn is published to learned.
+			return lc.ver
+		}
+		return 0
+	}
+	if v, ok := t.peerVer[target]; ok {
+		t.mu.Unlock()
+		return v
+	}
+	if t.closed {
+		t.mu.Unlock()
+		return 0
+	}
+	t.mu.Unlock()
+	c, _, err := t.connTo(ctx, target)
+	if err != nil {
+		return 0
+	}
+	return c.ver
+}
+
+// readLoop decodes envelopes arriving on a connection — in whichever codec
+// the connection negotiated — learning reply routes and dispatching to
+// local handlers, until the connection closes.
+func (t *TCP) readLoop(conn net.Conn, back *tcpConn, dec envDecoder) {
 	defer t.wg.Done()
 	defer func() {
 		conn.Close()
@@ -374,14 +501,16 @@ func (t *TCP) readLoop(conn net.Conn, back *tcpConn) {
 		for target, oc := range t.conns {
 			if oc == back {
 				delete(t.conns, target)
+				// The handshake verdict dies with the connection: the peer
+				// may come back upgraded.
+				delete(t.peerVer, target)
 			}
 		}
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
 	for {
 		var env Envelope
-		if err := dec.Decode(&env); err != nil {
+		if err := dec.decode(&env); err != nil {
 			t.noteReadError(conn, err)
 			return
 		}
@@ -425,13 +554,15 @@ func (t *TCP) noteConnError(reason string, peer Addr, err error) {
 	t.trc.Emit("tcp", "transport.conn_error", fmt.Sprintf("%s %s: %v", reason, peer, err))
 }
 
-// dropConn discards a broken cached connection.
+// dropConn discards a broken cached connection, along with the handshake
+// verdict for its target — the peer behind the next dial may differ.
 func (t *TCP) dropConn(target string, c *tcpConn) {
 	c.conn.Close()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.conns[target] == c {
 		delete(t.conns, target)
+		delete(t.peerVer, target)
 	}
 }
 
@@ -454,10 +585,47 @@ func (t *TCP) acceptLoop() {
 		t.inbound[conn] = struct{}{}
 		t.wg.Add(1)
 		t.mu.Unlock()
-		back := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+		back := &tcpConn{conn: conn}
 		go func() {
 			t.faults.delayAccept()
-			t.readLoop(conn, back)
+			dec, err := t.acceptNegotiate(conn, back)
+			if err != nil {
+				t.noteConnError("handshake", Addr(conn.RemoteAddr().String()), err)
+				conn.Close()
+				t.mu.Lock()
+				delete(t.inbound, conn)
+				t.mu.Unlock()
+				t.wg.Done()
+				return
+			}
+			t.readLoop(conn, back, dec)
 		}()
 	}
+}
+
+// acceptNegotiate settles the codec of a freshly accepted connection. The
+// dialer moves first: a binary-speaking peer opens with the frame magic
+// (which can never begin a gob stream), so one peek disambiguates. Under
+// WireGob the peek is skipped entirely — the link behaves byte-for-byte
+// like a build that predates the codec, leaving an offered hello to rot
+// unanswered until the dialer's handshake timeout makes it fall back.
+func (t *TCP) acceptNegotiate(conn net.Conn, back *tcpConn) (envDecoder, error) {
+	if t.wireMode == WireGob {
+		back.enc = gob.NewEncoder(conn)
+		return gobEnvDecoder{gob.NewDecoder(conn)}, nil
+	}
+	br := bufio.NewReader(conn)
+	if peek, err := br.Peek(len(envMagic)); err == nil && [4]byte(peek) == envMagic {
+		ver, err := t.serverHandshake(conn, br)
+		if err != nil {
+			return nil, err
+		}
+		back.ver = ver
+		return binEnvDecoder{br}, nil
+	}
+	// Not the frame magic (or the stream ended early): a gob peer. Nothing
+	// was consumed by the peek, so the gob decoder sees the stream from
+	// byte 0; any error, including the early end, surfaces through it.
+	back.enc = gob.NewEncoder(conn)
+	return gobEnvDecoder{gob.NewDecoder(br)}, nil
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"agentloc/internal/trace"
+	"agentloc/internal/wire"
 )
 
 // Addr names an endpoint. In-memory networks use free-form names ("node-3");
@@ -79,6 +80,28 @@ func SendWithContext(ctx context.Context, l Link, env Envelope) error {
 		return cs.SendCtx(ctx, env)
 	}
 	return l.Send(env)
+}
+
+// WireNegotiator is optionally implemented by Links that negotiate a wire
+// format version per peer (the TCP link handshakes on connect). WireVersion
+// reports the highest hot-path message version shared with the target: 0
+// means gob-only (an old peer, or negotiation not yet complete), and
+// wire.MsgVersion means the peer speaks the current binary codec. The
+// answer may change over time — a first call before any connection exists
+// conservatively reports 0 and later calls report the handshaken version —
+// so callers consult it per message, never cache it.
+type WireNegotiator interface {
+	WireVersion(ctx context.Context, to Addr) uint16
+}
+
+// NegotiatedWireVersion reports the hot-path message version shared with
+// the target. Links that don't negotiate (the in-memory Network delivers
+// structs within one build) support the current version by construction.
+func NegotiatedWireVersion(ctx context.Context, l Link, to Addr) uint16 {
+	if n, ok := l.(WireNegotiator); ok {
+		return n.WireVersion(ctx, to)
+	}
+	return wire.MsgVersion
 }
 
 // Common transport errors.
