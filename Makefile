@@ -4,6 +4,7 @@ BENCH_OUT ?= BENCH_read_path.json
 COMIGRATE_OUT ?= BENCH_comigrate.json
 MILLION_OUT ?= BENCH_million.json
 MILLION_AGENTS ?= 1048576
+DISCOVER_OUT ?= BENCH_discover.json
 # Fuzz budget per target for `make fuzz`.
 FUZZTIME ?= 30s
 
@@ -63,6 +64,7 @@ fuzz:
 	$(GO) test ./internal/loctable -run '^$$' -fuzz FuzzDenseOps -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzHotMsgDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzEnvelopeDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/capindex -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME)
 
 # Read-path, co-migration and million-agent benchmarks: fixed iteration
 # counts for run-to-run comparability, measurements written to $(BENCH_OUT),
@@ -72,6 +74,7 @@ bench:
 	COMIGRATE_OUT=$(abspath $(COMIGRATE_OUT)) $(GO) test ./internal/bench -bench CoMigrate -benchtime 200x -run '^$$'
 	MILLION_OUT=$(abspath $(MILLION_OUT)) MILLION_AGENTS=$(MILLION_AGENTS) \
 		$(GO) test ./internal/bench -bench Million -benchtime 1x -run '^$$' -timeout 20m
+	DISCOVER_OUT=$(abspath $(DISCOVER_OUT)) $(GO) test ./internal/bench -bench Discover -benchtime 400x -run '^$$'
 
 # Compare fresh benchmark runs against the committed baselines; non-zero
 # exit on regressions past the p99, chase-hop, retry, update-RPC, alloc
@@ -81,9 +84,11 @@ benchdiff:
 	COMIGRATE_OUT=/tmp/BENCH_comigrate_current.json $(GO) test ./internal/bench -bench CoMigrate -benchtime 200x -run '^$$'
 	MILLION_OUT=/tmp/BENCH_million_current.json MILLION_AGENTS=$(MILLION_AGENTS) \
 		$(GO) test ./internal/bench -bench Million -benchtime 1x -run '^$$' -timeout 20m
+	DISCOVER_OUT=/tmp/BENCH_discover_current.json $(GO) test ./internal/bench -bench Discover -benchtime 400x -run '^$$'
 	$(GO) run ./cmd/benchdiff -baseline BENCH_read_path.json -current /tmp/BENCH_current.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_comigrate.json -current /tmp/BENCH_comigrate_current.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_million.json -current /tmp/BENCH_million_current.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_discover.json -current /tmp/BENCH_discover_current.json
 
 # Crash-tolerance soak: the failover, chaos, fault-injection and restart-
 # recovery suites under the race detector, then the full-cluster kill-and-

@@ -145,6 +145,10 @@ type (
 	// migrates them all with one RPC per responsible IAgent (see
 	// Client.ResidenceGroup).
 	ResidenceGroup = core.ResidenceGroup
+	// Query selects agents by capability for Client.Discover.
+	Query = core.Query
+	// Match is one capability-discovery result: agent plus current node.
+	Match = core.Match
 	// Caller abstracts who is speaking to the service.
 	Caller = core.Caller
 	// NodeCaller adapts a *Node to Caller.

@@ -122,15 +122,21 @@ func run(baselinePath, currentPath string, lim limits) error {
 			failures = append(failures, fmt.Sprintf("%s: missing from current run", base.Name))
 			continue
 		}
-		delta := 0.0
+		// A zero baseline value means the field was never measured (or the
+		// row is an empty placeholder): there is no denominator, so the
+		// relative gate cannot engage and the column reads n/a rather than a
+		// misleading +0.0%.
+		delta, p99Col := 0.0, "n/a"
 		if base.P99Us > 0 {
 			delta = (c.P99Us - base.P99Us) / base.P99Us
+			p99Col = fmt.Sprintf("%+.1f%%", delta*100)
 		}
 		hopsCol, retryCol, rpcsCol, allocCol := "n/a", "n/a", "n/a", "n/a"
 
-		tputDelta := 0.0
+		tputDelta, tputCol := 0.0, "n/a"
 		if base.Throughput > 0 {
 			tputDelta = (c.Throughput - base.Throughput) / base.Throughput
+			tputCol = fmt.Sprintf("%+.1f%%", tputDelta*100)
 			if -tputDelta > lim.maxThroughput {
 				failures = append(failures,
 					fmt.Sprintf("%s: throughput %.0f -> %.0f ops/s (%+.1f%%, limit %+.1f%%)",
@@ -180,9 +186,14 @@ func run(baselinePath, currentPath string, lim limits) error {
 					fmt.Sprintf("%s: allocs/op %.1f -> %.1f, past the absolute budget of %.0f",
 						base.Name, *base.AllocsPerOp, *c.AllocsPerOp, lim.maxAllocs))
 			}
+		} else if c.AllocsPerOp != nil {
+			// Baseline predates the field: report the measurement, ungated —
+			// a missing denominator must not fail (or silently pass) a budget
+			// it never recorded.
+			allocCol = fmt.Sprintf("%.1f", *c.AllocsPerOp)
 		}
-		fmt.Printf("%-24s %12.0f %12.0f %+7.1f%% %14.0f %14.0f %+7.1f%% %10s %12s %10s %10s\n",
-			base.Name, base.P99Us, c.P99Us, delta*100, base.Throughput, c.Throughput, tputDelta*100, hopsCol, retryCol, rpcsCol, allocCol)
+		fmt.Printf("%-24s %12.0f %12.0f %8s %14.0f %14.0f %8s %10s %12s %10s %10s\n",
+			base.Name, base.P99Us, c.P99Us, p99Col, base.Throughput, c.Throughput, tputCol, hopsCol, retryCol, rpcsCol, allocCol)
 		if delta > lim.maxP99 {
 			failures = append(failures,
 				fmt.Sprintf("%s: p99 %.0fµs -> %.0fµs (%+.1f%%, limit %+.1f%%)",

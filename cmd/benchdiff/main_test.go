@@ -84,6 +84,80 @@ func TestGateCatchesThroughputRegression(t *testing.T) {
 	}
 }
 
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it printed — run's table goes straight to stdout.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+func TestZeroBaselineRowsRenderNAAndPassGates(t *testing.T) {
+	// A baseline row with zero p99 and zero throughput (the field was never
+	// measured) has no denominator: the relative gates must not engage no
+	// matter how the current run moved, and the columns must read n/a
+	// instead of a misleading +0.0%.
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", file{Benchmarks: []result{
+		{Name: "discover/cold", P99Us: 0, Throughput: 0},
+	}})
+	cur := writeFile(t, dir, "cur.json", file{Benchmarks: []result{
+		{Name: "discover/cold", P99Us: 90000, Throughput: 12},
+	}})
+	var err error
+	out := captureStdout(t, func() { err = run(base, cur, defLimits()) })
+	if err != nil {
+		t.Errorf("zero-baseline row tripped a relative gate: %v", err)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("zero-baseline columns did not render n/a:\n%s", out)
+	}
+	if strings.Contains(out, "+0.0%") {
+		t.Errorf("zero-baseline delta rendered as +0.0%%:\n%s", out)
+	}
+}
+
+func TestAllocGateSkipsMissingBaselineField(t *testing.T) {
+	// A baseline row without allocs_per_op must neither fail the budget nor
+	// hide the current measurement.
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", file{Benchmarks: []result{
+		{Name: "million/cached_locate", Throughput: 1000000},
+	}})
+	cur := writeFile(t, dir, "cur.json", file{Benchmarks: []result{
+		{Name: "million/cached_locate", Throughput: 1000000, AllocsPerOp: fp(80)},
+	}})
+	var err error
+	out := captureStdout(t, func() { err = run(base, cur, defLimits()) })
+	if err != nil {
+		t.Errorf("missing baseline allocs field tripped the budget: %v", err)
+	}
+	if !strings.Contains(out, "80.0") {
+		t.Errorf("current allocs/op not reported for an ungated row:\n%s", out)
+	}
+}
+
 func TestGateCatchesMissingRow(t *testing.T) {
 	dir := t.TempDir()
 	base := writeFile(t, dir, "base.json", file{Benchmarks: []result{

@@ -5,7 +5,8 @@
 //	locctl -peers node-0=127.0.0.1:7100,... -hagent-node node-0 stats
 //	locctl -peers ... -hagent-node node-0 spawn 10 500ms
 //	locctl -peers ... -hagent-node node-0 locate tagent-3
-//	locctl -peers ... -hagent-node node-0 register my-agent
+//	locctl -peers ... -hagent-node node-0 register my-agent gpu,ocr
+//	locctl -peers ... -hagent-node node-0 discover -near node-1 -limit 5 gpu,ocr
 //	locctl -peers ... -hagent-node node-0 deposit tagent-3 "report in"
 //	locctl -peers ... -hagent-node node-0 tree
 //
@@ -65,7 +66,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Args()
 	if len(cmd) == 0 {
-		return fmt.Errorf("missing command (stats | tree | locate <agent> | register <agent> | deposit <agent> <text> | spawn <count> <residence> | trace <agent> <host:port>... | metrics <host:port> | events <host:port> [kind-prefix])")
+		return fmt.Errorf("missing command (stats | tree | locate <agent> | register <agent> [caps-csv] | discover [-near node] [-limit n] <caps-csv> | deposit <agent> <text> | spawn <count> <residence> | trace <agent> <host:port>... | metrics <host:port> | events <host:port> [kind-prefix])")
 	}
 	// metrics and events scrape over plain HTTP; they need no cluster
 	// membership.
@@ -161,14 +162,50 @@ func run(args []string) error {
 		fmt.Printf("deposited %q for %s (delivered at its next check-in)"+"\n", cmd[2], target)
 		return nil
 	case "register":
-		if len(cmd) != 2 {
-			return fmt.Errorf("usage: register <agent>")
+		if len(cmd) != 2 && len(cmd) != 3 {
+			return fmt.Errorf("usage: register <agent> [caps-csv]")
 		}
-		assign, err := client.Register(ctx, ids.AgentID(cmd[1]))
+		var assign core.Assignment
+		if len(cmd) == 3 {
+			assign, err = client.RegisterWithCapabilities(ctx, ids.AgentID(cmd[1]), strings.Split(cmd[2], ","))
+		} else {
+			assign, err = client.Register(ctx, ids.AgentID(cmd[1]))
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%s registered at %s, served by %s at %s\n", cmd[1], ctlID, assign.IAgent, assign.Node)
+		return nil
+	case "discover":
+		dfs := flag.NewFlagSet("discover", flag.ContinueOnError)
+		near := dfs.String("near", "", "rank matches currently at this node first")
+		limit := dfs.Int("limit", 0, "cap on returned matches (0 = unlimited)")
+		if err := dfs.Parse(cmd[1:]); err != nil {
+			return err
+		}
+		if dfs.NArg() != 1 {
+			return fmt.Errorf("usage: discover [-near node] [-limit n] <caps-csv>")
+		}
+		q := core.Query{
+			Caps:  strings.Split(dfs.Arg(0), ","),
+			Near:  platform.NodeID(*near),
+			Limit: *limit,
+		}
+		matches, err := client.Discover(ctx, q)
+		if err != nil {
+			return err
+		}
+		if len(matches) == 0 {
+			fmt.Printf("no agents advertise %v\n", q.Caps)
+			return nil
+		}
+		for _, m := range matches {
+			marker := ""
+			if q.Near != "" && m.Node == q.Near {
+				marker = "  (near)"
+			}
+			fmt.Printf("%s at %s%s\n", m.Agent, m.Node, marker)
+		}
 		return nil
 	case "spawn":
 		if len(cmd) != 3 {

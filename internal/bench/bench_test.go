@@ -39,6 +39,7 @@ func TestMain(m *testing.M) {
 		{"BENCH_OUT", []string{"read_path/serial", "read_path/sharded", "read_path/cached"}},
 		{"COMIGRATE_OUT", []string{"comigrate/per_agent", "comigrate/residence"}},
 		{"MILLION_OUT", []string{"million/table_fill", "million/locate", "million/codec_batch", "million/cached_locate"}},
+		{"DISCOVER_OUT", []string{"discover/scatter", "discover/near"}},
 	}
 	for _, o := range outs {
 		out := os.Getenv(o.env)

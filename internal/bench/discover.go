@@ -1,0 +1,232 @@
+// Discovery benchmark: closed-loop capability queries against a deployed
+// cluster. Every Discover is a scatter-gather over the responsible leaves,
+// so this lane watches the cost of the capability tier itself — the leaf
+// enumeration, the bounded fan-out, and the per-leaf index match — rather
+// than the single-IAgent hot path the read bench measures. Two variants:
+//
+//   - scatter: unbounded queries for one tag — the worst-case result set.
+//   - near:    queries with a locality preference and a small limit — the
+//     "find me a nearby worker" shape discovery exists for.
+//
+// benchdiff gates the lane via BENCH_discover.json.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"agentloc/internal/core"
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// DiscoverConfig shapes one discovery run. Zero fields select the defaults
+// noted on each.
+type DiscoverConfig struct {
+	// Nodes is the platform node count (default 4); agents and workers are
+	// spread round-robin across them.
+	Nodes int
+	// Agents is the registered (and capability-advertising) population
+	// (default 512).
+	Agents int
+	// Tags is the size of the capability vocabulary (default 32).
+	Tags int
+	// TagsPerAgent is how many tags each agent advertises (default 3).
+	TagsPerAgent int
+	// Workers is the closed-loop worker count (default 8).
+	Workers int
+	// Limit caps the matches per query in the near variant (default 8).
+	Limit int
+	// Seed makes the query draws reproducible (default 1).
+	Seed int64
+}
+
+func (c *DiscoverConfig) fillDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Agents <= 0 {
+		c.Agents = 512
+	}
+	if c.Tags <= 0 {
+		c.Tags = 32
+	}
+	if c.TagsPerAgent <= 0 {
+		c.TagsPerAgent = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Limit <= 0 {
+		c.Limit = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// DiscoverHarness is a deployed cluster with a capability-tagged population,
+// ready to be queried. Create with NewDiscoverHarness, drive with Run
+// (repeatable), release with Close.
+type DiscoverHarness struct {
+	cfg     DiscoverConfig
+	net     *transport.Network
+	nodes   []*platform.Node
+	service *core.Service
+	clients []*core.Client
+}
+
+// tagName returns the t-th vocabulary tag.
+func tagName(t int) string { return fmt.Sprintf("cap-%02d", t) }
+
+// NewDiscoverHarness deploys the cluster and registers the population with
+// overlapping capability sets: agent i advertises tags i, i+1, ...
+// (mod Tags), so every tag is shared by roughly Agents·TagsPerAgent/Tags
+// agents and two-tag AND queries have non-trivial intersections. Rehash
+// thresholds are pushed out of reach, as in the other lanes, so the
+// capability tier itself is what gets measured.
+func NewDiscoverHarness(cfg DiscoverConfig) (*DiscoverHarness, error) {
+	cfg.fillDefaults()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	nodes := make([]*platform.Node, cfg.Nodes)
+	for i := range nodes {
+		n, err := platform.NewNode(platform.Config{ID: platform.NodeID(fmt.Sprintf("node-%d", i)), Link: net})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		nodes[i] = n
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.TMax = 1e12
+	ccfg.TMin = 0
+	ccfg.CheckInterval = time.Hour
+
+	svc, err := core.Deploy(context.Background(), ccfg, nodes)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+
+	h := &DiscoverHarness{cfg: cfg, net: net, nodes: nodes, service: svc}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for i := 0; i < cfg.Agents; i++ {
+		caps := make([]string, cfg.TagsPerAgent)
+		for k := range caps {
+			caps[k] = tagName((i + k) % cfg.Tags)
+		}
+		client := svc.ClientFor(nodes[i%len(nodes)])
+		agent := ids.AgentID(fmt.Sprintf("skilled-%04d", i))
+		if _, err := client.RegisterWithCapabilities(ctx, agent, caps); err != nil {
+			h.Close()
+			return nil, fmt.Errorf("bench: register %s: %w", agent, err)
+		}
+	}
+	h.clients = make([]*core.Client, cfg.Workers)
+	for i := range h.clients {
+		h.clients[i] = svc.ClientFor(nodes[i%len(nodes)])
+	}
+	return h, nil
+}
+
+// Close tears the cluster down.
+func (h *DiscoverHarness) Close() { h.net.Close() }
+
+// Run drives totalOps closed-loop Discover queries and reports the
+// aggregate measurements under the given result name. With near set, each
+// query prefers a random node and caps its result at cfg.Limit; otherwise
+// queries are unbounded single- and two-tag scatters.
+func (h *DiscoverHarness) Run(name string, totalOps int, near bool) (Result, error) {
+	cfg := h.cfg
+	if totalOps < cfg.Workers {
+		totalOps = cfg.Workers
+	}
+	perWorker := totalOps / cfg.Workers
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	lats := make([][]time.Duration, cfg.Workers)
+	errCounts := make([]int, cfg.Workers)
+	empties := make([]int, cfg.Workers)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			client := h.clients[w]
+			lat := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				t := rng.Intn(cfg.Tags)
+				q := core.Query{Caps: []string{tagName(t)}}
+				if i%2 == 1 {
+					// Adjacent tags co-occur by construction, so every
+					// second query is a two-tag AND with real matches.
+					q.Caps = append(q.Caps, tagName((t+1)%cfg.Tags))
+				}
+				if near {
+					q.Near = h.nodes[rng.Intn(len(h.nodes))].ID()
+					q.Limit = cfg.Limit
+				}
+				opStart := time.Now()
+				matches, err := client.Discover(ctx, q)
+				lat = append(lat, time.Since(opStart))
+				if err != nil {
+					errCounts[w]++
+				} else if len(matches) == 0 {
+					empties[w]++
+				}
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	errs, empty := 0, 0
+	for w := range errCounts {
+		errs += errCounts[w]
+		empty += empties[w]
+	}
+	if errs == 0 && empty == len(all) {
+		// Every tag has advertisers by construction; all-empty means the
+		// index is broken, which must fail the lane rather than post a
+		// spectacular throughput number.
+		return Result{}, fmt.Errorf("bench: all %d discover queries matched nothing", empty)
+	}
+
+	ops := len(all)
+	return Result{
+		Name:        name,
+		Workers:     cfg.Workers,
+		Ops:         ops,
+		Errors:      errs,
+		Seconds:     elapsed.Seconds(),
+		Throughput:  float64(ops) / elapsed.Seconds(),
+		P50Us:       percentileMicros(all, 0.50),
+		P99Us:       percentileMicros(all, 0.99),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+	}, nil
+}

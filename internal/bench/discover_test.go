@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"testing"
+)
+
+// BenchmarkDiscover drives the capability-discovery lane through its two
+// variants. Run with a fixed iteration count for comparable JSON:
+//
+//	DISCOVER_OUT=BENCH_discover.json go test ./internal/bench \
+//	    -bench Discover -benchtime 400x -run '^$'
+func BenchmarkDiscover(b *testing.B) {
+	variants := []struct {
+		name string
+		near bool
+	}{
+		{"scatter", false},
+		{"near", true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			h, err := NewDiscoverHarness(DiscoverConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ResetTimer()
+			res, err := h.Run("discover/"+v.name, b.N, v.near)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Errors > 0 {
+				b.Fatalf("%d/%d queries failed", res.Errors, res.Ops)
+			}
+			b.ReportMetric(res.Throughput, "ops/s")
+			b.ReportMetric(res.P99Us, "p99-µs")
+			b.ReportMetric(res.AllocsPerOp, "allocs/op")
+			record(res)
+		})
+	}
+}
+
+// TestDiscoverHarnessSmoke keeps the lane honest under plain `go test`: a
+// small run of both variants must complete error-free with sane
+// measurements and a respected limit.
+func TestDiscoverHarnessSmoke(t *testing.T) {
+	h, err := NewDiscoverHarness(DiscoverConfig{Agents: 64, Tags: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for _, near := range []bool{false, true} {
+		res, err := h.Run("discover/smoke", 40, near)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors > 0 {
+			t.Fatalf("near=%v: %d/%d queries failed", near, res.Errors, res.Ops)
+		}
+		if res.Ops == 0 || res.Throughput <= 0 || res.P99Us <= 0 {
+			t.Fatalf("near=%v: degenerate result: %+v", near, res)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package capindex provides the capability index an IAgent keeps beside its
+// location table: a secondary map from capability tag → set of agent ids,
+// plus the inverse (agent → its canonical tag list). The index answers
+// "which of my agents can do C?" — the location table then supplies each
+// match's current node, so a discovery reply carries a locality hint
+// without a second index.
+//
+// The index is deliberately a sibling of, not an extension to, the
+// location table: capability payloads are non-uniform (zero to dozens of
+// tags per agent, with heavy tag sharing) and are mutated through the same
+// register/update/deregister/handoff paths as locations but at a much
+// lower rate. Keeping them in their own structure keeps the locate hot
+// path untouched and lets the capability state serialize as its own framed
+// snapshot section (see serialize.go) with an independent format version.
+package capindex
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+	"sync"
+
+	"agentloc/internal/ids"
+)
+
+// Index is a concurrency-safe bidirectional capability index.
+type Index struct {
+	mu sync.RWMutex
+	// byCap maps a capability tag to the set of agents advertising it.
+	byCap map[string]map[ids.AgentID]struct{}
+	// byAgent maps an agent to its canonical (sorted, deduplicated) tags.
+	// Agents with no capabilities have no entry at all.
+	byAgent map[ids.AgentID][]string
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		byCap:   make(map[string]map[ids.AgentID]struct{}),
+		byAgent: make(map[ids.AgentID][]string),
+	}
+}
+
+// Normalize returns the canonical form of a capability set: sorted, empty
+// tags dropped, duplicates collapsed. A nil or all-empty input normalizes
+// to nil, which callers treat as "no capability change".
+func Normalize(caps []string) []string {
+	if len(caps) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(caps))
+	for _, c := range caps {
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Strings(out)
+	j := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j-1] {
+			out[j] = out[i]
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// Set replaces the agent's capability set with the normalized form of
+// caps. An empty normalized set removes the agent entirely (equivalent to
+// Remove), so Set(agent, nil) and a deregister converge on the same state.
+func (x *Index) Set(agent ids.AgentID, caps []string) {
+	norm := Normalize(caps)
+	x.mu.Lock()
+	x.setLocked(agent, norm)
+	x.mu.Unlock()
+}
+
+// setLocked installs an already-normalized tag list. Caller holds mu.
+func (x *Index) setLocked(agent ids.AgentID, norm []string) {
+	for _, c := range x.byAgent[agent] {
+		if set := x.byCap[c]; set != nil {
+			delete(set, agent)
+			if len(set) == 0 {
+				delete(x.byCap, c)
+			}
+		}
+	}
+	if len(norm) == 0 {
+		delete(x.byAgent, agent)
+		return
+	}
+	x.byAgent[agent] = norm
+	for _, c := range norm {
+		set := x.byCap[c]
+		if set == nil {
+			set = make(map[ids.AgentID]struct{})
+			x.byCap[c] = set
+		}
+		set[agent] = struct{}{}
+	}
+}
+
+// Remove forgets an agent's capabilities, reporting whether any were set.
+func (x *Index) Remove(agent ids.AgentID) bool {
+	x.mu.Lock()
+	_, existed := x.byAgent[agent]
+	x.setLocked(agent, nil)
+	x.mu.Unlock()
+	return existed
+}
+
+// CapsOf returns a copy of the agent's canonical tag list (nil if none).
+func (x *Index) CapsOf(agent ids.AgentID) []string {
+	x.mu.RLock()
+	caps := x.byAgent[agent]
+	var out []string
+	if len(caps) > 0 {
+		out = append(make([]string, 0, len(caps)), caps...)
+	}
+	x.mu.RUnlock()
+	return out
+}
+
+// Match returns the agents advertising every one of the given tags
+// (AND-intersection). Tags are normalized first; an empty normalized query
+// matches nothing — "all agents" is a location-table scan, not a
+// capability query. Intersection walks the rarest tag's set, so a query
+// with one selective tag stays cheap regardless of how common the others
+// are. The result order is unspecified.
+func (x *Index) Match(caps []string) []ids.AgentID {
+	norm := Normalize(caps)
+	if len(norm) == 0 {
+		return nil
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	rarest := -1
+	for i, c := range norm {
+		set, ok := x.byCap[c]
+		if !ok {
+			return nil
+		}
+		if rarest < 0 || len(set) < len(x.byCap[norm[rarest]]) {
+			rarest = i
+		}
+	}
+	var out []ids.AgentID
+outer:
+	for agent := range x.byCap[norm[rarest]] {
+		for i, c := range norm {
+			if i == rarest {
+				continue
+			}
+			if _, ok := x.byCap[c][agent]; !ok {
+				continue outer
+			}
+		}
+		out = append(out, agent)
+	}
+	return out
+}
+
+// Len returns the number of agents with at least one capability.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	n := len(x.byAgent)
+	x.mu.RUnlock()
+	return n
+}
+
+// Tags returns the number of distinct capability tags indexed.
+func (x *Index) Tags() int {
+	x.mu.RLock()
+	n := len(x.byCap)
+	x.mu.RUnlock()
+	return n
+}
+
+// Snapshot copies the agent → tags map. Tag slices are copied, so the
+// result is safe to mutate and to hand to another goroutine.
+func (x *Index) Snapshot() map[ids.AgentID][]string {
+	x.mu.RLock()
+	out := make(map[ids.AgentID][]string, len(x.byAgent))
+	for agent, caps := range x.byAgent {
+		out[agent] = append(make([]string, 0, len(caps)), caps...)
+	}
+	x.mu.RUnlock()
+	return out
+}
+
+// Adopt merges a snapshot in: every listed agent's set is replaced (an
+// explicit empty list removes it). Used on the receiving side of handoffs
+// and checkpoint promotion, where entries arrive owner-by-owner on top of
+// whatever the absorber already indexes.
+func (x *Index) Adopt(m map[ids.AgentID][]string) {
+	x.mu.Lock()
+	for agent, caps := range m {
+		x.setLocked(agent, Normalize(caps))
+	}
+	x.mu.Unlock()
+}
+
+// indexDTO is the gob wire form: the forward map only, with the inverse
+// rebuilt on decode — the same convention the residence table uses, so a
+// migrating IAgent's snapshot never ships redundant index state.
+type indexDTO struct {
+	Agents map[ids.AgentID][]string
+}
+
+// GobEncode implements gob.GobEncoder (IAgents gob-migrate between nodes).
+func (x *Index) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(indexDTO{Agents: x.Snapshot()}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder, rebuilding the inverse index.
+func (x *Index) GobDecode(data []byte) error {
+	var dto indexDTO
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
+		return err
+	}
+	x.mu.Lock()
+	x.byCap = make(map[string]map[ids.AgentID]struct{})
+	x.byAgent = make(map[ids.AgentID][]string, len(dto.Agents))
+	for agent, caps := range dto.Agents {
+		x.setLocked(agent, Normalize(caps))
+	}
+	x.mu.Unlock()
+	return nil
+}

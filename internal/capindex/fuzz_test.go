@@ -1,0 +1,65 @@
+package capindex
+
+import (
+	"testing"
+
+	"agentloc/internal/ids"
+)
+
+// FuzzApply throws arbitrary bytes at the capability-frame decoder. The
+// invariants: never panic, never OOM on a hostile length prefix, and any
+// input that decodes must survive a serialize → deserialize round trip
+// with identical contents.
+func FuzzApply(f *testing.F) {
+	seed := New()
+	seed.Set("agent-1", []string{"gpu", "ocr"})
+	seed.Set("agent-2", []string{"planner"})
+	f.Add(seed.Serialize())
+	f.Add(New().Serialize())
+	f.Add(EncodeDelta("agent-1", []string{"gpu"}))
+	f.Add(EncodeDelta("agent-1", nil))
+	f.Add([]byte("ACAP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x := New()
+		if err := Apply(data, x); err != nil {
+			return
+		}
+		// Decoded state must round-trip exactly.
+		y, err := Deserialize(x.Serialize())
+		if err != nil {
+			t.Fatalf("re-deserialize of accepted input failed: %v", err)
+		}
+		xs, ys := x.Snapshot(), y.Snapshot()
+		if len(xs) != len(ys) {
+			t.Fatalf("round trip changed agent count: %d vs %d", len(xs), len(ys))
+		}
+		for agent, caps := range xs {
+			got := ys[agent]
+			if len(got) != len(caps) {
+				t.Fatalf("agent %q: caps %v vs %v", agent, caps, got)
+			}
+			for i := range caps {
+				if got[i] != caps[i] {
+					t.Fatalf("agent %q: caps %v vs %v", agent, caps, got)
+				}
+			}
+			// Inverse index must agree with the forward map.
+			for _, c := range caps {
+				found := false
+				for _, a := range x.Match([]string{c}) {
+					if a == agent {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("agent %q missing from Match(%q)", agent, c)
+				}
+			}
+		}
+		_ = x.Match([]string{"gpu"})
+		_ = ids.AgentID("")
+	})
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+	"agentloc/internal/transport"
+)
+
+// discoverSet runs one Discover and folds the matches into an agent → node
+// map for exact-set comparisons.
+func discoverSet(t *testing.T, ctx context.Context, client *Client, q Query) map[ids.AgentID]platform.NodeID {
+	t.Helper()
+	matches, err := client.Discover(ctx, q)
+	if err != nil {
+		t.Fatalf("discover %v: %v", q.Caps, err)
+	}
+	out := make(map[ids.AgentID]platform.NodeID, len(matches))
+	for _, m := range matches {
+		out[m.Agent] = m.Node
+	}
+	return out
+}
+
+// requireSameSet fails unless got is exactly want — no missing entries, no
+// phantoms, and every home exact.
+func requireSameSet(t *testing.T, what string, got, want map[ids.AgentID]platform.NodeID) {
+	t.Helper()
+	for agent, home := range want {
+		if node, ok := got[agent]; !ok {
+			t.Errorf("%s: %s missing from discovery", what, agent)
+		} else if node != home {
+			t.Errorf("%s: %s discovered at %s, want %s", what, agent, node, home)
+		}
+	}
+	for agent := range got {
+		if _, ok := want[agent]; !ok {
+			t.Errorf("%s: phantom %s in discovery", what, agent)
+		}
+	}
+}
+
+// TestDiscoverEndToEndAcrossSplit drives the capability tier through its
+// public surface: tag and AND queries with exact result sets, the Near
+// preference with a Limit, a plain move that must not wipe capabilities, a
+// forced split that changes the leaf set under the scatter, and deregisters
+// that must leave no phantoms behind.
+func TestDiscoverEndToEndAcrossSplit(t *testing.T) {
+	c := newTestCluster(t, quietConfig(), 3)
+	ctx := testCtx(t)
+
+	// Agent i lives on node i%3. Everybody advertises "worker", evens add
+	// "gpu", the first four add "store".
+	homes := make(map[ids.AgentID]platform.NodeID)
+	gpus := make(map[ids.AgentID]platform.NodeID)
+	for i := 0; i < 12; i++ {
+		n := c.nodes[i%3]
+		agent := ids.AgentID(fmt.Sprintf("cap-agent-%02d", i))
+		caps := []string{"worker"}
+		if i%2 == 0 {
+			caps = append(caps, "gpu")
+		}
+		if i < 4 {
+			caps = append(caps, "store")
+		}
+		if _, err := c.service.ClientFor(n).RegisterWithCapabilities(ctx, agent, caps); err != nil {
+			t.Fatalf("register %s: %v", agent, err)
+		}
+		homes[agent] = n.ID()
+		if i%2 == 0 {
+			gpus[agent] = n.ID()
+		}
+	}
+	client := c.service.ClientFor(c.nodes[0])
+
+	requireSameSet(t, "worker", discoverSet(t, ctx, client, Query{Caps: []string{"worker"}}), homes)
+	requireSameSet(t, "worker+gpu", discoverSet(t, ctx, client, Query{Caps: []string{"worker", "gpu"}}), gpus)
+
+	// A tag nobody advertises matches nothing — and is not an error.
+	if got := discoverSet(t, ctx, client, Query{Caps: []string{"quantum"}}); len(got) != 0 {
+		t.Errorf("unadvertised tag matched %v", got)
+	}
+
+	// Near prefers agents on the requested node; with a limit the preferred
+	// ones must come first. Two of the six gpu agents live on node-1.
+	near, err := client.Discover(ctx, Query{Caps: []string{"gpu"}, Near: c.nodes[1].ID(), Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) != 3 {
+		t.Fatalf("near query returned %d matches, want limit 3", len(near))
+	}
+	for i := 0; i < 2; i++ {
+		if near[i].Node != c.nodes[1].ID() {
+			t.Errorf("near match %d on %s, want the preferred node first", i, near[i].Node)
+		}
+	}
+
+	// A plain move (no capability payload) relocates the agent without
+	// touching its advertised set.
+	mover := ids.AgentID("cap-agent-00")
+	if _, err := c.service.ClientFor(c.nodes[0]).MoveNotifyTo(ctx, mover, c.nodes[2].ID(), Assignment{}); err != nil {
+		t.Fatalf("move %s: %v", mover, err)
+	}
+	homes[mover], gpus[mover] = c.nodes[2].ID(), c.nodes[2].ID()
+	requireSameSet(t, "post-move", discoverSet(t, ctx, client, Query{Caps: []string{"worker"}}), homes)
+
+	// Split the sole leaf: the capability index rides the handoff and the
+	// scatter must now cover both leaves.
+	forceSplit(t, c, ctx, "iagent-1", homes)
+	requireSameSet(t, "post-split worker", discoverSet(t, ctx, client, Query{Caps: []string{"worker"}}), homes)
+	requireSameSet(t, "post-split gpu", discoverSet(t, ctx, client, Query{Caps: []string{"worker", "gpu"}}), gpus)
+
+	// Deregistered agents must vanish from every tag they advertised.
+	for _, agent := range []ids.AgentID{"cap-agent-02", "cap-agent-03"} {
+		if err := c.service.ClientFor(c.nodes[1]).Deregister(ctx, agent, Assignment{}); err != nil {
+			t.Fatalf("deregister %s: %v", agent, err)
+		}
+		delete(homes, agent)
+		delete(gpus, agent)
+	}
+	requireSameSet(t, "post-deregister", discoverSet(t, ctx, client, Query{Caps: []string{"worker"}}), homes)
+	requireSameSet(t, "post-deregister gpu", discoverSet(t, ctx, client, Query{Caps: []string{"gpu"}}), gpus)
+}
+
+// TestDiscoverUnderConcurrentChurn checks the invariant the scatter must
+// hold while registrations come and go: a stable population is never
+// missing from its tag and churning agents never appear under tags they do
+// not advertise — across a forced split in the middle of the storm.
+func TestDiscoverUnderConcurrentChurn(t *testing.T) {
+	c := newTestCluster(t, quietConfig(), 3)
+	ctx := testCtx(t)
+
+	stable := make(map[ids.AgentID]platform.NodeID)
+	for i := 0; i < 8; i++ {
+		n := c.nodes[i%3]
+		agent := ids.AgentID(fmt.Sprintf("stable-%02d", i))
+		if _, err := c.service.ClientFor(n).RegisterWithCapabilities(ctx, agent, []string{"stable"}); err != nil {
+			t.Fatalf("register %s: %v", agent, err)
+		}
+		stable[agent] = n.ID()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		churner := c.service.ClientFor(c.nodes[2])
+		for r := 0; ; r++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			agent := ids.AgentID(fmt.Sprintf("churn-%d", r%4))
+			if r%2 == 0 {
+				if _, err := churner.RegisterWithCapabilities(ctx, agent, []string{"churn"}); err != nil {
+					t.Errorf("churn register %s: %v", agent, err)
+					return
+				}
+			} else if err := churner.Deregister(ctx, agent, Assignment{}); err != nil {
+				t.Errorf("churn deregister %s: %v", agent, err)
+				return
+			}
+		}
+	}()
+
+	client := c.service.ClientFor(c.nodes[0])
+	for round := 0; round < 20; round++ {
+		if round == 10 {
+			// Rehash mid-storm: the scatter retries across the new leaf set.
+			all := make(map[ids.AgentID]platform.NodeID, len(stable))
+			for a, n := range stable {
+				all[a] = n
+			}
+			forceSplit(t, c, ctx, "iagent-1", all)
+		}
+		requireSameSet(t, fmt.Sprintf("round %d", round),
+			discoverSet(t, ctx, client, Query{Caps: []string{"stable"}}), stable)
+		for agent := range discoverSet(t, ctx, client, Query{Caps: []string{"churn"}}) {
+			if _, ok := stable[agent]; ok {
+				t.Errorf("round %d: stable agent %s matched the churn tag", round, agent)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Drain the churn population; its tag must end exactly empty.
+	churner := c.service.ClientFor(c.nodes[2])
+	for r := 0; r < 4; r++ {
+		agent := ids.AgentID(fmt.Sprintf("churn-%d", r))
+		if err := churner.Deregister(ctx, agent, Assignment{}); err != nil && !errors.Is(err, ErrNotRegistered) {
+			t.Fatalf("drain %s: %v", agent, err)
+		}
+	}
+	if got := discoverSet(t, ctx, client, Query{Caps: []string{"churn"}}); len(got) != 0 {
+		t.Errorf("phantoms after the churn drained: %v", got)
+	}
+}
+
+// TestCapabilityIndexSurvivesTakeover is the crash-tolerance acceptance
+// scenario for the capability tier: the index rides the sibling checkpoint,
+// so after the forced merge promotes it, discovery still answers with the
+// exact pre-crash population — the victim leaf's advertisers included.
+func TestCapabilityIndexSurvivesTakeover(t *testing.T) {
+	cfg := failoverConfig()
+	cfg.PlacementNodes = []platform.NodeID{"node-2", "node-1"}
+	c := newTestCluster(t, cfg, 3)
+	ctx := testCtx(t)
+
+	// Homes only on the surviving nodes so every post-crash answer is live.
+	homes := make(map[ids.AgentID]platform.NodeID)
+	evens := make(map[ids.AgentID]platform.NodeID)
+	for i := 0; i < 24; i++ {
+		n := c.nodes[[]int{0, 2}[i%2]]
+		agent := ids.AgentID(fmt.Sprintf("skill-%02d", i))
+		caps := []string{"skilled"}
+		if i%2 == 0 {
+			caps = append(caps, "even")
+		}
+		if _, err := c.service.ClientFor(n).RegisterWithCapabilities(ctx, agent, caps); err != nil {
+			t.Fatalf("register %s: %v", agent, err)
+		}
+		homes[agent] = n.ID()
+		if i%2 == 0 {
+			evens[agent] = n.ID()
+		}
+	}
+
+	forceSplit(t, c, ctx, "iagent-1", homes)
+	forceSplit(t, c, ctx, "iagent-1", homes)
+
+	st := hashState(t, c, ctx)
+	victim := soleIAgentOn(t, st, c.nodes[1].ID())
+	victimOwned := 0
+	for agent := range homes {
+		if owner, _, err := st.OwnerOf(agent); err == nil && owner == victim {
+			victimOwned++
+		}
+	}
+	if victimOwned == 0 {
+		t.Fatalf("%s owns no advertisers; the checkpoint restore would be vacuous", victim)
+	}
+
+	// The pre-crash picture, for contrast and to let checkpoints land.
+	client := c.service.ClientFor(c.nodes[0])
+	requireSameSet(t, "pre-crash", discoverSet(t, ctx, client, Query{Caps: []string{"skilled"}}), homes)
+	time.Sleep(12 * cfg.checkpointEvery())
+
+	c.nodes[1].Crash()
+	eventually(t, 20*time.Second, func(ctx context.Context) error {
+		stats, err := c.service.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if stats.Failovers != 1 {
+			return fmt.Errorf("failovers = %d, want 1", stats.Failovers)
+		}
+		return nil
+	})
+
+	// After the takeover the absorber serves the victim's advertisers from
+	// the promoted checkpoint: exact set, no phantoms, no gaps.
+	eventually(t, 15*time.Second, func(ctx context.Context) error {
+		matches, err := client.Discover(ctx, Query{Caps: []string{"skilled"}})
+		if err != nil {
+			return err
+		}
+		got := make(map[ids.AgentID]platform.NodeID, len(matches))
+		for _, m := range matches {
+			got[m.Agent] = m.Node
+		}
+		for agent, home := range homes {
+			if node, ok := got[agent]; !ok {
+				return fmt.Errorf("%s missing after takeover", agent)
+			} else if node != home {
+				return fmt.Errorf("%s discovered at %s, want %s", agent, node, home)
+			}
+		}
+		if len(got) != len(homes) {
+			return fmt.Errorf("%d matches after takeover, want %d", len(got), len(homes))
+		}
+		return nil
+	})
+	requireSameSet(t, "post-takeover AND",
+		discoverSet(t, ctx, client, Query{Caps: []string{"skilled", "even"}}), evens)
+}
+
+// TestCapabilityFullClusterRestartRecovery kills a durable cluster and
+// rebuilds it from disk: capability sets written before the snapshot, churned
+// after it (new advertisers, a re-advertisement, deregisters), must all come
+// back exactly — the snapshot's capability section plus the WAL deltas.
+func TestCapabilityFullClusterRestartRecovery(t *testing.T) {
+	cfg := failoverConfig()
+	cfg.PlacementNodes = []platform.NodeID{"node-0", "node-1", "node-2"}
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	t.Cleanup(func() { net.Close() })
+
+	const numNodes = 3
+	dirs := make([]string, numNodes)
+	nodes := make([]*platform.Node, numNodes)
+	for i := range nodes {
+		dirs[i] = t.TempDir()
+		nodes[i], _ = durableNode(t, net, platform.NodeID(fmt.Sprintf("node-%d", i)), dirs[i])
+	}
+	svc, err := Deploy(context.Background(), cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &testCluster{nodes: nodes, service: svc}
+	ctx := testCtx(t)
+
+	durables := make(map[ids.AgentID]platform.NodeID)
+	for i := 0; i < 18; i++ {
+		n := nodes[i%numNodes]
+		agent := ids.AgentID(fmt.Sprintf("dur-skill-%02d", i))
+		if _, err := svc.ClientFor(n).RegisterWithCapabilities(ctx, agent, []string{"dur"}); err != nil {
+			t.Fatalf("register %s: %v", agent, err)
+		}
+		durables[agent] = n.ID()
+	}
+	forceSplit(t, c, ctx, "iagent-1", durables)
+
+	// Full snapshot on node 0: its capability section captures the sets so
+	// far; everything after lives only in WAL deltas.
+	p, err := StartPersister(nodes[0], svc.Config(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.WriteFullSnapshot(); err != nil || n == 0 {
+		t.Fatalf("full snapshot on node 0: %d sections, %v", n, err)
+	}
+	p.Stop()
+
+	// Post-snapshot churn. Late advertisers:
+	late := make(map[ids.AgentID]platform.NodeID)
+	for i := 0; i < 4; i++ {
+		n := nodes[i%numNodes]
+		agent := ids.AgentID(fmt.Sprintf("late-skill-%d", i))
+		if _, err := svc.ClientFor(n).RegisterWithCapabilities(ctx, agent, []string{"late"}); err != nil {
+			t.Fatalf("register %s: %v", agent, err)
+		}
+		late[agent] = n.ID()
+	}
+	// A re-advertisement replaces one agent's set (adds "extra").
+	extra := ids.AgentID("dur-skill-00")
+	if _, err := svc.ClientFor(nodes[0]).Advertise(ctx, extra, []string{"dur", "extra"}, Assignment{}); err != nil {
+		t.Fatalf("advertise %s: %v", extra, err)
+	}
+	// And three advertisers leave.
+	var gone []ids.AgentID
+	for agent := range durables {
+		if agent == extra || len(gone) >= 3 {
+			continue
+		}
+		if err := svc.ClientFor(nodes[1]).Deregister(ctx, agent, Assignment{}); err != nil {
+			t.Fatalf("deregister %s: %v", agent, err)
+		}
+		delete(durables, agent)
+		gone = append(gone, agent)
+	}
+
+	time.Sleep(4 * cfg.HeartbeatInterval)
+	for _, n := range nodes {
+		n.Crash()
+	}
+
+	// Cold start from disk.
+	nodes2 := make([]*platform.Node, numNodes)
+	for i := range nodes2 {
+		nodes2[i], _ = durableNode(t, net, platform.NodeID(fmt.Sprintf("node-%d", i)), dirs[i])
+		if _, err := RecoverNode(nodes2[i], svc.Config()); err != nil {
+			t.Fatalf("recover node %d: %v", i, err)
+		}
+		if !nodes2[i].Hosts(LHAgentID(nodes2[i].ID())) {
+			if err := nodes2[i].Launch(LHAgentID(nodes2[i].ID()), &LHAgentBehavior{Cfg: svc.Config()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Every node's cold client sees the exact recovered capability picture.
+	for i, n := range nodes2 {
+		client := NewClient(NodeCaller{N: n}, svc.Config())
+		requireSameSet(t, fmt.Sprintf("node %d dur", i),
+			discoverSet(t, ctx, client, Query{Caps: []string{"dur"}}), durables)
+		requireSameSet(t, fmt.Sprintf("node %d late", i),
+			discoverSet(t, ctx, client, Query{Caps: []string{"late"}}), late)
+		requireSameSet(t, fmt.Sprintf("node %d extra", i),
+			discoverSet(t, ctx, client, Query{Caps: []string{"extra"}}),
+			map[ids.AgentID]platform.NodeID{extra: durables[extra]})
+		got := discoverSet(t, ctx, client, Query{Caps: []string{"dur"}})
+		for _, agent := range gone {
+			if node, ok := got[agent]; ok {
+				t.Errorf("node %d: deregistered %s resurrected at %s", i, agent, node)
+			}
+		}
+	}
+}
+
+// TestLocateBatchMidSplitInvalidatesStaleEntries is the regression test for
+// the batch cache bug: a split lands between a batch that filled the cache
+// and the next one, an agent moves under the stale entries, and the next
+// batched reply — carrying the new hash version — must fence the cache so
+// the stale location dies instead of being served for the rest of its TTL.
+func TestLocateBatchMidSplitInvalidatesStaleEntries(t *testing.T) {
+	cfg := quietConfig()
+	cfg.LocateCacheTTL = time.Minute
+	c := newTestCluster(t, cfg, 3)
+	ctx := testCtx(t)
+
+	homes := make(map[ids.AgentID]platform.NodeID)
+	all := make([]ids.AgentID, 0, 12)
+	for i := 0; i < 12; i++ {
+		n := c.nodes[i%3]
+		agent := ids.AgentID(fmt.Sprintf("lb-agent-%02d", i))
+		if _, err := c.service.ClientFor(n).Register(ctx, agent); err != nil {
+			t.Fatalf("register %s: %v", agent, err)
+		}
+		homes[agent] = n.ID()
+		all = append(all, agent)
+	}
+
+	// The client under test fills its private cache before the split.
+	client := NewClient(NodeCaller{N: c.nodes[1]}, cfg)
+	got, err := client.LocateBatch(ctx, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for agent, home := range homes {
+		if got[agent] != home {
+			t.Fatalf("warmup: %s at %s, want %s", agent, got[agent], home)
+		}
+	}
+
+	forceSplit(t, c, ctx, "iagent-1", homes)
+
+	// An agent the new leaf owns moves; our client's cached entry is stale.
+	st := hashState(t, c, ctx)
+	var mover ids.AgentID
+	for _, agent := range all {
+		if owner, _, err := st.OwnerOf(agent); err == nil && owner != "iagent-1" {
+			mover = agent
+			break
+		}
+	}
+	if mover == "" {
+		t.Fatal("split left every agent on iagent-1")
+	}
+	oldHome := homes[mover]
+	newHome := c.nodes[0].ID()
+	if newHome == oldHome {
+		newHome = c.nodes[2].ID()
+	}
+	if _, err := c.service.ClientFor(c.nodes[0]).MoveNotifyTo(ctx, mover, newHome, Assignment{}); err != nil {
+		t.Fatalf("move %s: %v", mover, err)
+	}
+
+	// Sanity: the cache still serves the pre-split answer — nothing has told
+	// this client about the new version yet.
+	if node, err := client.Locate(ctx, mover); err != nil || node != oldHome {
+		t.Fatalf("pre-fence locate = %s, %v; want the cached stale %s", node, err, oldHome)
+	}
+
+	// A fresh agent forces the batch onto the wire; its reply carries the
+	// post-split hash version. The fix under test: the batch must fence the
+	// cache at that version whether the leaf answers OK or not-responsible.
+	fresh := ids.AgentID("lb-fresh")
+	if _, err := c.service.ClientFor(c.nodes[2]).Register(ctx, fresh); err != nil {
+		t.Fatal(err)
+	}
+	out, err := client.LocateBatch(ctx, []ids.AgentID{fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[fresh] != c.nodes[2].ID() {
+		t.Fatalf("fresh agent at %s, want %s", out[fresh], c.nodes[2].ID())
+	}
+
+	// The stale entry is now behind the fence: the very next lookup must
+	// fall through to the wire and return the true home — within the TTL
+	// that would otherwise have kept serving the old one.
+	if node, err := client.Locate(ctx, mover); err != nil {
+		t.Fatalf("post-fence locate: %v", err)
+	} else if node != newHome {
+		t.Fatalf("post-fence locate = %s, want %s (stale entry survived the batch fence)", node, newHome)
+	}
+}

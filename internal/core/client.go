@@ -254,6 +254,7 @@ func NewClient(caller Caller, cfg Config) *Client {
 			KindUpdate:     reg.Counter("agentloc_core_client_retries_total", "op", "update"),
 			KindRegister:   reg.Counter("agentloc_core_client_retries_total", "op", "register"),
 			KindDeregister: reg.Counter("agentloc_core_client_retries_total", "op", "deregister"),
+			KindDiscover:   reg.Counter("agentloc_core_client_retries_total", "op", "discover"),
 		}
 		reg.Describe("agentloc_core_residence_fallback_total", "Residence moves degraded to per-member bound updates (stale grouping).")
 		c.resFallback = reg.Counter("agentloc_core_residence_fallback_total")
@@ -356,7 +357,22 @@ func (c *Client) refreshLocal(ctx context.Context, minVersion uint64) error {
 // Register announces a newly created agent's location (the caller's node)
 // and returns the assignment the agent should cache.
 func (c *Client) Register(ctx context.Context, self ids.AgentID) (Assignment, error) {
-	return c.reportLocation(ctx, KindRegister, self, "", Assignment{})
+	return c.reportLocation(ctx, KindRegister, self, "", nil, Assignment{})
+}
+
+// RegisterWithCapabilities is Register with an advertised capability set:
+// the responsible IAgent records the location and indexes the tags in the
+// same round, so the agent is discoverable the moment it is locatable.
+func (c *Client) RegisterWithCapabilities(ctx context.Context, self ids.AgentID, caps []string) (Assignment, error) {
+	return c.reportLocation(ctx, KindRegister, self, "", caps, Assignment{})
+}
+
+// Advertise replaces the agent's capability set at its responsible IAgent
+// (re-reporting the caller's node as its location). An empty caps set is
+// rejected by the protocol's "empty means no change" rule — withdrawing all
+// capabilities takes a Deregister + Register.
+func (c *Client) Advertise(ctx context.Context, self ids.AgentID, caps []string, cached Assignment) (Assignment, error) {
+	return c.reportLocation(ctx, KindUpdate, self, "", caps, cached)
 }
 
 // MoveNotify informs the agent's IAgent that it now resides at the
@@ -365,7 +381,7 @@ func (c *Client) Register(ctx context.Context, self ids.AgentID) (Assignment, er
 // MoveNotify also clears any residence binding the agent had — an
 // individually-reported move means it left its group.
 func (c *Client) MoveNotify(ctx context.Context, self ids.AgentID, cached Assignment) (Assignment, error) {
-	return c.reportLocation(ctx, KindUpdate, self, "", cached)
+	return c.reportLocation(ctx, KindUpdate, self, "", nil, cached)
 }
 
 // MoveNotifyTo is MoveNotify reporting an explicit destination node instead
@@ -373,21 +389,21 @@ func (c *Client) MoveNotify(ctx context.Context, self ids.AgentID, cached Assign
 // announcing a move on an agent's behalf. Like MoveNotify it clears any
 // residence binding the agent had.
 func (c *Client) MoveNotifyTo(ctx context.Context, self ids.AgentID, node platform.NodeID, cached Assignment) (Assignment, error) {
-	return c.reportLocationAt(ctx, KindUpdate, self, "", node, cached)
+	return c.reportLocationAt(ctx, KindUpdate, self, "", nil, node, cached)
 }
 
 // MoveNotifyBound is MoveNotify with a residence binding: besides recording
 // the agent at the caller's node, the IAgent binds it to the handle so a
 // later ResidenceGroup.MoveTo covers it with one RPC.
 func (c *Client) MoveNotifyBound(ctx context.Context, self ids.AgentID, res ids.ResidenceID, cached Assignment) (Assignment, error) {
-	return c.reportLocation(ctx, KindUpdate, self, res, cached)
+	return c.reportLocation(ctx, KindUpdate, self, res, nil, cached)
 }
 
 // moveNotifyBoundAt is MoveNotifyBound reporting an explicit node instead
 // of the caller's own — the per-member fallback of a residence move reports
 // the group's destination, wherever the reporting client runs.
 func (c *Client) moveNotifyBoundAt(ctx context.Context, self ids.AgentID, res ids.ResidenceID, node platform.NodeID, cached Assignment) (Assignment, error) {
-	return c.reportLocationAt(ctx, KindUpdate, self, res, node, cached)
+	return c.reportLocationAt(ctx, KindUpdate, self, res, nil, node, cached)
 }
 
 // Deregister removes the agent's entry (agent disposal).
@@ -557,20 +573,36 @@ func (c *Client) LocateBatch(ctx context.Context, targets []ids.AgentID) (map[id
 		csp.End(err)
 		if err != nil || len(resp.Results) != len(g.agents) {
 			// Transport trouble or a malformed reply; the singleton path
-			// carries the retry logic.
+			// carries the retry logic. Whatever the cache holds for these
+			// agents is unproven now — a concurrent op may have cached a
+			// location this very reply was about to contradict — so drop it
+			// rather than let a partial failure leave stale entries behind.
+			for _, a := range g.agents {
+				c.cache.invalidate(a)
+			}
 			retry = append(retry, g.agents...)
 			continue
 		}
 		for i, r := range resp.Results {
 			switch r.Status {
 			case StatusOK:
-				c.cache.put(g.agents[i], r.Node, g.assign.HashVersion)
+				ver := g.assign.HashVersion
+				if r.HashVersion > ver {
+					ver = r.HashVersion
+				}
+				c.cache.fence(r.HashVersion)
+				c.cache.put(g.agents[i], r.Node, ver)
 				out[g.agents[i]] = r.Node
 			case StatusUnknownAgent:
 				c.cache.invalidate(g.agents[i])
 			default:
-				// NotResponsible: our copy went stale for this slice of
-				// the id space; refresh-and-retry one by one.
+				// NotResponsible: our copy went stale for this slice of the
+				// id space. Fence the cache at the leaf's version — fence
+				// only ever raises, so one leaf answering with an older
+				// version cannot roll the fence back — invalidate the now
+				// unproven entries, and refresh-and-retry one by one.
+				c.cache.fence(r.HashVersion)
+				c.cache.invalidate(g.agents[i])
 				retry = append(retry, g.agents[i])
 			}
 		}
@@ -600,12 +632,12 @@ func (c *Client) InvalidateLocation(target ids.AgentID) {
 
 // reportLocation implements register/update with the shared retry loop,
 // reporting the caller's own node.
-func (c *Client) reportLocation(ctx context.Context, kind string, self ids.AgentID, res ids.ResidenceID, cached Assignment) (Assignment, error) {
-	return c.reportLocationAt(ctx, kind, self, res, c.caller.LocalNode(), cached)
+func (c *Client) reportLocation(ctx context.Context, kind string, self ids.AgentID, res ids.ResidenceID, caps []string, cached Assignment) (Assignment, error) {
+	return c.reportLocationAt(ctx, kind, self, res, caps, c.caller.LocalNode(), cached)
 }
 
 // reportLocationAt is reportLocation with an explicit reported node.
-func (c *Client) reportLocationAt(ctx context.Context, kind string, self ids.AgentID, res ids.ResidenceID, node platform.NodeID, cached Assignment) (Assignment, error) {
+func (c *Client) reportLocationAt(ctx context.Context, kind string, self ids.AgentID, res ids.ResidenceID, caps []string, node platform.NodeID, cached Assignment) (Assignment, error) {
 	opName := "register"
 	if kind == KindUpdate {
 		opName = "update"
@@ -630,7 +662,7 @@ func (c *Client) reportLocationAt(ctx context.Context, kind string, self ids.Age
 			}
 		}
 		var ack Ack
-		req := UpdateReq{Agent: self, Node: node, Residence: res}
+		req := UpdateReq{Agent: self, Node: node, Residence: res, Capabilities: caps}
 		if kind == KindUpdate && c.batcher != nil {
 			// The batch span covers the full queue-to-ack delay: time parked
 			// in the outgoing batch plus the coalesced RPC's round trip.

@@ -133,6 +133,15 @@ type Config struct {
 	// LocateCacheSize caps the number of cached locations per client.
 	// Zero selects 4096.
 	LocateCacheSize int
+
+	// DiscoverFanout bounds how many leaves a Client.Discover queries
+	// concurrently during its scatter-gather. Zero selects 8.
+	DiscoverFanout int
+	// DiscoverPerLeafLimit caps the matches requested from each leaf when
+	// the query itself sets no limit. Zero selects 256 — enough to merge a
+	// meaningful Near-preference ranking without shipping a leaf's whole
+	// index.
+	DiscoverPerLeafLimit int
 }
 
 // DefaultConfig returns the configuration used by the paper's experiments:
@@ -199,6 +208,10 @@ func (c Config) Validate() error {
 		return errors.New("core: config: LocateCacheTTL must be non-negative")
 	case c.LocateCacheSize < 0:
 		return errors.New("core: config: LocateCacheSize must be non-negative")
+	case c.DiscoverFanout < 0:
+		return errors.New("core: config: DiscoverFanout must be non-negative")
+	case c.DiscoverPerLeafLimit < 0:
+		return errors.New("core: config: DiscoverPerLeafLimit must be non-negative")
 	default:
 		return nil
 	}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"agentloc/internal/ids"
+	"agentloc/internal/platform"
+)
+
+// This file implements the client side of the capability-discovery tier: a
+// scatter-gather over the responsible leaves. Exact location stays a
+// single-IAgent question (the agent's id hashes to one leaf), but "which
+// agents can do C?" has no such home — matching agents hash everywhere — so
+// a discovery query must visit every leaf. The LHAgent's cached hash copy
+// supplies the scatter set (KindLeaves), each leaf answers from its own
+// capability index (KindDiscover), and the gather merges with a locality
+// preference. Staleness follows the §4.3 rule: a leaf that answers
+// not-responsible (or is gone) bumps the demanded hash version and the
+// scatter re-enumerates, so discovery converges across splits, merges and
+// takeovers exactly like locate does.
+
+// Query selects agents by capability. Caps is an AND-set: a match must
+// advertise every listed tag. Near, when non-empty, ranks matches currently
+// at that node first — "find me an idle OCR agent, preferably here". Limit,
+// when positive, caps the merged result (and the per-leaf answers).
+type Query struct {
+	Caps  []string
+	Near  platform.NodeID
+	Limit int
+}
+
+// Match is one discovery result: a matching agent and the node its leaf
+// recorded for it — a locality hint as fresh as any Locate answer.
+type Match struct {
+	Agent ids.AgentID
+	Node  platform.NodeID
+}
+
+// discoverFanout returns the configured scatter width (default 8).
+func (c Config) discoverFanout() int {
+	if c.DiscoverFanout > 0 {
+		return c.DiscoverFanout
+	}
+	return 8
+}
+
+// discoverPerLeafLimit returns the per-leaf match cap used when the query
+// sets no limit of its own (default 256).
+func (c Config) discoverPerLeafLimit() int {
+	if c.DiscoverPerLeafLimit > 0 {
+		return c.DiscoverPerLeafLimit
+	}
+	return 256
+}
+
+// Discover finds agents advertising every capability in q.Caps by fanning
+// the query out across the responsible leaves (at most Config.DiscoverFanout
+// in flight) and merging the per-leaf answers: matches at q.Near first, then
+// by agent id, truncated to q.Limit. An empty q.Caps matches nothing.
+//
+// Like every client operation it tolerates a stale hash copy: leaves that
+// moved, merged or answered not-responsible trigger a refresh of the local
+// copy and a re-scatter, with matches deduplicated across rounds. It returns
+// ErrRetriesExhausted if some slice of the id space never answered — the
+// matches gathered so far are returned alongside, explicitly partial.
+func (c *Client) Discover(ctx context.Context, q Query) ([]Match, error) {
+	sp, ctx, rpcs := c.startOp(ctx, "discover")
+	if len(q.Caps) == 0 {
+		endOp(sp, rpcs, nil)
+		return nil, nil
+	}
+	perLeaf := c.cfg.discoverPerLeafLimit()
+	if q.Limit > 0 && q.Limit < perLeaf {
+		perLeaf = q.Limit
+	}
+
+	found := make(map[ids.AgentID]platform.NodeID)
+	var minVersion uint64
+	complete := false
+	for attempt := 0; attempt < maxProtocolRetries && !complete; attempt++ {
+		if attempt > 0 {
+			c.retries[KindDiscover].Inc()
+		}
+		if err := c.backoff(ctx, attempt); err != nil {
+			endOp(sp, rpcs, err)
+			return nil, err
+		}
+		leaves, version, err := c.leafSet(ctx, minVersion)
+		if err != nil {
+			endOp(sp, rpcs, err)
+			return nil, err
+		}
+		if version > minVersion {
+			minVersion = version
+		}
+		stale := c.scatter(ctx, leaves, q, perLeaf, &minVersion, found)
+		switch {
+		case stale == 0 && minVersion == version:
+			// Every leaf answered at the version the scatter set was drawn
+			// from: the id space was covered in full.
+			complete = true
+		case stale > 0 && minVersion <= version:
+			// Some slice of the id space did not answer under this leaf set
+			// and nobody named a newer version; demand a strictly newer copy
+			// before re-scattering, so a leaf that is simply down (not
+			// rehashed away) cannot spin us.
+			minVersion = version + 1
+		default:
+			// A leaf answered OK but under a newer hash version than the
+			// scatter set: a split may have moved some of its agents to a
+			// leaf this round never visited. minVersion already demands the
+			// newer copy; re-enumerate and re-scatter.
+		}
+	}
+	c.cache.fence(minVersion)
+
+	matches := mergeMatches(found, q)
+	if !complete {
+		endOp(sp, rpcs, ErrRetriesExhausted)
+		return matches, fmt.Errorf("discover %v: %w", q.Caps, ErrRetriesExhausted)
+	}
+	sp.Annotate("matches", strconv.Itoa(len(matches)))
+	endOp(sp, rpcs, nil)
+	return matches, nil
+}
+
+// leafSet asks the local LHAgent for the scatter set, at least minVersion
+// fresh.
+func (c *Client) leafSet(ctx context.Context, minVersion uint64) ([]LeafRef, uint64, error) {
+	sp, ctx := c.childSpan(ctx, "leaves")
+	local := c.caller.LocalNode()
+	var resp LeavesResp
+	err := c.call(ctx, local, LHAgentID(local), KindLeaves, &LeavesReq{MinVersion: minVersion}, &resp)
+	sp.End(err)
+	if err != nil {
+		return nil, 0, fmt.Errorf("discover: enumerate leaves: %w", err)
+	}
+	return resp.Leaves, resp.HashVersion, nil
+}
+
+// scatter queries every leaf with at most fanout calls in flight, folding
+// successful answers into found (last writer wins — the leaves partition the
+// id space, so overlap only happens across retry rounds where fresher
+// answers should win anyway). It returns the number of leaves that did not
+// answer authoritatively and raises *minVersion to the newest hash version
+// seen, so the next round enumerates a scatter set at least that fresh.
+func (c *Client) scatter(ctx context.Context, leaves []LeafRef, q Query, perLeaf int, minVersion *uint64, found map[ids.AgentID]platform.NodeID) int {
+	var (
+		mu    sync.Mutex
+		stale int
+		wg    sync.WaitGroup
+	)
+	slots := make(chan struct{}, c.cfg.discoverFanout())
+	for _, leaf := range leaves {
+		wg.Add(1)
+		slots <- struct{}{}
+		go func(leaf LeafRef) {
+			defer func() { <-slots; wg.Done() }()
+			csp, cctx := c.childSpan(ctx, "iagent.discover")
+			csp.Annotate("leaf", string(leaf.IAgent))
+			var resp DiscoverResp
+			req := DiscoverReq{Caps: q.Caps, Near: q.Near, Limit: perLeaf}
+			err := c.call(cctx, leaf.Node, leaf.IAgent, KindDiscover, &req, &resp)
+			csp.End(err)
+			mu.Lock()
+			defer mu.Unlock()
+			if resp.HashVersion > *minVersion {
+				*minVersion = resp.HashVersion
+			}
+			if err != nil || resp.Status != StatusOK {
+				stale++
+				return
+			}
+			for _, m := range resp.Matches {
+				found[m.Agent] = m.Node
+			}
+		}(leaf)
+	}
+	wg.Wait()
+	return stale
+}
+
+// mergeMatches orders the gathered matches — q.Near first, then agent id —
+// and truncates to q.Limit.
+func mergeMatches(found map[ids.AgentID]platform.NodeID, q Query) []Match {
+	matches := make([]Match, 0, len(found))
+	for agent, node := range found {
+		matches = append(matches, Match{Agent: agent, Node: node})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if q.Near != "" {
+			ni, nj := matches[i].Node == q.Near, matches[j].Node == q.Near
+			if ni != nj {
+				return ni
+			}
+		}
+		return matches[i].Agent < matches[j].Agent
+	})
+	if q.Limit > 0 && len(matches) > q.Limit {
+		matches = matches[:q.Limit]
+	}
+	return matches
+}

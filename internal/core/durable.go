@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"agentloc/internal/capindex"
 	"agentloc/internal/hashtree"
 	"agentloc/internal/ids"
 	"agentloc/internal/loctable"
@@ -49,6 +50,13 @@ const (
 	SectionHAgent     byte = 1
 	SectionIAgent     byte = 2
 	SectionCheckpoint byte = 3
+	// SectionCapability carries an IAgent's capability index (see
+	// internal/capindex) as a framed "ACAP" payload with its own format
+	// version: a full frame replaces the index, a delta frame re-states one
+	// agent's set (empty = removal). Written beside every SectionIAgent
+	// dump and teed per capability mutation, so recovery layers it exactly
+	// like the location data it shadows.
+	SectionCapability byte = 4
 )
 
 // KindSnapshotDump asks an agent for its durable snapshot section; the
@@ -56,11 +64,14 @@ const (
 // snapshot. Agents without durable state answer Status Ignored.
 const KindSnapshotDump = "node.snapshot-dump"
 
-// SnapshotDumpResp carries one agent's snapshot section.
+// SnapshotDumpResp carries one agent's snapshot section. Extra carries
+// auxiliary sections that must land in the same full snapshot (an IAgent's
+// capability index rides here); old peers gob-decode the field away.
 type SnapshotDumpResp struct {
 	Status      Status
 	HashVersion uint64
 	Section     snapshot.Section
+	Extra       []snapshot.Section
 }
 
 // maxDurableField bounds ids and node names inside section payloads,
@@ -323,9 +334,34 @@ func (b *IAgentBehavior) durableSection(self ids.AgentID) (snapshot.Section, err
 	return iagentSection(self, b.state.Load(), table)
 }
 
+// capSection assembles this IAgent's full capability section: the whole
+// index as one framed "ACAP" full frame. Written even when the index is
+// empty — an empty full frame is what clears stale capability state on
+// disk after a handoff emptied the index.
+func (b *IAgentBehavior) capSection(self ids.AgentID) snapshot.Section {
+	return snapshot.Section{Kind: SectionCapability, Name: string(self), Payload: b.Caps.Serialize()}
+}
+
+// persistCapDelta tees one agent's capability change (empty caps = removal)
+// as a delta section, best effort: the location WAL record carries no
+// capability payload, so this is what closes the durability gap between
+// full sections for capability mutations.
+func (b *IAgentBehavior) persistCapDelta(ctx *platform.Context, agent ids.AgentID, caps []string) {
+	store := ctx.Durable()
+	if store == nil {
+		return
+	}
+	_ = store.AppendDelta(snapshot.Section{
+		Kind:    SectionCapability,
+		Name:    string(ctx.Self()),
+		Payload: capindex.EncodeDelta(agent, caps),
+	})
+}
+
 // persistSelf writes this IAgent's full section as an incremental snapshot,
 // best effort: a failed write costs compaction, not correctness — the WAL
-// still holds every acknowledged update.
+// still holds every acknowledged update. The capability index follows as
+// its own section so both layers advance together.
 func (b *IAgentBehavior) persistSelf(ctx *platform.Context) {
 	store := ctx.Durable()
 	if store == nil {
@@ -336,6 +372,7 @@ func (b *IAgentBehavior) persistSelf(ctx *platform.Context) {
 		return
 	}
 	_ = store.AppendDelta(sec)
+	_ = store.AppendDelta(b.capSection(ctx.Self()))
 }
 
 // persistState writes the HAgent's section as an incremental snapshot, best
@@ -376,6 +413,7 @@ type RecoveryReport struct {
 type iagentRecovery struct {
 	state   *State
 	entries map[ids.AgentID]platform.NodeID
+	caps    *capindex.Index
 }
 
 type hagentRecovery struct {
@@ -424,8 +462,27 @@ func RecoverNode(node *platform.Node, cfg Config) (*RecoveryReport, error) {
 				report.Skipped++
 				return
 			}
-			// A full dump replaces any earlier base for this IAgent.
-			iagents[sec.Name] = &iagentRecovery{state: st, entries: table.Snapshot()}
+			// A full dump replaces any earlier base for this IAgent. The
+			// capability index carries over: its own full section normally
+			// follows in append order and replaces it; if that write was
+			// lost, the older capability state beats none at all.
+			ir := &iagentRecovery{state: st, entries: table.Snapshot()}
+			if prev := iagents[sec.Name]; prev != nil {
+				ir.caps = prev.caps
+			}
+			iagents[sec.Name] = ir
+		case SectionCapability:
+			ir := iagents[sec.Name]
+			if ir == nil {
+				report.Skipped++
+				return
+			}
+			if ir.caps == nil {
+				ir.caps = capindex.New()
+			}
+			if err := capindex.Apply(sec.Payload, ir.caps); err != nil {
+				report.Skipped++
+			}
 		case SectionCheckpoint:
 			ir := iagents[sec.Name]
 			if ir == nil {
@@ -502,7 +559,7 @@ func RecoverNode(node *platform.Node, cfg Config) (*RecoveryReport, error) {
 			table.Put(a, n)
 		}
 		report.Entries += len(ir.entries)
-		behavior := &IAgentBehavior{Cfg: cfg, Table: table, StateSnapshot: ir.state.DTO()}
+		behavior := &IAgentBehavior{Cfg: cfg, Table: table, Caps: ir.caps, StateSnapshot: ir.state.DTO()}
 		if err := node.Launch(ids.AgentID(name), behavior, platform.WithServiceTime(cfg.IAgentServiceTime)); err != nil {
 			return nil, fmt.Errorf("core: relaunch IAgent %s: %w", name, err)
 		}
@@ -609,6 +666,7 @@ func (p *Persister) WriteFullSnapshot() (int, error) {
 			continue
 		}
 		sections = append(sections, resp.Section)
+		sections = append(sections, resp.Extra...)
 	}
 	if len(sections) == 0 {
 		return 0, nil

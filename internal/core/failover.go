@@ -79,6 +79,11 @@ type CheckpointReq struct {
 	Full    bool
 	Entries map[ids.AgentID]platform.NodeID
 	Removed []ids.AgentID
+	// Caps carries the capability sets of the shipped entries (only agents
+	// advertising at least one tag appear), so a promoted checkpoint restores
+	// the secondary index along with the locations. Removed agents drop their
+	// capabilities implicitly.
+	Caps map[ids.AgentID][]string
 }
 
 // CheckpointResp acknowledges (or rejects) a checkpoint push.
@@ -100,6 +105,8 @@ type CheckpointState struct {
 	Seq         uint64
 	HashVersion uint64
 	Entries     map[ids.AgentID]platform.NodeID
+	// Caps holds the capability sets last pushed for the held entries.
+	Caps map[ids.AgentID][]string
 }
 
 // failoverEnabled reports whether the crash-tolerance subsystem is on.
@@ -471,6 +478,7 @@ func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
 		// — a restored swarm re-forms its bindings at its next move.
 		req.Entries = b.Table.Snapshot()
 		b.Residence.OverlayResolved(req.Entries)
+		req.Caps = b.Caps.Snapshot()
 	} else {
 		req.Entries = make(map[ids.AgentID]platform.NodeID, len(b.ckDirty))
 		for a := range b.ckDirty {
@@ -479,6 +487,12 @@ func (b *IAgentBehavior) pushCheckpoint(ctx *platform.Context) {
 					n = rn
 				}
 				req.Entries[a] = n
+				if caps := b.Caps.CapsOf(a); len(caps) > 0 {
+					if req.Caps == nil {
+						req.Caps = make(map[ids.AgentID][]string)
+					}
+					req.Caps[a] = caps
+				}
 			}
 		}
 		req.Removed = make([]ids.AgentID, 0, len(b.ckRemoved))
@@ -560,8 +574,15 @@ func (b *IAgentBehavior) acceptCheckpoint(req CheckpointReq) CheckpointResp {
 	for a, n := range req.Entries {
 		held.Entries[a] = n
 	}
+	for a, caps := range req.Caps {
+		if held.Caps == nil {
+			held.Caps = make(map[ids.AgentID][]string)
+		}
+		held.Caps[a] = caps
+	}
 	for _, a := range req.Removed {
 		delete(held.Entries, a)
+		delete(held.Caps, a)
 	}
 	b.Checkpoints[req.From] = held
 	return CheckpointResp{Status: StatusOK, HashVersion: ver}
@@ -591,6 +612,10 @@ func (b *IAgentBehavior) activateCheckpoint(ctx *platform.Context, failed ids.Ag
 			// exactly as the checkpoint scheme already tolerates.
 			walAppendBestEffort(ctx, snapshot.OpPut, agent, node, st.Version())
 			b.Table.Put(agent, node)
+			if caps := ck.Caps[agent]; len(caps) > 0 {
+				b.Caps.Set(agent, caps)
+				b.persistCapDelta(ctx, agent, caps)
+			}
 			b.ckDirty[agent] = true
 			restored++
 		}

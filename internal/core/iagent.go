@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"agentloc/internal/capindex"
 	"agentloc/internal/ids"
 	"agentloc/internal/loctable"
 	"agentloc/internal/metrics"
@@ -38,6 +40,12 @@ type IAgentBehavior struct {
 	// so a group migration re-pointing the handle covers every bound member
 	// (see residence.go).
 	Residence *ResidenceTable
+	// Caps is the secondary capability index (tag → served agents), kept
+	// in lockstep with Table through register/update/deregister, handoffs,
+	// sibling checkpoints and durable sections; Discover queries resolve
+	// matches to nodes through Table+Residence, so the index itself never
+	// stores locations.
+	Caps *capindex.Index
 	// StateSnapshot is the IAgent's copy of the hash state, kept current
 	// by the HAgent for every rehash the IAgent is involved in.
 	StateSnapshot StateDTO
@@ -100,6 +108,9 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 		if b.Residence == nil {
 			b.Residence = NewResidenceTable()
 		}
+		if b.Caps == nil {
+			b.Caps = capindex.New()
+		}
 		st, err := FromDTO(b.StateSnapshot)
 		if err != nil {
 			b.initErr = fmt.Errorf("IAgent %s: %w", ctx.Self(), err)
@@ -135,6 +146,7 @@ func (b *IAgentBehavior) ensureRuntime(ctx *platform.Context) error {
 			KindDeregister:    reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "deregister"),
 			KindLocate:        reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "locate"),
 			KindResidenceMove: reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "residence-move"),
+			KindDiscover:      reg.Counter("agentloc_core_iagent_requests_total", "iagent", self, "op", "discover"),
 		}
 		b.metStale = reg.Counter("agentloc_core_iagent_stale_total", "iagent", self)
 		b.metTable = reg.Gauge("agentloc_core_iagent_table_entries", "iagent", self)
@@ -182,6 +194,19 @@ func (b *IAgentBehavior) HandleConcurrent(ctx *platform.Context, kind string, pa
 			return nil, true, err
 		}
 		return b.locateBatch(ctx, req), true, nil
+	case KindDiscover:
+		// The capability index, Table and Residence are all individually
+		// concurrency-safe, so discovery rides the read fast path beside
+		// locates.
+		if err := b.ensureRuntime(ctx); err != nil {
+			return nil, true, err
+		}
+		b.metReq[KindDiscover].Inc()
+		var req DiscoverReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, true, err
+		}
+		return b.discover(req), true, nil
 	case KindIAgentPing:
 		if err := b.ensureRuntime(ctx); err != nil {
 			return nil, true, err
@@ -216,13 +241,13 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.recordLocation(ctx, req.Agent, req.Node, "")
+		return b.recordLocation(ctx, req.Agent, req.Node, "", req.Capabilities)
 	case KindUpdate:
 		var req UpdateReq
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return b.recordLocation(ctx, req.Agent, req.Node, req.Residence)
+		return b.recordLocation(ctx, req.Agent, req.Node, req.Residence, req.Capabilities)
 	case KindUpdateBatch:
 		var req UpdateBatchReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -231,7 +256,7 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		resp := UpdateBatchResp{Acks: make([]Ack, len(req.Updates))}
 		for i, u := range req.Updates {
 			b.metReq[KindUpdate].Inc()
-			ack, err := b.recordLocation(ctx, u.Agent, u.Node, u.Residence)
+			ack, err := b.recordLocation(ctx, u.Agent, u.Node, u.Residence, u.Capabilities)
 			if err != nil {
 				return nil, err
 			}
@@ -262,6 +287,12 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 			return nil, err
 		}
 		return b.locateBatch(ctx, req), nil
+	case KindDiscover:
+		var req DiscoverReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.discover(req), nil
 	case KindAdoptState:
 		var req AdoptStateReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -285,7 +316,15 @@ func (b *IAgentBehavior) HandleRequest(ctx *platform.Context, kind string, paylo
 		if err != nil {
 			return nil, fmt.Errorf("IAgent %s: snapshot dump: %w", ctx.Self(), err)
 		}
-		return SnapshotDumpResp{Status: StatusOK, HashVersion: b.state.Load().Version(), Section: sec}, nil
+		// The capability index travels as its own section: a full snapshot
+		// rotation discards the WAL cap deltas it supersedes, so omitting it
+		// here would lose every capability written before the rotation.
+		return SnapshotDumpResp{
+			Status:      StatusOK,
+			HashVersion: b.state.Load().Version(),
+			Section:     sec,
+			Extra:       []snapshot.Section{b.capSection(ctx.Self())},
+		}, nil
 	default:
 		return nil, fmt.Errorf("IAgent %s: unknown request kind %q", ctx.Self(), kind)
 	}
@@ -306,9 +345,11 @@ func (b *IAgentBehavior) responsible(ctx *platform.Context, agent ids.AgentID) (
 // time A moves, it informs its IAgent about its new location"). A non-empty
 // res binds the agent to that residence handle at node; an empty res clears
 // any binding — an individually-reported move means the agent left its
-// group. On a durable node the update is WAL-logged before it is applied or
+// group. A non-empty caps replaces the agent's capability set; empty means
+// no capability change, so plain moves never wipe an advertised set. On a
+// durable node the update is WAL-logged before it is applied or
 // acknowledged; a failed append fails the request.
-func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID, node platform.NodeID, res ids.ResidenceID) (Ack, error) {
+func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID, node platform.NodeID, res ids.ResidenceID, caps []string) (Ack, error) {
 	b.est.Record()
 	ok, version := b.responsible(ctx, agent)
 	if !ok {
@@ -324,6 +365,13 @@ func (b *IAgentBehavior) recordLocation(ctx *platform.Context, agent ids.AgentID
 		b.Residence.Bind(agent, res, node)
 	} else {
 		b.Residence.Unbind(agent)
+	}
+	if len(caps) > 0 {
+		b.Caps.Set(agent, caps)
+		// The location WAL record carries no capability payload; tee the
+		// change as its own delta section so it survives a crash before
+		// the next full dump.
+		b.persistCapDelta(ctx, agent, caps)
 	}
 	b.mu.Lock()
 	b.ckDirty[agent] = true
@@ -385,6 +433,9 @@ func (b *IAgentBehavior) deregister(ctx *platform.Context, agent ids.AgentID) (A
 	}
 	b.Table.Delete(agent)
 	b.Residence.Unbind(agent)
+	if b.Caps.Remove(agent) {
+		b.persistCapDelta(ctx, agent, nil)
+	}
 	b.mu.Lock()
 	b.ckRemoved[agent] = true
 	delete(b.ckDirty, agent)
@@ -427,6 +478,47 @@ func (b *IAgentBehavior) locateBatch(ctx *platform.Context, req LocateBatchReq) 
 	for i, a := range req.Agents {
 		b.metReq[KindLocate].Inc()
 		resp.Results[i] = b.locate(ctx, a)
+	}
+	return resp
+}
+
+// discover answers a capability query against the secondary index, each
+// match resolved to its current node through the location table and the
+// residence overlay — the same resolution locate performs, so the caller
+// receives final addresses. Matches are Near-preferred, then ordered by
+// agent id for determinism, then truncated to the per-leaf limit. There is
+// no per-agent responsibility check: the index only ever holds agents this
+// IAgent serves (handoffs move capability sets with their entries), and an
+// agent absent from the table — a phantom left by a lost removal — is
+// simply skipped.
+func (b *IAgentBehavior) discover(req DiscoverReq) DiscoverResp {
+	b.est.Record()
+	version := b.state.Load().Version()
+	resp := DiscoverResp{Status: StatusOK, HashVersion: version}
+	matched := b.Caps.Match(req.Caps)
+	if len(matched) == 0 {
+		return resp
+	}
+	resp.Matches = make([]DiscoverMatch, 0, len(matched))
+	for _, agent := range matched {
+		node, found := b.Table.Get(agent)
+		if !found {
+			continue
+		}
+		if rn, ok := b.Residence.Resolve(agent); ok {
+			node = rn
+		}
+		resp.Matches = append(resp.Matches, DiscoverMatch{Agent: agent, Node: node})
+	}
+	sort.Slice(resp.Matches, func(i, j int) bool {
+		mi, mj := resp.Matches[i], resp.Matches[j]
+		if req.Near != "" && (mi.Node == req.Near) != (mj.Node == req.Near) {
+			return mi.Node == req.Near
+		}
+		return mi.Agent < mj.Agent
+	})
+	if req.Limit > 0 && len(resp.Matches) > req.Limit {
+		resp.Matches = resp.Matches[:req.Limit]
 	}
 	return resp
 }
@@ -481,6 +573,7 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 				Pending:    make(map[ids.AgentID][]Deposited),
 				Bindings:   make(map[ids.AgentID]ids.ResidenceID),
 				Residences: make(map[ids.ResidenceID]platform.NodeID),
+				Caps:       make(map[ids.AgentID][]string),
 			}
 			moved[owner] = h
 		}
@@ -489,6 +582,9 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 		if r, bound := b.Residence.BindingOf(agent); bound {
 			h.Bindings[agent] = r
 			h.Residences[r] = node
+		}
+		if caps := b.Caps.CapsOf(agent); len(caps) > 0 {
+			h.Caps[agent] = caps
 		}
 		b.mu.Lock()
 		if msgs := b.Pending[agent]; len(msgs) > 0 {
@@ -516,6 +612,7 @@ func (b *IAgentBehavior) adoptState(ctx *platform.Context, req AdoptStateReq) (A
 			walAppendBestEffort(ctx, snapshot.OpDelete, agent, "", st.Version())
 			b.Table.Delete(agent)
 			b.Residence.Unbind(agent)
+			b.Caps.Remove(agent)
 			b.loads.Remove(agent)
 		}
 		b.metTable.Set(int64(b.Table.Len()))
@@ -550,6 +647,12 @@ func (b *IAgentBehavior) handoff(ctx *platform.Context, req HandoffReq) (Ack, er
 	}
 	if len(req.Bindings) > 0 {
 		b.Residence.Adopt(req.Bindings, req.Residences)
+	}
+	if len(req.Caps) > 0 {
+		b.Caps.Adopt(req.Caps)
+		for agent, caps := range req.Caps {
+			b.persistCapDelta(ctx, agent, caps)
+		}
 	}
 	b.mu.Lock()
 	for agent := range req.Entries {

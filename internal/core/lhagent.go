@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"agentloc/internal/platform"
@@ -47,6 +48,12 @@ func (b *LHAgentBehavior) HandleRequest(ctx *platform.Context, kind string, payl
 			return nil, err
 		}
 		return b.refresh(ctx, req)
+	case KindLeaves:
+		var req LeavesReq
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return b.leaves(ctx, req)
 	case KindLHAdopt:
 		var req AdoptLHStateReq
 		if err := transport.Decode(payload, &req); err != nil {
@@ -80,6 +87,27 @@ func (b *LHAgentBehavior) whois(ctx *platform.Context, req WhoisReq) (WhoisResp,
 		return WhoisResp{}, fmt.Errorf("LHAgent %s: %w", ctx.Self(), err)
 	}
 	return WhoisResp{IAgent: iagent, Node: node, HashVersion: st.Version()}, nil
+}
+
+// leaves enumerates the responsible IAgents of the local copy — the scatter
+// set of a Discover fan-out. MinVersion > 0 forces a refresh first, so a
+// caller burned by a stale leaf list can demand a fresher one.
+func (b *LHAgentBehavior) leaves(ctx *platform.Context, req LeavesReq) (LeavesResp, error) {
+	st, err := b.stateOrFetch(ctx)
+	if err != nil {
+		return LeavesResp{}, err
+	}
+	if st.Version() < req.MinVersion {
+		if st, err = b.fetch(ctx, st.Version()); err != nil {
+			return LeavesResp{}, err
+		}
+	}
+	resp := LeavesResp{HashVersion: st.Version(), Leaves: make([]LeafRef, 0, len(st.Locations))}
+	for ia, node := range st.Locations {
+		resp.Leaves = append(resp.Leaves, LeafRef{IAgent: ia, Node: node})
+	}
+	sort.Slice(resp.Leaves, func(i, j int) bool { return resp.Leaves[i].IAgent < resp.Leaves[j].IAgent })
+	return resp, nil
 }
 
 // refresh brings the local copy to at least MinVersion, pulling from the

@@ -47,6 +47,26 @@ func TestLocCacheCapacityEviction(t *testing.T) {
 	}
 }
 
+// TestLocCacheFenceNeverRollsBack pins the monotonicity the batch path
+// leans on: one leaf replying with an older hash version than another must
+// not lower the fence, and entries under the high-water mark stay dead.
+func TestLocCacheFenceNeverRollsBack(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	cache := newLocCache(Config{LocateCacheTTL: time.Minute}, fake, nil)
+
+	cache.fence(5)
+	cache.fence(3) // a lagging leaf's reply; must be a no-op
+
+	cache.put("stale", "node-0", 4)
+	if node, ok := cache.get("stale"); ok {
+		t.Errorf("entry under the fence served %s after a lower fence call", node)
+	}
+	cache.put("fresh", "node-1", 5)
+	if node, ok := cache.get("fresh"); !ok || node != "node-1" {
+		t.Errorf("at-fence entry = %s, %v; want node-1 served", node, ok)
+	}
+}
+
 // TestLocCacheConcurrentPutFenceGet storms one small cache from many
 // goroutines mixing every mutation the client can issue. Run under -race
 // this is the memory-safety check the ISSUE asks for; the invariants

@@ -31,6 +31,13 @@ const (
 	// Residence group → IAgent: re-point a residence handle after a group
 	// migration, covering every member the IAgent serves with one RPC.
 	KindResidenceMove = "loc.residence-move"
+	// Client → IAgent: capability query against the leaf's secondary index
+	// (capability tag → agent set), answered with matches plus each match's
+	// current node from the location table.
+	KindDiscover = "loc.discover"
+	// Client → LHAgent: enumerate the leaves (responsible IAgents) of the
+	// cached hash state, the scatter set for a Discover fan-out.
+	KindLeaves = "loc.leaves"
 
 	// HAgent → IAgent.
 	KindAdoptState = "loc.adopt-state"
@@ -117,6 +124,11 @@ type UpdateReq struct {
 	// binding — an individually-reported move means the agent left its
 	// group.
 	Residence ids.ResidenceID
+	// Capabilities, when non-empty, replaces the agent's capability set in
+	// the IAgent's secondary index (see internal/capindex). Empty means "no
+	// capability change" — a plain move must not wipe the advertised set —
+	// so withdrawing all capabilities takes a deregister + re-register.
+	Capabilities []string
 }
 
 // DeregisterReq removes a disposed agent's entry.
@@ -260,6 +272,53 @@ type HandoffReq struct {
 	// back to per-agent updates.
 	Bindings   map[ids.AgentID]ids.ResidenceID
 	Residences map[ids.ResidenceID]platform.NodeID
+	// Caps carries the handed-off agents' capability sets so the secondary
+	// index rides rehashes with its location entries.
+	Caps map[ids.AgentID][]string
+}
+
+// DiscoverReq asks one IAgent for its agents matching every capability in
+// Caps (AND semantics). Near, when non-empty, asks the leaf to prefer
+// matches currently resident at (or bound near) that node; Limit, when
+// positive, bounds the matches returned by this leaf.
+type DiscoverReq struct {
+	Caps  []string
+	Near  platform.NodeID
+	Limit int
+}
+
+// DiscoverMatch is one discovery result: an agent and its current node —
+// the locality hint comes straight from the leaf's location table, so no
+// second locate round is needed.
+type DiscoverMatch struct {
+	Agent ids.AgentID
+	Node  platform.NodeID
+}
+
+// DiscoverResp answers a capability query from one leaf.
+type DiscoverResp struct {
+	Status      Status
+	HashVersion uint64
+	Matches     []DiscoverMatch
+}
+
+// LeavesReq asks an LHAgent to enumerate the leaves of its cached hash
+// state. MinVersion, when non-zero, forces a refresh first so the scatter
+// set is at least that fresh.
+type LeavesReq struct {
+	MinVersion uint64
+}
+
+// LeafRef names one responsible IAgent and the node hosting it.
+type LeafRef struct {
+	IAgent ids.AgentID
+	Node   platform.NodeID
+}
+
+// LeavesResp lists the leaves under the LHAgent's current hash version.
+type LeavesResp struct {
+	HashVersion uint64
+	Leaves      []LeafRef
 }
 
 // register the protocol's concrete types and behaviours with gob so agents

@@ -79,7 +79,18 @@ func TestPlacementRelocationEndToEnd(t *testing.T) {
 		stats, _ := c.service.Stats(ctx)
 		t.Fatalf("IAgent never relocated: %+v", stats)
 	}
-	if !c.nodes[2].Hosts("iagent-1") {
+	// The directory updates before the IAgent finishes its transfer (step 2
+	// vs step 3 of the placement protocol), so give the migration itself a
+	// moment to land rather than racing it.
+	hosted := false
+	for time.Now().Before(deadline) {
+		if c.nodes[2].Hosts("iagent-1") {
+			hosted = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !hosted {
 		t.Error("node-2 does not actually host iagent-1 after relocation")
 	}
 

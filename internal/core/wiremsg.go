@@ -156,7 +156,16 @@ func (r *RegisterReq) DecodeWire(d *wire.Dec) error {
 func (r UpdateReq) AppendWire(dst []byte) []byte {
 	dst = wire.AppendString(dst, string(r.Agent))
 	dst = wire.AppendString(dst, string(r.Node))
-	return wire.AppendString(dst, string(r.Residence))
+	dst = wire.AppendString(dst, string(r.Residence))
+	// The capability count is always present (zero for the common plain
+	// move): UpdateReqs concatenate inside UpdateBatchReq, so a trailing-
+	// optional encoding would be ambiguous — the next update's agent id
+	// would be misread as a capability count.
+	dst = wire.AppendUvarint(dst, uint64(len(r.Capabilities)))
+	for _, c := range r.Capabilities {
+		dst = wire.AppendString(dst, c)
+	}
+	return dst
 }
 
 func (r *UpdateReq) DecodeWire(d *wire.Dec) error {
@@ -173,6 +182,21 @@ func (r *UpdateReq) DecodeWire(d *wire.Dec) error {
 		return err
 	}
 	r.Agent, r.Node, r.Residence = ids.AgentID(agent), platform.NodeID(node), ids.ResidenceID(res)
+	n, err := batchLen(d)
+	if err != nil {
+		return err
+	}
+	r.Capabilities = nil
+	if n > 0 {
+		r.Capabilities = make([]string, n)
+		for i := range r.Capabilities {
+			// Capability tags recur across agents, so intern them like
+			// node ids.
+			if r.Capabilities[i], err = d.StringIn(maxWireIDLen, wireIntern); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -283,6 +307,99 @@ func (r *ResidenceMoveResp) DecodeWire(d *wire.Dec) error {
 	bound, err := d.Uvarint()
 	r.Bound = int(bound)
 	return err
+}
+
+// --- discover -------------------------------------------------------------
+
+func (r DiscoverReq) AppendWire(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(r.Caps)))
+	for _, c := range r.Caps {
+		dst = wire.AppendString(dst, c)
+	}
+	dst = wire.AppendString(dst, string(r.Near))
+	return wire.AppendUvarint(dst, uint64(r.Limit))
+}
+
+func (r *DiscoverReq) DecodeWire(d *wire.Dec) error {
+	n, err := batchLen(d)
+	if err != nil {
+		return err
+	}
+	r.Caps = nil
+	if n > 0 {
+		r.Caps = make([]string, n)
+		for i := range r.Caps {
+			if r.Caps[i], err = d.StringIn(maxWireIDLen, wireIntern); err != nil {
+				return err
+			}
+		}
+	}
+	near, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	r.Near = platform.NodeID(near)
+	limit, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	if limit > maxWireBatch {
+		return fmt.Errorf("%w: "+wireBatchGuard, wire.ErrCorrupt, limit)
+	}
+	r.Limit = int(limit)
+	return nil
+}
+
+func (m DiscoverMatch) AppendWire(dst []byte) []byte {
+	dst = wire.AppendString(dst, string(m.Agent))
+	return wire.AppendString(dst, string(m.Node))
+}
+
+func (m *DiscoverMatch) DecodeWire(d *wire.Dec) error {
+	agent, err := d.String(maxWireIDLen)
+	if err != nil {
+		return err
+	}
+	node, err := d.StringIn(maxWireIDLen, wireIntern)
+	if err != nil {
+		return err
+	}
+	m.Agent, m.Node = ids.AgentID(agent), platform.NodeID(node)
+	return nil
+}
+
+func (r DiscoverResp) AppendWire(dst []byte) []byte {
+	dst = appendStatus(dst, r.Status)
+	dst = wire.AppendUvarint(dst, r.HashVersion)
+	dst = wire.AppendUvarint(dst, uint64(len(r.Matches)))
+	for i := range r.Matches {
+		dst = r.Matches[i].AppendWire(dst)
+	}
+	return dst
+}
+
+func (r *DiscoverResp) DecodeWire(d *wire.Dec) error {
+	var err error
+	if r.Status, err = decodeStatus(d); err != nil {
+		return err
+	}
+	if r.HashVersion, err = d.Uvarint(); err != nil {
+		return err
+	}
+	n, err := batchLen(d)
+	if err != nil {
+		return err
+	}
+	r.Matches = nil
+	if n > 0 {
+		r.Matches = make([]DiscoverMatch, n)
+		for i := range r.Matches {
+			if err := r.Matches[i].DecodeWire(d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // --- whois / refresh ------------------------------------------------------

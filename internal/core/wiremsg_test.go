@@ -29,6 +29,7 @@ func hotDTOs() []any {
 		RegisterReq{Agent: "fresh", Node: "node-0"},
 		UpdateReq{Agent: "roamer", Node: "node-9", Residence: "res-2"},
 		UpdateReq{Agent: "loner", Node: "node-9"}, // empty residence clears a binding
+		UpdateReq{Agent: "skilled", Node: "node-1", Capabilities: []string{"gpu", "ocr"}},
 		DeregisterReq{Agent: "done"},
 		Ack{Status: StatusNotResponsible, HashVersion: 99},
 		UpdateBatchReq{Updates: []UpdateReq{
@@ -38,6 +39,13 @@ func hotDTOs() []any {
 		UpdateBatchResp{Acks: []Ack{{Status: StatusOK, HashVersion: 1}, {Status: StatusUnknownAgent, HashVersion: 1}}},
 		ResidenceMoveReq{Residence: "res-5", Node: "node-2"},
 		ResidenceMoveResp{Status: StatusOK, HashVersion: 12, Bound: 37},
+		DiscoverReq{Caps: []string{"gpu", "planner"}, Near: "node-2", Limit: 8},
+		DiscoverReq{Caps: []string{"gpu"}},
+		DiscoverResp{Status: StatusOK, HashVersion: 9, Matches: []DiscoverMatch{
+			{Agent: "a1", Node: "n1"},
+			{Agent: "a2", Node: "n2"},
+		}},
+		DiscoverResp{Status: StatusNotResponsible, HashVersion: 10},
 		WhoisReq{Target: "whom"},
 		WhoisResp{IAgent: "ia-01", Node: "node-1", HashVersion: 5},
 		RefreshReq{MinVersion: 17},
@@ -115,6 +123,7 @@ func TestBatchLenRejectsOversizedCount(t *testing.T) {
 	body := wire.AppendUvarint(nil, 1<<30)
 	for _, target := range []wire.Unmarshaler{
 		&LocateBatchReq{}, &LocateBatchResp{}, &UpdateBatchReq{}, &UpdateBatchResp{},
+		&DiscoverReq{},
 	} {
 		d := wire.NewDec(body)
 		if err := target.DecodeWire(d); !errors.Is(err, wire.ErrCorrupt) {
@@ -177,6 +186,8 @@ func FuzzHotMsgDecode(f *testing.F) {
 		func() wire.Unmarshaler { return &UpdateBatchResp{} },
 		func() wire.Unmarshaler { return &ResidenceMoveReq{} },
 		func() wire.Unmarshaler { return &ResidenceMoveResp{} },
+		func() wire.Unmarshaler { return &DiscoverReq{} },
+		func() wire.Unmarshaler { return &DiscoverResp{} },
 		func() wire.Unmarshaler { return &WhoisReq{} },
 		func() wire.Unmarshaler { return &WhoisResp{} },
 		func() wire.Unmarshaler { return &RefreshReq{} },

@@ -79,9 +79,22 @@ type Table struct {
 
 	// nodeMu guards nodes, the per-table node-id intern map. A cluster has
 	// few nodes and a table has up to millions of entries; interning makes
-	// every entry's node field share one backing string.
+	// every entry's node field share one backing string. Each interned id
+	// carries a reference count — one ref per table entry pointing at it —
+	// so a node whose last entry is deleted (or replaced by a Put to a
+	// different node) leaves the map instead of leaking: long-lived tables
+	// on churny clusters would otherwise accumulate an intern entry for
+	// every node id they ever saw.
 	nodeMu sync.RWMutex
-	nodes  map[platform.NodeID]platform.NodeID
+	nodes  map[platform.NodeID]*nodeRef
+}
+
+// nodeRef is one interned node id plus the number of live table entries
+// referencing it. refs is atomic so the acquire fast path (node already
+// interned — the overwhelmingly common case) only takes the read lock.
+type nodeRef struct {
+	canon platform.NodeID
+	refs  atomic.Int64
 }
 
 // New returns an empty table with DefaultStripes stripes.
@@ -98,7 +111,7 @@ func NewWithStripes(n int) *Table {
 		stripes: make([]stripe, size),
 		mask:    uint64(size - 1),
 		shift:   uint(bits.TrailingZeros(uint(size))),
-		nodes:   make(map[platform.NodeID]platform.NodeID),
+		nodes:   make(map[platform.NodeID]*nodeRef),
 	}
 }
 
@@ -115,22 +128,60 @@ func (t *Table) stripeFor(h uint64) (*stripe, uint64) {
 	return &t.stripes[h&t.mask], sh
 }
 
-// internNode canonicalises a node id, zero-alloc once seen.
-func (t *Table) internNode(node platform.NodeID) platform.NodeID {
+// acquireNode canonicalises a node id and takes one reference on it,
+// zero-alloc once seen. Every table entry holds exactly one reference on
+// its node; releaseNode drops it when the entry is deleted or re-pointed.
+func (t *Table) acquireNode(node platform.NodeID) platform.NodeID {
 	t.nodeMu.RLock()
-	n, ok := t.nodes[node]
-	t.nodeMu.RUnlock()
-	if ok {
-		return n
+	if r, ok := t.nodes[node]; ok {
+		// Deletion requires the write lock, so r cannot vanish while we
+		// hold the read lock; incrementing here makes it visible to the
+		// zero-recheck in releaseNode.
+		r.refs.Add(1)
+		t.nodeMu.RUnlock()
+		return r.canon
 	}
+	t.nodeMu.RUnlock()
 	t.nodeMu.Lock()
-	if prev, ok := t.nodes[node]; ok {
-		node = prev
-	} else {
-		t.nodes[node] = node
+	r, ok := t.nodes[node]
+	if !ok {
+		r = &nodeRef{canon: node}
+		t.nodes[node] = r
+	}
+	r.refs.Add(1)
+	t.nodeMu.Unlock()
+	return r.canon
+}
+
+// releaseNode drops one reference on an interned node id, evicting the
+// intern entry when the last table entry referencing it disappears.
+func (t *Table) releaseNode(node platform.NodeID) {
+	t.nodeMu.RLock()
+	r, ok := t.nodes[node]
+	t.nodeMu.RUnlock()
+	if !ok {
+		return
+	}
+	if r.refs.Add(-1) > 0 {
+		return
+	}
+	// Possibly the last reference: re-check under the write lock, since a
+	// concurrent acquireNode may have resurrected the count.
+	t.nodeMu.Lock()
+	if cur, ok := t.nodes[node]; ok && cur == r && r.refs.Load() <= 0 {
+		delete(t.nodes, node)
 	}
 	t.nodeMu.Unlock()
-	return node
+}
+
+// InternedNodes reports how many distinct node ids the table currently
+// interns. Exposed for churn tests: it must track the live node set, not
+// every node the table has ever seen.
+func (t *Table) InternedNodes() int {
+	t.nodeMu.RLock()
+	n := len(t.nodes)
+	t.nodeMu.RUnlock()
+	return n
 }
 
 // find locates the slot for (h, agent): the entry's index if present, else
@@ -250,7 +301,7 @@ func (t *Table) GetBytes(agent []byte) (platform.NodeID, bool) {
 
 // Put records (or replaces) the agent's node.
 func (t *Table) Put(agent ids.AgentID, node platform.NodeID) {
-	node = t.internNode(node)
+	node = t.acquireNode(node)
 	s, h := t.stripeFor(agent.Hash64())
 	s.mu.Lock()
 	if loadDen*(s.used+1) > loadNum*len(s.entries) {
@@ -261,14 +312,20 @@ func (t *Table) Put(agent ids.AgentID, node platform.NodeID) {
 		s.resize(capacity)
 	}
 	i, existed := s.find(h, agent)
+	var replaced platform.NodeID
 	if existed {
+		replaced = s.entries[i].node
 		s.entries[i].node = node
 	} else {
 		s.entries[i] = entry{hash: h, agent: agent, node: node}
 		s.used++
 	}
 	s.mu.Unlock()
-	if !existed {
+	if existed {
+		// The entry's reference moved to the new node; drop the old one
+		// (a no-op net effect when the node is unchanged).
+		t.releaseNode(replaced)
+	} else {
 		t.count.Add(1)
 	}
 }
@@ -278,9 +335,11 @@ func (t *Table) Delete(agent ids.AgentID) bool {
 	s, h := t.stripeFor(agent.Hash64())
 	s.mu.Lock()
 	existed := false
+	var removed platform.NodeID
 	if s.entries != nil {
 		var i int
 		if i, existed = s.find(h, agent); existed {
+			removed = s.entries[i].node
 			s.removeAt(i)
 			if len(s.entries) > minStripeCap && s.used < len(s.entries)/shrinkDivisor {
 				s.resize(len(s.entries) / 2)
@@ -289,6 +348,7 @@ func (t *Table) Delete(agent ids.AgentID) bool {
 	}
 	s.mu.Unlock()
 	if existed {
+		t.releaseNode(removed)
 		t.count.Add(-1)
 	}
 	return existed
